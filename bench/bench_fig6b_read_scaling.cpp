@@ -1,0 +1,87 @@
+// Reproduces paper Figure 6(b): concurrent read (find) throughput versus
+// thread count on pre-built structures of n elements, PAM vs skiplist,
+// B+-tree and hash map (the paper's YCSB-C read-only microbenchmark).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/range_sum.h"
+#include "baselines/concurrent_bptree.h"
+#include "baselines/concurrent_hashmap.h"
+#include "baselines/concurrent_skiplist.h"
+#include "common/bench_util.h"
+
+namespace {
+using namespace pam;
+using namespace pam::bench;
+
+template <typename F>
+double threaded(int p, const F& body) {
+  timer tm;
+  std::vector<std::thread> ts;
+  ts.reserve(p);
+  for (int t = 0; t < p; t++) ts.emplace_back([&, t] { body(t); });
+  for (auto& t : ts) t.join();
+  return tm.elapsed();
+}
+}  // namespace
+
+int main() {
+  print_header("bench_fig6b_read_scaling",
+               "Figure 6(b): concurrent read throughput (M/s) vs threads");
+
+  const size_t n = scaled_size(4000000);
+  const size_t reads = scaled_size(4000000);
+  auto entries = kv_entries(n, 1);
+  auto queries = keys_only(reads, 2);
+  const int maxp = num_workers();
+
+  // Pre-build all structures once.
+  range_sum_map pam_map(entries);
+  baselines::concurrent_skiplist sl;
+  baselines::concurrent_bptree bt;
+  baselines::concurrent_hashmap hm(n);
+  for (auto& [k, v] : entries) {
+    sl.insert(k, v);
+    bt.insert(k, v);
+    hm.insert(k, v + 1);
+  }
+
+  std::printf("\n%-8s %12s %12s %12s %12s\n", "threads", "PAM", "skiplist", "B+tree",
+              "hashmap");
+  for (int p : sweep_threads()) {
+    set_num_workers(p);
+    double t_pam = timed([&] {
+      parallel_for(0, reads, [&](size_t i) {
+        volatile bool hit = pam_map.contains(queries[i]);
+        (void)hit;
+      }, 256);
+    });
+    set_num_workers(maxp);
+
+    size_t per = reads / static_cast<size_t>(p);
+    auto reader = [&](auto& ds) {
+      return threaded(p, [&](int t) {
+        size_t lo = static_cast<size_t>(t) * per,
+               hi = (t + 1 == p) ? reads : lo + per;
+        uint64_t v = 0;
+        uint64_t acc = 0;
+        for (size_t i = lo; i < hi; i++) acc += ds.find(queries[i], v) ? 1 : 0;
+        if (acc == 0xdeadbeefull) std::printf("!");
+      });
+    };
+    double t_sl = reader(sl);
+    double t_bt = reader(bt);
+    double t_hm = reader(hm);
+
+    double mr = static_cast<double>(reads) / 1e6;
+    std::printf("%-8d %12.2f %12.2f %12.2f %12.2f\n", p, mr / t_pam, mr / t_sl,
+                mr / t_bt, mr / t_hm);
+  }
+
+  std::printf("\nShape checks vs paper Fig 6(b):\n");
+  std::printf(" * every structure's read throughput scales near-linearly\n");
+  std::printf(" * PAM is competitive with B+-tree/skiplist reads (paper: similar,\n");
+  std::printf("   PAM ahead at the full machine); hashmap leads (unordered)\n");
+  return 0;
+}

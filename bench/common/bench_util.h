@@ -1,0 +1,111 @@
+// Shared benchmark harness: timing, paper-style table printing, workload
+// generators, and thread sweeps.
+//
+// Conventions (see EXPERIMENTS.md):
+//  * every binary prints the machine configuration and the active scale;
+//  * default sizes are laptop-scale versions of the paper's workloads and
+//    keep the paper's *ratios* (e.g. m << n unions); PAM_BENCH_SCALE
+//    multiplies them back up;
+//  * "T1" runs the same parallel code on one worker, "Tp" on all workers,
+//    matching the paper's T1 / T144 columns.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/parallel.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace pam::bench {
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("workers=%d  PAM_BENCH_SCALE=%.3g  (hardware threads: %u)\n",
+              num_workers(), env_double("PAM_BENCH_SCALE", 1.0),
+              std::thread::hardware_concurrency());
+  std::printf("==================================================================\n");
+}
+
+// Time one run of f (seconds). For bulk operations a single run is stable
+// enough; use timed_best for microsecond-scale work.
+template <typename F>
+double timed(const F& f) {
+  timer t;
+  f();
+  return t.elapsed();
+}
+
+// Best of `reps` runs.
+template <typename F>
+double timed_best(int reps, const F& f) {
+  double best = 1e100;
+  for (int i = 0; i < reps; i++) {
+    double s = timed(f);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+// Run f on 1 worker then on all workers; returns {t1, tp}. Restores the
+// worker count afterwards.
+template <typename F>
+std::pair<double, double> seq_vs_par(const F& f) {
+  int p = num_workers();
+  set_num_workers(1);
+  double t1 = timed(f);
+  set_num_workers(p);
+  double tp = timed(f);
+  return {t1, tp};
+}
+
+inline void row(const char* name, size_t n, size_t m, double t1, double tp) {
+  if (tp > 0) {
+    std::printf("%-28s n=%-11zu m=%-11zu T1=%9.4fs  Tp=%9.4fs  spd=%5.1f\n", name,
+                n, m, t1, tp, t1 / tp);
+  } else {
+    std::printf("%-28s n=%-11zu m=%-11zu T1=%9.4fs  Tp=      -    spd=    -\n",
+                name, n, m, t1);
+  }
+}
+
+inline void row_seq(const char* name, size_t n, size_t m, double t1) {
+  std::printf("%-28s n=%-11zu m=%-11zu T1=%9.4fs  (sequential baseline)\n", name,
+              n, m, t1);
+}
+
+// Thread counts for scaling sweeps: 1, 2, 4, ... up to the hardware limit.
+inline std::vector<int> sweep_threads() {
+  int max = num_workers();
+  std::vector<int> ps;
+  for (int p = 1; p < max; p *= 2) ps.push_back(p);
+  ps.push_back(max);
+  return ps;
+}
+
+// ------------------------------------------------------------ workloads --
+
+inline std::vector<std::pair<uint64_t, uint64_t>> kv_entries(size_t n, uint64_t seed,
+                                                             uint64_t range = 0) {
+  if (range == 0) range = ~0ull;
+  std::vector<std::pair<uint64_t, uint64_t>> v(n);
+  parallel_for(0, n, [&](size_t i) {
+    v[i] = {hash64(seed * 0x10001 + i) % range, hash64(seed * 0x20003 + i) % 1000};
+  });
+  return v;
+}
+
+inline std::vector<uint64_t> keys_only(size_t n, uint64_t seed, uint64_t range = 0) {
+  if (range == 0) range = ~0ull;
+  std::vector<uint64_t> v(n);
+  parallel_for(0, n, [&](size_t i) { v[i] = hash64(seed * 0x30005 + i) % range; });
+  return v;
+}
+
+}  // namespace pam::bench

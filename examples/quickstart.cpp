@@ -1,0 +1,73 @@
+// Quickstart: define an augmented map type, build it in parallel, and use
+// the full interface — insert/union/filter, range extraction, and the
+// augmented queries (aug_val / aug_left / aug_range / aug_filter).
+//
+//   ./example_quickstart
+//
+// This is the paper's running example (Equation 1): an ordered map from
+// integer keys to integer values augmented with the sum of values.
+#include <cstdio>
+#include <vector>
+
+#include "pam/pam.h"
+
+// An augmented map type is described by an "entry" policy (paper Figure 3):
+// key/value types, the key ordering, and the augmentation (g, f, identity).
+struct sales_entry {
+  using key_t = long;  // timestamp of a sale
+  using val_t = long;  // sale amount
+  using aug_t = long;  // augmented value: total amount
+  static bool comp(long a, long b) { return a < b; }
+  static long identity() { return 0; }
+  static long base(long /*k*/, long v) { return v; }
+  static long combine(long a, long b) { return a + b; }
+};
+using sales_map = pam::aug_map<sales_entry>;
+
+int main() {
+  // Build from a (timestamp, amount) batch. Construction is parallel and
+  // duplicate keys can be folded with a combine function.
+  std::vector<sales_map::entry_t> batch;
+  for (long t = 0; t < 1000000; t++) batch.push_back({t, t % 97});
+  sales_map sales(batch, [](long a, long b) { return a + b; });
+  std::printf("built %zu sales, using %d worker threads\n", sales.size(),
+              pam::num_workers());
+
+  // O(1): the augmented value of the whole map (total sales).
+  std::printf("total sales           = %ld\n", sales.aug_val());
+
+  // O(log n): sums over key ranges, no scanning.
+  std::printf("sales in [100, 200]   = %ld\n", sales.aug_range(100, 200));
+  std::printf("sales up to t=500000  = %ld\n", sales.aug_left(500000));
+
+  // Maps are immutable values: updates return new versions in O(log n),
+  // and the old version remains fully usable (persistence).
+  sales_map v2 = sales_map::insert(sales, 2000000, 999);
+  std::printf("v1 size=%zu  v2 size=%zu (v1 untouched)\n", sales.size(), v2.size());
+
+  // Bulk operations run in parallel: union two days of sales, adding
+  // amounts for identical timestamps.
+  std::vector<sales_map::entry_t> day2;
+  for (long t = 500000; t < 1500000; t++) day2.push_back({t, 5});
+  sales_map merged = sales_map::map_union(sales, sales_map(day2),
+                                          [](long a, long b) { return a + b; });
+  std::printf("merged size           = %zu, total = %ld\n", merged.size(),
+              merged.aug_val());
+
+  // Filter keeps structure and augmentation intact.
+  sales_map big_sales =
+      sales_map::filter(merged, [](long, long amount) { return amount > 90; });
+  std::printf("sales > 90            : %zu entries, total %ld\n", big_sales.size(),
+              big_sales.aug_val());
+
+  // Range extraction shares nodes with the source (O(log n) new nodes).
+  sales_map window = sales_map::range(merged, 1000, 2000);
+  std::printf("window [1000,2000]    : %zu entries\n", window.size());
+
+  // mapReduce: arbitrary parallel folds over entries.
+  long max_amount = merged.map_reduce<long>(
+      [](long, long v) { return v; },
+      [](long a, long b) { return a > b ? a : b; }, 0);
+  std::printf("max single sale       = %ld\n", max_amount);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Persistence & concurrency example: a versioned key-value store with
+// snapshot isolation, built directly from PAM's functional maps and the
+// snapshot_box pattern (paper Section 4, "Persistence" and "Concurrency").
+//
+//   ./example_versioned_kv
+//
+// Demonstrates: O(1) snapshots, time-travel across retained versions,
+// batched concurrent updates via multi_insert, and node sharing between
+// versions (measured with the allocator's live-node counter).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pam/pam.h"
+
+using kv_map = pam::aug_map<pam::sum_entry<uint64_t, uint64_t>>;
+
+int main() {
+  int64_t nodes0 = kv_map::used_nodes();
+
+  // A "database" with a history of retained versions.
+  std::vector<kv_map> history;
+  kv_map db;
+  for (uint64_t batch = 0; batch < 10; batch++) {
+    std::vector<kv_map::entry_t> updates;
+    for (uint64_t i = 0; i < 100000; i++)
+      updates.push_back({pam::hash64(batch * 1000000 + i) % 500000, 1});
+    db = kv_map::multi_insert(std::move(db), std::move(updates),
+                              [](uint64_t a, uint64_t b) { return a + b; });
+    history.push_back(db);  // O(1): versions share structure
+  }
+  std::printf("10 versions retained; latest has %zu keys\n", db.size());
+  std::printf("live nodes: %lld (10 full copies would need ~%lld)\n",
+              static_cast<long long>(kv_map::used_nodes() - nodes0),
+              static_cast<long long>(10 * db.size()));
+
+  // Time travel: every retained version answers queries independently.
+  for (size_t v : {0ul, 4ul, 9ul}) {
+    std::printf("version %zu: %zu keys, total count %lu\n", v, history[v].size(),
+                history[v].aug_val());
+  }
+
+  // Snapshot-isolated concurrent access: writers batch updates through a
+  // snapshot_box while readers work on consistent O(1) snapshots.
+  pam::snapshot_box<kv_map> shared(db);
+  std::thread writer([&] {
+    for (uint64_t round = 0; round < 20; round++) {
+      shared.update([&](kv_map m) {
+        std::vector<kv_map::entry_t> batch;
+        for (uint64_t i = 0; i < 1000; i++)
+          batch.push_back({1000000 + round * 1000 + i, 1});
+        return kv_map::multi_insert(std::move(m), std::move(batch));
+      });
+    }
+  });
+  std::thread reader([&] {
+    size_t last = 0;
+    for (int i = 0; i < 1000; i++) {
+      kv_map snap = shared.snapshot();
+      // Within one snapshot, sums are perfectly consistent, no locks held.
+      if (snap.aug_val() < last) std::printf("ERROR: time went backwards!\n");
+      last = snap.aug_val();
+    }
+  });
+  writer.join();
+  reader.join();
+  std::printf("after concurrent updates: %zu keys\n", shared.snapshot().size());
+
+  // Dropping history reclaims shared nodes exactly once.
+  history.clear();
+  db = kv_map();
+  shared.store(kv_map());
+  std::printf("after clearing all versions, leaked nodes: %lld\n",
+              static_cast<long long>(kv_map::used_nodes() - nodes0));
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "apps/corpus.h"
+
+#include <cstdio>
+
+#include "parallel/parallel.h"
+#include "util/zipf.h"
+
+namespace pam {
+
+std::string corpus_word(size_t rank) {
+  // Compact deterministic "word": base-26 encoding of the rank. Frequent
+  // words get short strings, like real vocabularies.
+  std::string w;
+  size_t r = rank;
+  do {
+    w.push_back(static_cast<char>('a' + r % 26));
+    r /= 26;
+  } while (r != 0);
+  return w;
+}
+
+corpus make_corpus(const corpus_params& params) {
+  corpus c;
+  c.vocabulary = params.vocabulary;
+  c.num_docs = params.num_docs;
+  size_t total = params.num_docs * params.words_per_doc;
+  c.triples.resize(total);
+
+  // Each document samples its words from an independent Zipf stream so the
+  // generation parallelizes over documents.
+  parallel_for(0, params.num_docs, [&](size_t d) {
+    zipf_generator zipf(params.vocabulary, params.zipf_s,
+                        hash64(params.seed + d));
+    random_gen wrng(hash64(params.seed * 3 + d));
+    for (size_t j = 0; j < params.words_per_doc; j++) {
+      posting& p = c.triples[d * params.words_per_doc + j];
+      p.word = static_cast<uint32_t>(zipf());
+      p.doc = static_cast<uint32_t>(d);
+      p.weight = static_cast<float>(wrng.next_double());
+    }
+  }, 1);
+  return c;
+}
+
+}  // namespace pam

@@ -1,0 +1,46 @@
+// Synthetic text corpus generator.
+//
+// The paper builds its inverted index from the 2016 English Wikipedia dump:
+// 1.96e9 words, 5.09e6 distinct words, 8.13e6 documents, with a random
+// weight per (word, document) pair. The dump is not available offline, so
+// this module generates a corpus with the property that actually matters for
+// index performance: a Zipfian word-frequency distribution, which reproduces
+// the posting-list length skew of natural language. Document ids are dense,
+// weights are uniform random (the paper notes weight values do not affect
+// running time). See DESIGN.md section 3 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pam {
+
+// One (word, document, weight) occurrence, the unit the index is built from.
+struct posting {
+  uint32_t word;   // vocabulary rank; 0 is the most frequent word
+  uint32_t doc;    // document id
+  float weight;    // relevance weight
+};
+
+struct corpus_params {
+  size_t vocabulary = 100000;   // distinct words
+  size_t num_docs = 10000;      // documents
+  size_t words_per_doc = 200;   // words per document
+  double zipf_s = 1.0;          // Zipf exponent (~1.0 for natural language)
+  uint64_t seed = 42;
+};
+
+struct corpus {
+  std::vector<posting> triples;
+  size_t vocabulary = 0;
+  size_t num_docs = 0;
+};
+
+// The printable word for a vocabulary rank (deterministic, short for
+// frequent ranks).
+std::string corpus_word(size_t rank);
+
+corpus make_corpus(const corpus_params& params);
+
+}  // namespace pam

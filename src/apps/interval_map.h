@@ -1,0 +1,90 @@
+// Application 2: interval trees (paper Section 5.1, Figure 3).
+//
+// Maintains a dynamic set of closed intervals [l, r] on the line and
+// answers stabbing queries in O(log n): a point p is covered iff the
+// maximum right endpoint among intervals with left endpoint <= p is >= p.
+// The structure is just an augmented map
+//
+//   I = AM(left endpoint, <, right endpoint, right endpoint,
+//          (k, v) -> v, max, -inf)
+//
+// We key by the (left, right) pair rather than the left endpoint alone so
+// that multiple intervals sharing a left endpoint coexist; the asymptotics
+// are unchanged. report_all uses the pruned aug_filter: a subtree whose
+// maximum right endpoint is < p cannot contain a covering interval, giving
+// O(k log(n/k + 1)) work for k results.
+#pragma once
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "pam/pam.h"
+
+namespace pam {
+
+template <typename P = double>
+class interval_map {
+ public:
+  using point = P;
+  using interval = std::pair<P, P>;  // closed [first, second]
+
+  struct entry {
+    using key_t = interval;
+    using val_t = P;
+    using aug_t = P;
+    static bool comp(const key_t& a, const key_t& b) { return a < b; }
+    static aug_t identity() { return std::numeric_limits<P>::lowest(); }
+    static aug_t base(const key_t&, const val_t& v) { return v; }
+    static aug_t combine(const aug_t& a, const aug_t& b) { return a > b ? a : b; }
+  };
+  using amap = aug_map<entry>;
+
+  interval_map() = default;
+
+  // Parallel O(n log n) construction from n intervals.
+  interval_map(const interval* a, size_t n) {
+    std::vector<typename amap::entry_t> es;
+    es.reserve(n);
+    for (size_t i = 0; i < n; i++) es.emplace_back(a[i], a[i].second);
+    m_ = amap(std::move(es));
+  }
+
+  explicit interval_map(const std::vector<interval>& xs)
+      : interval_map(xs.data(), xs.size()) {}
+
+  size_t size() const { return m_.size(); }
+
+  // Persistent single-interval updates (O(log n)).
+  void insert(const interval& x) { m_.insert_inplace(x, x.second); }
+  void remove(const interval& x) { m_.remove_inplace(x); }
+
+  // Is p covered by any interval? O(log n).
+  bool stab(P p) const { return m_.aug_left(upper_key(p)) >= p; }
+
+  // All intervals containing p, via up_to + pruned aug_filter
+  // (O(k log(n/k + 1)) work for k results).
+  std::vector<interval> report_all(P p) const {
+    amap candidates = amap::up_to(m_, upper_key(p));
+    amap hits = amap::aug_filter(std::move(candidates),
+                                 [p](const P& max_right) { return max_right >= p; });
+    std::vector<interval> out;
+    out.reserve(hits.size());
+    hits.for_each([&](const interval& k, const P&) { out.push_back(k); });
+    return out;
+  }
+
+  // Number of intervals containing p (same pruned search, counted).
+  size_t count_stab(P p) const { return report_all(p).size(); }
+
+  const amap& map() const { return m_; }
+  bool check_valid() const { return m_.check_valid(); }
+
+ private:
+  // The largest key whose left endpoint is <= p.
+  static interval upper_key(P p) { return {p, std::numeric_limits<P>::max()}; }
+
+  amap m_;
+};
+
+}  // namespace pam

@@ -1,0 +1,179 @@
+// Application 4: a weighted inverted index with ranked and/or queries
+// (paper Section 5.3).
+//
+//   M_I = AM(doc id, <, weight, weight, (k,v) -> v, max, 0)   posting lists
+//   M_O = M(term, <, M_I)                                     the index
+//
+// Each term maps to a posting map from document id to weight, augmented by
+// the maximum weight. Conjunctive (AND) queries intersect posting maps,
+// disjunctive (OR) queries union them, combining weights; both run in
+// O(m log(n/m + 1)) — much less than the output size for skewed lists. The
+// max augmentation then lets top-k selection explore only the heaviest
+// O(k log n) subtrees instead of scanning the whole result.
+//
+// Queries are snapshot-safe: they operate on O(1) copies of the shared
+// posting maps, which is the concurrency pattern the paper measures
+// ("each query does its own intersection over the shared posting lists").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/corpus.h"
+#include "pam/pam.h"
+#include "parallel/merge_sort.h"
+#include "parallel/parallel.h"
+#include "parallel/sequence_ops.h"
+
+namespace pam {
+
+class inverted_index {
+ public:
+  using doc_id = uint32_t;
+  using weight = float;
+
+  struct posting_entry {
+    using key_t = doc_id;
+    using val_t = weight;
+    using aug_t = weight;
+    static bool comp(doc_id a, doc_id b) { return a < b; }
+    static aug_t identity() { return 0.0f; }
+    static aug_t base(doc_id, weight v) { return v; }
+    static aug_t combine(weight a, weight b) { return a > b ? a : b; }
+  };
+  using posting_map = aug_map<posting_entry>;
+
+  struct index_entry {
+    using key_t = std::string;
+    using val_t = posting_map;
+    static bool comp(const std::string& a, const std::string& b) { return a < b; }
+  };
+  using index_map = pam_map<index_entry>;
+
+  inverted_index() = default;
+
+  // Parallel group-by build from (word, doc, weight) occurrences: sort by
+  // (word, doc), build each term's posting map from its run in parallel
+  // (duplicate (word, doc) pairs keep the max weight), then build the outer
+  // index over the distinct terms.
+  explicit inverted_index(std::vector<posting> triples) {
+    size_t n = triples.size();
+    parallel_sort(triples.data(), n, [](const posting& a, const posting& b) {
+      if (a.word != b.word) return a.word < b.word;
+      return a.doc < b.doc;
+    });
+    std::vector<size_t> starts = run_boundaries(
+        triples, [](const posting& p) { return p.word; },
+        [](uint32_t a, uint32_t b) { return a < b; });
+    size_t terms = starts.size();
+    std::vector<typename index_map::entry_t> outer(terms);
+    parallel_for(0, terms, [&](size_t j) {
+      size_t lo = starts[j];
+      size_t hi = (j + 1 < terms) ? starts[j + 1] : n;
+      std::vector<typename posting_map::entry_t> docs;
+      docs.reserve(hi - lo);
+      for (size_t i = lo; i < hi; i++) {
+        if (!docs.empty() && docs.back().first == triples[i].doc) {
+          docs.back().second = std::max(docs.back().second, triples[i].weight);
+        } else {
+          docs.emplace_back(triples[i].doc, triples[i].weight);
+        }
+      }
+      outer[j] = {corpus_word(triples[lo].word), from_sorted_docs(docs)};
+    }, 1);
+    index_ = index_map(std::move(outer));
+  }
+
+  size_t num_terms() const { return index_.size(); }
+
+  // The posting map of one term (empty map if absent). O(log |vocab|) plus
+  // an O(1) snapshot copy.
+  posting_map postings(const std::string& term) const {
+    auto v = index_.find(term);
+    return v.has_value() ? *v : posting_map();
+  }
+
+  // AND query: documents containing both terms; weights are added.
+  posting_map query_and(const std::string& t1, const std::string& t2) const {
+    return posting_map::map_intersect(postings(t1), postings(t2),
+                                      [](weight a, weight b) { return a + b; });
+  }
+
+  // OR query: documents containing either term; weights are added.
+  posting_map query_or(const std::string& t1, const std::string& t2) const {
+    return posting_map::map_union(postings(t1), postings(t2),
+                                  [](weight a, weight b) { return a + b; });
+  }
+
+  // Multi-term conjunction, smallest posting list first.
+  posting_map query_and_all(std::vector<std::string> terms) const {
+    if (terms.empty()) return {};
+    std::vector<posting_map> ps;
+    ps.reserve(terms.size());
+    for (auto& t : terms) ps.push_back(postings(t));
+    std::sort(ps.begin(), ps.end(),
+              [](const posting_map& a, const posting_map& b) { return a.size() < b.size(); });
+    posting_map acc = ps[0];
+    for (size_t i = 1; i < ps.size(); i++) {
+      acc = posting_map::map_intersect(std::move(acc), std::move(ps[i]),
+                                       [](weight a, weight b) { return a + b; });
+    }
+    return acc;
+  }
+
+  // The k heaviest (doc, weight) pairs of a result map, heaviest first.
+  // Best-first search over the max augmentation: a subtree is only expanded
+  // if its cached maximum still beats the current frontier, so the search
+  // touches O(k log n) nodes instead of all n.
+  static std::vector<std::pair<doc_id, weight>> top_k(const posting_map& m, size_t k) {
+    using node = typename posting_map::node;
+    struct item {
+      weight w;
+      const node* subtree;  // null => settled entry
+      doc_id doc;
+      weight doc_w;
+      bool operator<(const item& o) const { return w < o.w; }
+    };
+    std::priority_queue<item> pq;
+    if (m.internal_root() != nullptr) {
+      pq.push({m.internal_root()->aug, m.internal_root(), 0, 0});
+    }
+    std::vector<std::pair<doc_id, weight>> out;
+    while (!pq.empty() && out.size() < k) {
+      item it = pq.top();
+      pq.pop();
+      if (it.subtree == nullptr) {
+        out.emplace_back(it.doc, it.doc_w);
+        continue;
+      }
+      const node* t = it.subtree;
+      pq.push({t->value, nullptr, t->key, t->value});
+      if (t->left != nullptr) pq.push({t->left->aug, t->left, 0, 0});
+      if (t->right != nullptr) pq.push({t->right->aug, t->right, 0, 0});
+    }
+    return out;
+  }
+
+  // All documents of a result with weight above a threshold, via the pruned
+  // aug_filter (the alternative top-k strategy the paper mentions).
+  static posting_map filter_above(posting_map m, weight threshold) {
+    return posting_map::aug_filter(std::move(m),
+                                   [=](weight w) { return w > threshold; });
+  }
+
+  const index_map& index() const { return index_; }
+
+ private:
+  static posting_map from_sorted_docs(const std::vector<typename posting_map::entry_t>& docs) {
+    return posting_map::from_root(
+        posting_map::ops::from_sorted_unique(docs.data(), docs.size()));
+  }
+
+  index_map index_;
+};
+
+}  // namespace pam

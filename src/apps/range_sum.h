@@ -1,0 +1,23 @@
+// Application 1: the augmented sum map (paper Equation 1).
+//
+//   AM(Z, <, Z, Z, (k,v) -> v, +, 0)
+//
+// An ordered map from integer keys to integer values whose augmented value
+// is the sum of all values; range sums over any key interval run in
+// O(log n). This is the structure all of Table 3 is measured on.
+#pragma once
+
+#include <cstdint>
+
+#include "pam/pam.h"
+
+namespace pam {
+
+// The paper's benchmark instantiation: 64-bit keys and values.
+using range_sum_map = aug_map<sum_entry<uint64_t, uint64_t>>;
+
+// The same map without augmentation, used to measure the overhead of
+// maintaining augmented values (Table 3, "Non-augmented PAM").
+using plain_sum_map = pam_map<map_entry<uint64_t, uint64_t>>;
+
+}  // namespace pam

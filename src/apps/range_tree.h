@@ -1,0 +1,197 @@
+// Application 3: 2D range trees (paper Section 5.2, Figure 5).
+//
+// A two-level nested augmented map:
+//
+//   R_I = AM(point-by-y, <_y, weight, weight, (k,v) -> v, +, 0)
+//   R_O = AM(point-by-x, <_x, weight, R_I, singleton, union, empty)
+//
+// The outer map orders points by x; the augmented value of every outer
+// subtree is an *inner augmented map* of the same points ordered by y,
+// augmented by the sum of weights. Because PAM's trees are persistent, the
+// UNION combine builds each inner map sharing nodes with its children's
+// inner maps without disturbing them — the property the paper calls out as
+// essential for correctness.
+//
+//   query_sum   O(log^2 n): aug_project over x, aug_range over y.
+//   query_count same, counting points.
+//   query_points O(log^2 n + k): canonical-subtree traversal, reporting.
+//
+// Construction is O(n log n) work by bottom-up unions.
+#pragma once
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "pam/pam.h"
+
+namespace pam {
+
+template <typename Coord = double, typename W = int64_t>
+class range_tree {
+ public:
+  struct point {
+    Coord x, y;
+    W w;
+  };
+  using xy = std::pair<Coord, Coord>;
+
+  // Inner map: key (y, x), value/augmentation = weight sum.
+  struct inner_entry {
+    using key_t = xy;  // (y, x)
+    using val_t = W;
+    using aug_t = W;
+    static bool comp(const key_t& a, const key_t& b) { return a < b; }
+    static aug_t identity() { return W{}; }
+    static aug_t base(const key_t&, const val_t& v) { return v; }
+    static aug_t combine(const aug_t& a, const aug_t& b) { return a + b; }
+  };
+  using inner_map = aug_map<inner_entry>;
+
+  // Outer map: key (x, y), augmented value = inner map of the subtree.
+  struct outer_entry {
+    using key_t = xy;  // (x, y)
+    using val_t = W;
+    using aug_t = inner_map;
+    static bool comp(const key_t& a, const key_t& b) { return a < b; }
+    static aug_t identity() { return inner_map(); }
+    static aug_t base(const key_t& k, const val_t& v) {
+      return inner_map::singleton({k.second, k.first}, v);
+    }
+    static aug_t combine(const aug_t& a, const aug_t& b) {
+      return inner_map::map_union(a, b, [](const W& x, const W& y) { return x + y; });
+    }
+  };
+  using outer_map = aug_map<outer_entry>;
+
+  range_tree() = default;
+
+  // Parallel O(n log n) construction. Points must have distinct (x, y).
+  range_tree(const point* pts, size_t n) {
+    std::vector<typename outer_map::entry_t> es;
+    es.reserve(n);
+    for (size_t i = 0; i < n; i++) es.push_back({{pts[i].x, pts[i].y}, pts[i].w});
+    outer_ = outer_map(std::move(es));
+  }
+
+  explicit range_tree(const std::vector<point>& pts)
+      : range_tree(pts.data(), pts.size()) {}
+
+  size_t size() const { return outer_.size(); }
+
+  // Sum of weights of points with xlo <= x <= xhi and ylo <= y <= yhi.
+  // O(log^2 n): aug_project sums g2 = (inner aug_range over y) with f2 = +
+  // over the O(log n) canonical x-subtrees — valid because
+  // range_y(a) + range_y(b) == range_y(union(a, b)) for disjoint a, b.
+  W query_sum(Coord xlo, Coord xhi, Coord ylo, Coord yhi) const {
+    auto g2 = [&](const inner_map& im) { return im.aug_range(ylo_key(ylo), yhi_key(yhi)); };
+    auto f2 = [](const W& a, const W& b) { return a + b; };
+    return outer_.template aug_project<W>(g2, f2, W{}, xlo_key(xlo), xhi_key(xhi));
+  }
+
+  // Number of points in the rectangle (same search, counting entries).
+  size_t query_count(Coord xlo, Coord xhi, Coord ylo, Coord yhi) const {
+    auto g2 = [&](const inner_map& im) {
+      return inner_map::range(im, ylo_key(ylo), yhi_key(yhi)).size();
+    };
+    auto f2 = [](size_t a, size_t b) { return a + b; };
+    return outer_.template aug_project<size_t>(g2, f2, size_t{0}, xlo_key(xlo),
+                                               xhi_key(xhi));
+  }
+
+  // All points in the rectangle, in x order within canonical groups.
+  // O(log^2 n + k) for k results.
+  std::vector<point> query_points(Coord xlo, Coord xhi, Coord ylo, Coord yhi) const {
+    std::vector<point> out;
+    collect(outer_.internal_root(), xlo_key(xlo), xhi_key(xhi), ylo, yhi, out);
+    return out;
+  }
+
+  const outer_map& outer() const { return outer_; }
+
+  // Node accounting for the space experiment (paper Table 4).
+  static int64_t outer_nodes_used() { return outer_map::used_nodes(); }
+  static int64_t inner_nodes_used() { return inner_map::used_nodes(); }
+
+  bool check_valid() const { return check_outer(outer_.internal_root()); }
+
+ private:
+  using onode = typename outer_map::node;
+  using oops = typename outer_map::ops;
+
+  static xy xlo_key(Coord x) { return {x, std::numeric_limits<Coord>::lowest()}; }
+  static xy xhi_key(Coord x) { return {x, std::numeric_limits<Coord>::max()}; }
+  static xy ylo_key(Coord y) { return {y, std::numeric_limits<Coord>::lowest()}; }
+  static xy yhi_key(Coord y) { return {y, std::numeric_limits<Coord>::max()}; }
+
+  // Standard range-tree reporting: decompose the x-range into canonical
+  // subtrees, query each subtree's inner map by y.
+  void collect(const onode* t, const xy& lo, const xy& hi, Coord ylo, Coord yhi,
+               std::vector<point>& out) const {
+    if (t == nullptr) return;
+    if (oops::less(t->key, lo)) {
+      collect(t->right, lo, hi, ylo, yhi, out);
+      return;
+    }
+    if (oops::less(hi, t->key)) {
+      collect(t->left, lo, hi, ylo, yhi, out);
+      return;
+    }
+    // t->key inside the x-range: left subtree is bounded above by hi, right
+    // below by lo, so each needs only one-sided x filtering.
+    collect_geq(t->left, lo, ylo, yhi, out);
+    if (t->key.second >= ylo && t->key.second <= yhi)
+      out.push_back({t->key.first, t->key.second, t->value});
+    collect_leq(t->right, hi, ylo, yhi, out);
+  }
+
+  // Report points with x-key >= lo (whole right subtrees are canonical).
+  void collect_geq(const onode* t, const xy& lo, Coord ylo, Coord yhi,
+                   std::vector<point>& out) const {
+    if (t == nullptr) return;
+    if (oops::less(t->key, lo)) {
+      collect_geq(t->right, lo, ylo, yhi, out);
+      return;
+    }
+    collect_geq(t->left, lo, ylo, yhi, out);
+    if (t->key.second >= ylo && t->key.second <= yhi)
+      out.push_back({t->key.first, t->key.second, t->value});
+    report_inner(t->right, ylo, yhi, out);
+  }
+
+  // Report points with x-key <= hi.
+  void collect_leq(const onode* t, const xy& hi, Coord ylo, Coord yhi,
+                   std::vector<point>& out) const {
+    if (t == nullptr) return;
+    if (oops::less(hi, t->key)) {
+      collect_leq(t->left, hi, ylo, yhi, out);
+      return;
+    }
+    report_inner(t->left, ylo, yhi, out);
+    if (t->key.second >= ylo && t->key.second <= yhi)
+      out.push_back({t->key.first, t->key.second, t->value});
+    collect_leq(t->right, hi, ylo, yhi, out);
+  }
+
+  // Query one canonical subtree's inner map by y and append the hits.
+  void report_inner(const onode* t, Coord ylo, Coord yhi,
+                    std::vector<point>& out) const {
+    if (t == nullptr) return;
+    inner_map hits = inner_map::range(t->aug, ylo_key(ylo), yhi_key(yhi));
+    hits.for_each([&](const xy& k, const W& w) {
+      out.push_back({k.second, k.first, w});  // inner key is (y, x)
+    });
+  }
+
+  // Validation: every outer subtree's inner map holds exactly its points.
+  bool check_outer(const onode* t) const {
+    if (t == nullptr) return true;
+    if (!outer_.check_valid()) return false;
+    if (oops::size(t) != t->aug.size()) return false;
+    return check_outer(t->left) && check_outer(t->right);
+  }
+
+  outer_map outer_;
+};
+
+}  // namespace pam

@@ -1,0 +1,99 @@
+// A concurrent open-addressing hash map (insert + lookup) over a
+// pre-allocated table: the stand-in for the Intel TBB concurrent_hash_map
+// data point in Section 6.1 ("inserting n entries into a pre-allocated
+// table of appropriate size").
+//
+// Linear probing; slots are claimed with a CAS on the key word, values are
+// published with a release store and read with an acquire load (readers
+// spin across the claim->publish window, which is a few instructions).
+// Keys may not be kEmptyKey (2^64-1); the table does not grow.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "util/random.h"
+
+namespace pam::baselines {
+
+class concurrent_hashmap {
+ public:
+  using K = uint64_t;
+  using V = uint64_t;
+  static constexpr K kEmptyKey = ~0ull;
+  static constexpr V kNoValue = ~0ull;
+
+  // Capacity for n entries with a fixed load factor (~50%).
+  explicit concurrent_hashmap(size_t n) {
+    size_t cap = 16;
+    while (cap < 2 * n) cap <<= 1;
+    mask_ = cap - 1;
+    keys_ = std::make_unique<std::atomic<K>[]>(cap);
+    vals_ = std::make_unique<std::atomic<V>[]>(cap);
+    for (size_t i = 0; i < cap; i++) {
+      keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+      vals_[i].store(kNoValue, std::memory_order_relaxed);
+    }
+  }
+
+  concurrent_hashmap(const concurrent_hashmap&) = delete;
+  concurrent_hashmap& operator=(const concurrent_hashmap&) = delete;
+
+  // Insert or update. key != kEmptyKey, value != kNoValue.
+  void insert(K key, V value) {
+    assert(key != kEmptyKey && value != kNoValue);
+    size_t i = hash64(key) & mask_;
+    while (true) {
+      K cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == key) {
+        vals_[i].store(value, std::memory_order_release);
+        return;
+      }
+      if (cur == kEmptyKey) {
+        K expect = kEmptyKey;
+        if (keys_[i].compare_exchange_strong(expect, key,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+          vals_[i].store(value, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (expect == key) {  // lost the race to the same key
+          vals_[i].store(value, std::memory_order_release);
+          return;
+        }
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool find(K key, V& out) const {
+    size_t i = hash64(key) & mask_;
+    while (true) {
+      K cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == kEmptyKey) return false;
+      if (cur == key) {
+        // Spin across the claim->publish window of a racing inserter.
+        V v;
+        do {
+          v = vals_[i].load(std::memory_order_acquire);
+        } while (v == kNoValue);
+        out = v;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  std::unique_ptr<std::atomic<K>[]> keys_;
+  std::unique_ptr<std::atomic<V>[]> vals_;
+  size_t mask_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace pam::baselines

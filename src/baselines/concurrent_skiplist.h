@@ -1,0 +1,169 @@
+// A lock-free concurrent skiplist (insert + lookup), Herlihy-Shavit style.
+//
+// One of the concurrent comparison-based structures PAM's multi-insert and
+// parallel reads are compared against in Figure 6(a)/(b) (the paper uses
+// the skiplist from the Wang et al. benchmark suite). Supports fully
+// concurrent insert (CAS per level, bottom-up linking) and wait-free-ish
+// lookup; updates of an existing key store the new value atomically.
+// Deletion is not needed by the benchmark and is not provided.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "alloc/type_allocator.h"
+#include "util/random.h"
+
+namespace pam::baselines {
+
+class concurrent_skiplist {
+ public:
+  using K = uint64_t;
+  using V = uint64_t;
+  static constexpr int kMaxLevel = 20;
+
+  concurrent_skiplist() {
+    head_ = node_alloc::allocate();
+    head_->key = 0;  // never compared: head is before everything by construction
+    head_->value.store(0, std::memory_order_relaxed);
+    head_->top_level = kMaxLevel - 1;
+    for (int i = 0; i < kMaxLevel; i++)
+      head_->next[i].store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~concurrent_skiplist() {
+    node_t* n = head_;
+    while (n != nullptr) {
+      node_t* nx = n->next[0].load(std::memory_order_relaxed);
+      node_alloc::deallocate(n);
+      n = nx;
+    }
+  }
+
+  concurrent_skiplist(const concurrent_skiplist&) = delete;
+  concurrent_skiplist& operator=(const concurrent_skiplist&) = delete;
+
+  // Insert or update. Thread-safe against concurrent inserts and finds.
+  void insert(K key, V value) {
+    int top = level_of(key);
+    node_t* preds[kMaxLevel];
+    node_t* succs[kMaxLevel];
+    while (true) {
+      if (node_t* hit = find_position(key, preds, succs)) {
+        hit->value.store(value, std::memory_order_release);
+        return;
+      }
+      node_t* n = node_alloc::allocate();
+      n->key = key;
+      n->value.store(value, std::memory_order_relaxed);
+      n->top_level = top;
+      for (int i = 0; i <= top; i++)
+        n->next[i].store(succs[i], std::memory_order_relaxed);
+      // Linearize at the bottom-level CAS.
+      if (!preds[0]->next[0].compare_exchange_strong(
+              succs[0], n, std::memory_order_acq_rel, std::memory_order_relaxed)) {
+        node_alloc::deallocate(n);
+        continue;  // raced; retry from scratch
+      }
+      // Link the upper levels, refreshing predecessors as needed.
+      for (int i = 1; i <= top; i++) {
+        while (true) {
+          node_t* expected = succs[i];
+          if (preds[i]->next[i].compare_exchange_strong(
+                  expected, n, std::memory_order_acq_rel, std::memory_order_relaxed)) {
+            break;
+          }
+          find_position(key, preds, succs);
+          n->next[i].store(succs[i], std::memory_order_relaxed);
+        }
+      }
+      return;
+    }
+  }
+
+  bool find(K key, V& out) const {
+    const node_t* pred = head_;
+    for (int i = kMaxLevel - 1; i >= 0; i--) {
+      const node_t* cur = pred->next[i].load(std::memory_order_acquire);
+      while (cur != nullptr && cur->key < key) {
+        pred = cur;
+        cur = cur->next[i].load(std::memory_order_acquire);
+      }
+      if (cur != nullptr && cur->key == key) {
+        out = cur->value.load(std::memory_order_acquire);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool contains(K key) const {
+    V v;
+    return find(key, v);
+  }
+
+  size_t size_slow() const {  // sequential; for tests only
+    size_t n = 0;
+    const node_t* cur = head_->next[0].load(std::memory_order_acquire);
+    while (cur != nullptr) {
+      n++;
+      cur = cur->next[0].load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  // In-order key check for tests.
+  bool is_sorted() const {
+    const node_t* cur = head_->next[0].load(std::memory_order_acquire);
+    while (cur != nullptr) {
+      const node_t* nx = cur->next[0].load(std::memory_order_acquire);
+      if (nx != nullptr && !(cur->key < nx->key)) return false;
+      cur = nx;
+    }
+    return true;
+  }
+
+ private:
+  struct node_t {
+    K key;
+    std::atomic<V> value;
+    int top_level;
+    std::atomic<node_t*> next[kMaxLevel];
+  };
+  using node_alloc = type_allocator<node_t>;
+
+  // Fills preds/succs at every level; returns the node if key is present.
+  node_t* find_position(K key, node_t** preds, node_t** succs) const {
+    node_t* found = nullptr;
+    node_t* pred = head_;
+    for (int i = kMaxLevel - 1; i >= 0; i--) {
+      node_t* cur = pred->next[i].load(std::memory_order_acquire);
+      while (cur != nullptr && cur->key < key) {
+        pred = cur;
+        cur = cur->next[i].load(std::memory_order_acquire);
+      }
+      preds[i] = pred;
+      succs[i] = cur;
+      if (found == nullptr && cur != nullptr && cur->key == key) found = cur;
+    }
+    return found;
+  }
+
+  // Tower height as a pure hash of the key (geometric, p = 1/2): the same
+  // key always gets the same height, making the structure deterministic
+  // and retry-friendly (a lost CAS race re-inserts an identical tower).
+  static int level_of(K key) {
+    uint64_t bits = hash64(key ^ 0x5bd1e995u);
+    int lvl = 0;
+    while ((bits & 1) && lvl < kMaxLevel - 1) {
+      lvl++;
+      bits >>= 1;
+    }
+    return lvl;
+  }
+
+  node_t* head_;
+};
+
+}  // namespace pam::baselines

@@ -1,0 +1,131 @@
+// A classic static sequential 2D range tree: the stand-in for CGAL's
+// Range_tree_2 (paper Table 5 and Figure 6(e)).
+//
+// Like the CGAL structure it is: built once (no updates), sequential, and
+// its native query reports all points in the window (CGAL cannot return
+// sums without enumerating). Build is a mergesort-style bottom-up
+// construction of per-node y-sorted arrays, O(n log n) time and space;
+// report queries are O(log^2 n + k). A weight-sum query (binary searches
+// over per-node prefix sums) is included for completeness of comparisons,
+// marked as an extension over what CGAL offers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pam::baselines {
+
+template <typename Coord = double, typename W = int64_t>
+class static_range_tree {
+ public:
+  struct point {
+    Coord x, y;
+    W w;
+  };
+
+  static_range_tree() = default;
+
+  explicit static_range_tree(std::vector<point> pts) {
+    std::sort(pts.begin(), pts.end(), [](const point& a, const point& b) {
+      if (a.x != b.x) return a.x < b.x;
+      return a.y < b.y;
+    });
+    if (!pts.empty()) root_ = build(pts.data(), pts.size());
+  }
+
+  size_t size() const { return root_ ? root_->by_y.size() : 0; }
+
+  // All points with xlo <= x <= xhi and ylo <= y <= yhi.
+  std::vector<point> query_report(Coord xlo, Coord xhi, Coord ylo, Coord yhi) const {
+    std::vector<point> out;
+    if (root_) report(root_.get(), xlo, xhi, ylo, yhi, out);
+    return out;
+  }
+
+  // Sum of weights in the window (extension; CGAL would enumerate).
+  W query_sum(Coord xlo, Coord xhi, Coord ylo, Coord yhi) const {
+    return root_ ? sum(root_.get(), xlo, xhi, ylo, yhi) : W{};
+  }
+
+ private:
+  struct node {
+    Coord xmin, xmax;            // x-extent of the points below
+    std::vector<point> by_y;     // all points below, sorted by (y, x)
+    std::vector<W> prefix;       // prefix[i] = sum of by_y[0..i).w
+    std::unique_ptr<node> l, r;
+  };
+
+  static std::unique_ptr<node> build(const point* a, size_t n) {
+    auto t = std::make_unique<node>();
+    t->xmin = a[0].x;
+    t->xmax = a[n - 1].x;
+    if (n == 1) {
+      t->by_y = {a[0]};
+    } else {
+      size_t half = n / 2;
+      t->l = build(a, half);
+      t->r = build(a + half, n - half);
+      t->by_y.resize(n);
+      std::merge(t->l->by_y.begin(), t->l->by_y.end(), t->r->by_y.begin(),
+                 t->r->by_y.end(), t->by_y.begin(),
+                 [](const point& p, const point& q) {
+                   if (p.y != q.y) return p.y < q.y;
+                   return p.x < q.x;
+                 });
+    }
+    t->prefix.resize(t->by_y.size() + 1);
+    t->prefix[0] = W{};
+    for (size_t i = 0; i < t->by_y.size(); i++)
+      t->prefix[i + 1] = t->prefix[i] + t->by_y[i].w;
+    return t;
+  }
+
+  static size_t y_lower(const node* t, Coord y) {
+    return std::lower_bound(t->by_y.begin(), t->by_y.end(), y,
+                            [](const point& p, Coord v) { return p.y < v; }) -
+           t->by_y.begin();
+  }
+  static size_t y_upper(const node* t, Coord y) {
+    return std::upper_bound(t->by_y.begin(), t->by_y.end(), y,
+                            [](Coord v, const point& p) { return v < p.y; }) -
+           t->by_y.begin();
+  }
+
+  static void report(const node* t, Coord xlo, Coord xhi, Coord ylo, Coord yhi,
+                     std::vector<point>& out) {
+    if (t->xmax < xlo || t->xmin > xhi) return;
+    if (xlo <= t->xmin && t->xmax <= xhi) {  // canonical: scan the y slab
+      size_t lo = y_lower(t, ylo), hi = y_upper(t, yhi);
+      for (size_t i = lo; i < hi; i++) out.push_back(t->by_y[i]);
+      return;
+    }
+    if (t->l) report(t->l.get(), xlo, xhi, ylo, yhi, out);
+    if (t->r) report(t->r.get(), xlo, xhi, ylo, yhi, out);
+    if (!t->l && !t->r) {  // leaf not fully covered: check the point
+      const point& p = t->by_y[0];
+      if (p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi) out.push_back(p);
+    }
+  }
+
+  static W sum(const node* t, Coord xlo, Coord xhi, Coord ylo, Coord yhi) {
+    if (t->xmax < xlo || t->xmin > xhi) return W{};
+    if (xlo <= t->xmin && t->xmax <= xhi) {
+      size_t lo = y_lower(t, ylo), hi = y_upper(t, yhi);
+      return t->prefix[hi] - t->prefix[lo];
+    }
+    W s{};
+    if (t->l) s += sum(t->l.get(), xlo, xhi, ylo, yhi);
+    if (t->r) s += sum(t->r.get(), xlo, xhi, ylo, yhi);
+    if (!t->l && !t->r) {
+      const point& p = t->by_y[0];
+      if (p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi) s += p.w;
+    }
+    return s;
+  }
+
+  std::unique_ptr<node> root_;
+};
+
+}  // namespace pam::baselines

@@ -1,0 +1,56 @@
+// Sequential STL baselines for Table 3: the paper compares PAM's UNION
+// against std::map ("Union-Tree": results inserted into a new red-black
+// tree, i.e. persistent like PAM) and against std::set_union over sorted
+// vectors ("Union-Array"), plus repeated std::map::insert.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace pam::baselines {
+
+using kv = std::pair<uint64_t, uint64_t>;
+
+// Union producing a new std::map (inputs untouched). On duplicate keys the
+// second argument wins, matching PAM's default.
+inline std::map<uint64_t, uint64_t> stl_union_tree(
+    const std::map<uint64_t, uint64_t>& a, const std::map<uint64_t, uint64_t>& b) {
+  std::map<uint64_t, uint64_t> out(a);
+  for (const auto& e : b) out.insert_or_assign(e.first, e.second);
+  return out;
+}
+
+// Union of two sorted duplicate-free vectors into a new vector
+// (std::set_union keeps the first range's element on ties; we merge with
+// second-wins to match PAM).
+inline std::vector<kv> stl_union_array(const std::vector<kv>& a,
+                                       const std::vector<kv>& b) {
+  std::vector<kv> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      out.push_back(a[i++]);
+    } else if (b[j].first < a[i].first) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(b[j++]);
+      i++;
+    }
+  }
+  out.insert(out.end(), a.begin() + i, a.end());
+  out.insert(out.end(), b.begin() + j, b.end());
+  return out;
+}
+
+// n sequential insertions into an initially empty std::map.
+inline std::map<uint64_t, uint64_t> stl_insert_n(const std::vector<kv>& entries) {
+  std::map<uint64_t, uint64_t> m;
+  for (const auto& e : entries) m.insert_or_assign(e.first, e.second);
+  return m;
+}
+
+}  // namespace pam::baselines

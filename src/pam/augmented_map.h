@@ -1,0 +1,400 @@
+// The public PAM map types.
+//
+//   aug_map<Entry, Balance>   an augmented ordered map (paper Section 3)
+//   pam_map<Entry, Balance>   an ordered map without augmentation
+//   pam_set<K, Less, Balance> an ordered set
+//
+// An Entry policy describes the map type exactly as in the paper's Figure 3:
+//
+//   struct entry {
+//     using key_t = ...;                         // K
+//     using val_t = ...;                         // V
+//     static bool comp(key_t a, key_t b);        // <, total order on keys
+//     // augmented maps additionally provide:
+//     using aug_t = ...;                         // A
+//     static aug_t identity();                   // I
+//     static aug_t base(key_t k, val_t v);       // g
+//     static aug_t combine(aug_t a, aug_t b);    // f (associative)
+//   };
+//
+// Maps are immutable values backed by shared, refcounted functional trees:
+// copying a map is O(1), and every "update" (insert, union, filter, ...)
+// returns a new map while all previously-obtained maps remain valid — this
+// is the persistence the paper's range-tree and inverted-index applications
+// rely on. The static functions take their map arguments *by value*: pass a
+// copy to keep the input alive, or std::move it to let the library recycle
+// nodes in place (the refcount==1 reuse optimization).
+//
+// Thread safety: any number of threads may run read-only queries on (their
+// copies of) maps concurrently, and bulk operations internally use all
+// workers. Distinct map handles may be updated from distinct threads; a
+// single handle must not be mutated concurrently (wrap it in snapshot_box
+// for the shared-instance pattern of paper §4 "Concurrency").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pam/aug_ops.h"
+#include "pam/balance/weight_balanced.h"
+
+namespace pam {
+
+template <typename Entry, typename Balance = weight_balanced>
+class aug_map {
+ public:
+  using ops = aug_ops<Entry, Balance>;
+  using node = typename ops::node;
+  using K = typename Entry::key_t;
+  using V = typename Entry::val_t;
+  using A = typename ops::A;
+  using entry_t = std::pair<K, V>;
+  using entry_policy = Entry;
+  using balance_policy = Balance;
+
+  static constexpr bool has_aug = ops::traits::has_aug;
+
+  // ------------------------------------------------- lifecycle (O(1)) ----
+
+  aug_map() = default;
+
+  aug_map(const aug_map& o) : root_(ops::inc(o.root_)) {}
+
+  aug_map(aug_map&& o) noexcept : root_(o.root_) { o.root_ = nullptr; }
+
+  aug_map& operator=(const aug_map& o) {
+    if (this != &o) {
+      node* old = root_;
+      root_ = ops::inc(o.root_);
+      ops::dec(old);
+    }
+    return *this;
+  }
+
+  aug_map& operator=(aug_map&& o) noexcept {
+    std::swap(root_, o.root_);
+    return *this;
+  }
+
+  ~aug_map() { ops::dec(root_); }
+
+  // ------------------------------------------------------ construction ----
+
+  // Parallel build from (key, value) pairs; duplicate keys are folded
+  // left-to-right with comb (default: the last value wins).
+  explicit aug_map(std::vector<entry_t> entries)
+      : root_(ops::build(std::move(entries))) {}
+
+  template <typename Comb>
+  aug_map(std::vector<entry_t> entries, const Comb& comb)
+      : root_(ops::build(std::move(entries), comb)) {}
+
+  aug_map(std::initializer_list<entry_t> entries)
+      : aug_map(std::vector<entry_t>(entries)) {}
+
+  static aug_map singleton(const K& k, const V& v) {
+    return aug_map(ops::make_single(k, v));
+  }
+
+  // --------------------------------------------------------- observers ----
+
+  size_t size() const { return ops::size(root_); }
+  bool empty() const { return root_ == nullptr; }
+
+  std::optional<V> find(const K& k) const { return ops::find(root_, k); }
+  bool contains(const K& k) const { return ops::find_node(root_, k) != nullptr; }
+
+  std::optional<entry_t> first() const { return to_entry(ops::first_node(root_)); }
+  std::optional<entry_t> last() const { return to_entry(ops::last_node(root_)); }
+
+  // Greatest entry with key strictly less than k.
+  std::optional<entry_t> previous(const K& k) const {
+    return to_entry(ops::previous_node(root_, k));
+  }
+  // Least entry with key strictly greater than k.
+  std::optional<entry_t> next(const K& k) const {
+    return to_entry(ops::next_node(root_, k));
+  }
+
+  // Number of entries with key < k.
+  size_t rank(const K& k) const { return ops::rank(root_, k); }
+  // The i-th entry in key order (0-based).
+  std::optional<entry_t> select(size_t i) const {
+    return to_entry(ops::select(root_, i));
+  }
+
+  // -------------------------------------- persistent functional updates ----
+
+  // All of these return a new map; inputs passed by value (copy to keep,
+  // move to allow in-place node reuse).
+
+  template <typename Comb>
+  static aug_map insert(aug_map m, const K& k, const V& v, const Comb& comb) {
+    return aug_map(ops::insert(m.release(), k, v, comb));
+  }
+  static aug_map insert(aug_map m, const K& k, const V& v) {
+    return aug_map(ops::insert(m.release(), k, v));
+  }
+
+  static aug_map remove(aug_map m, const K& k) {
+    return aug_map(ops::remove(m.release(), k));
+  }
+
+  template <typename Comb>
+  static aug_map map_union(aug_map a, aug_map b, const Comb& comb) {
+    return aug_map(ops::union_(a.release(), b.release(), comb));
+  }
+  static aug_map map_union(aug_map a, aug_map b) {
+    return aug_map(ops::union_(a.release(), b.release()));
+  }
+
+  template <typename Comb>
+  static aug_map map_intersect(aug_map a, aug_map b, const Comb& comb) {
+    return aug_map(ops::intersect(a.release(), b.release(), comb));
+  }
+
+  static aug_map map_difference(aug_map a, aug_map b) {
+    return aug_map(ops::difference(a.release(), b.release()));
+  }
+
+  template <typename Pred>  // pred(key, value) -> bool
+  static aug_map filter(aug_map m, const Pred& pred) {
+    return aug_map(ops::filter(m.release(), pred));
+  }
+
+  template <typename Comb>
+  static aug_map multi_insert(aug_map m, std::vector<entry_t> updates,
+                              const Comb& comb) {
+    return aug_map(ops::multi_insert(m.release(), std::move(updates), comb));
+  }
+  static aug_map multi_insert(aug_map m, std::vector<entry_t> updates) {
+    return aug_map(ops::multi_insert(m.release(), std::move(updates)));
+  }
+
+  static aug_map multi_delete(aug_map m, std::vector<K> keys) {
+    return aug_map(ops::multi_delete(m.release(), std::move(keys)));
+  }
+
+  // Parallel batch lookup: result[i] is the value at keys[i], if present.
+  std::vector<std::optional<V>> multi_find(const std::vector<K>& keys) const {
+    std::vector<std::optional<V>> out(keys.size());
+    ops::multi_find(root_, keys.data(), keys.size(), out.data());
+    return out;
+  }
+
+  // A new map with the same keys and value' = f(key, value) (the paper's
+  // map function). Non-consuming; parallel; augmentation recomputed.
+  template <typename F>
+  static aug_map map_values(const aug_map& m, const F& f) {
+    return aug_map(ops::map_values(m.root_, f));
+  }
+
+  struct split_result {
+    aug_map left;
+    std::optional<V> value;  // value at the split key, if present
+    aug_map right;
+  };
+
+  static split_result split(aug_map m, const K& k) {
+    auto s = ops::split(m.release(), k);
+    split_result out;
+    out.left = aug_map(s.left);
+    out.right = aug_map(s.right);
+    if (s.mid != nullptr) {
+      out.value = s.mid->value;
+      ops::dec(s.mid);
+    }
+    return out;
+  }
+
+  // Concatenate two maps with max(a) < min(b) (the paper's join2).
+  static aug_map concat(aug_map a, aug_map b) {
+    return aug_map(ops::join2(a.release(), b.release()));
+  }
+
+  // ----------------------------------------------------- range extraction --
+
+  // Entries with key <= k (paper upTo). Non-consuming; O(log n) new nodes.
+  static aug_map up_to(const aug_map& m, const K& k) {
+    return aug_map(ops::take_leq(m.root_, k));
+  }
+  // Entries with key >= k (paper downTo).
+  static aug_map down_to(const aug_map& m, const K& k) {
+    return aug_map(ops::take_geq(m.root_, k));
+  }
+  // Entries with lo <= key <= hi.
+  static aug_map range(const aug_map& m, const K& lo, const K& hi) {
+    return aug_map(ops::range_copy(m.root_, lo, hi));
+  }
+
+  // ------------------------------------------------- augmented queries ----
+  // (Only for augmented entries; see paper Figure 1, below the dashed line.)
+
+  // A(m): the augmented value of the whole map. O(1).
+  A aug_val() const {
+    static_assert(has_aug, "aug_val requires an augmented Entry");
+    return ops::aug_val(root_);
+  }
+
+  // Augmented value over keys <= k. O(log n).
+  A aug_left(const K& k) const {
+    static_assert(has_aug, "aug_left requires an augmented Entry");
+    return ops::aug_left(root_, k);
+  }
+
+  // Augmented value over lo <= key <= hi. O(log n).
+  A aug_range(const K& lo, const K& hi) const {
+    static_assert(has_aug, "aug_range requires an augmented Entry");
+    return ops::aug_range(root_, lo, hi);
+  }
+
+  // Pruned filter by a predicate on augmented values; requires
+  // h(a) || h(b) == h(f(a, b)). O(k log(n/k + 1)) work for k survivors.
+  template <typename Pred>  // pred(aug) -> bool
+  static aug_map aug_filter(aug_map m, const Pred& pred) {
+    static_assert(has_aug, "aug_filter requires an augmented Entry");
+    return aug_map(ops::aug_filter(m.release(), pred));
+  }
+
+  // g2-projected f2-sum over [lo, hi]; requires f2(g2(a), g2(b)) == g2(f(a,b)).
+  template <typename B, typename G2, typename F2>
+  B aug_project(const G2& g2, const F2& f2, const B& id, const K& lo,
+                const K& hi) const {
+    static_assert(has_aug, "aug_project requires an augmented Entry");
+    return ops::template aug_project<G2, F2, B>(root_, g2, f2, id, lo, hi);
+  }
+
+  // ------------------------------------------------- bulk read / iterate --
+
+  // Parallel g2/f2 fold over all entries (paper mapReduce).
+  template <typename B, typename M, typename R>
+  B map_reduce(const M& g2, const R& f2, const B& id) const {
+    return ops::map_reduce(root_, g2, f2, id);
+  }
+
+  // All entries in key order (parallel materialization).
+  std::vector<entry_t> entries() const {
+    std::vector<entry_t> out(size());
+    ops::to_array(root_, out.data());
+    return out;
+  }
+
+  // Sequential in-order traversal: f(key, value).
+  template <typename F>
+  void for_each(const F& f) const {
+    ops::foreach_inorder(root_, f);
+  }
+
+  // All keys / all values, in key order.
+  std::vector<K> keys() const {
+    auto es = entries();
+    std::vector<K> out;
+    out.reserve(es.size());
+    for (auto& e : es) out.push_back(std::move(e.first));
+    return out;
+  }
+  std::vector<V> values() const {
+    auto es = entries();
+    std::vector<V> out;
+    out.reserve(es.size());
+    for (auto& e : es) out.push_back(std::move(e.second));
+    return out;
+  }
+
+  // Number of entries with lo <= key <= hi, via two rank queries (O(log n)).
+  size_t count_range(const K& lo, const K& hi) const {
+    if (Entry::comp(hi, lo)) return 0;
+    return ops::rank(root_, hi) - ops::rank(root_, lo) + (contains(hi) ? 1 : 0);
+  }
+
+  // ------------------------------------------- in-place conveniences ----
+  // Sugar for m = op(std::move(m), ...): updates only this handle; other
+  // copies of the old version remain untouched.
+
+  void insert_inplace(const K& k, const V& v) {
+    root_ = ops::insert(release(), k, v);
+  }
+  template <typename Comb>
+  void insert_inplace(const K& k, const V& v, const Comb& comb) {
+    root_ = ops::insert(release(), k, v, comb);
+  }
+  void remove_inplace(const K& k) { root_ = ops::remove(release(), k); }
+
+  // ------------------------------------------------------ introspection --
+
+  // Full structural validation (balance invariant, sizes, order, cached
+  // augmented values). Intended for tests.
+  bool check_valid() const { return ops::check_valid(root_); }
+
+  // Live node count across all maps of this type (paper Table 4).
+  static int64_t used_nodes() { return ops::used_nodes(); }
+  static constexpr size_t node_bytes() { return sizeof(node); }
+  static const char* balance_name() { return Balance::name; }
+
+  // Escape hatch for library-internal composition (apps, tests).
+  node* internal_root() const { return root_; }
+  static aug_map from_root(node* owned) { return aug_map(owned); }
+
+ private:
+  explicit aug_map(node* owned_root) : root_(owned_root) {}
+
+  node* release() {
+    node* t = root_;
+    root_ = nullptr;
+    return t;
+  }
+
+  static std::optional<entry_t> to_entry(const node* n) {
+    if (n == nullptr) return std::nullopt;
+    return entry_t(n->key, n->value);
+  }
+
+  node* root_ = nullptr;
+};
+
+// An ordered map without augmentation: same Entry policy minus the aug_*
+// members. All functions above the dashed line of Figure 1 are available;
+// the aug_* family is compiled out.
+template <typename Entry, typename Balance = weight_balanced>
+using pam_map = aug_map<Entry, Balance>;
+
+// Entry policy for sets.
+template <typename K, typename Less = std::less<K>>
+struct set_entry {
+  using key_t = K;
+  using val_t = unit;
+  static bool comp(const K& a, const K& b) { return Less()(a, b); }
+};
+
+// An ordered set, represented as a map to unit values.
+template <typename K, typename Less = std::less<K>, typename Balance = weight_balanced>
+class pam_set : public aug_map<set_entry<K, Less>, Balance> {
+ public:
+  using base = aug_map<set_entry<K, Less>, Balance>;
+  using base::base;
+
+  pam_set() = default;
+  pam_set(const base& b) : base(b) {}
+  pam_set(base&& b) : base(std::move(b)) {}
+
+  explicit pam_set(const std::vector<K>& keys) : base(to_entries(keys)) {}
+
+  static pam_set insert(pam_set s, const K& k) {
+    return pam_set(base::insert(std::move(s), k, unit{}));
+  }
+  void insert_inplace(const K& k) { base::insert_inplace(k, unit{}); }
+
+ private:
+  static std::vector<typename base::entry_t> to_entries(const std::vector<K>& keys) {
+    std::vector<typename base::entry_t> es;
+    es.reserve(keys.size());
+    for (const K& k : keys) es.emplace_back(k, unit{});
+    return es;
+  }
+};
+
+}  // namespace pam

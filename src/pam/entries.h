@@ -1,0 +1,56 @@
+// Ready-made Entry policies for the common augmentations, used by the
+// applications, tests and benchmarks. Defining a new augmented map type is
+// a matter of writing one of these little structs (paper Figure 3).
+#pragma once
+
+#include <functional>
+#include <limits>
+
+namespace pam {
+
+// Plain ordered-map entry: no augmentation.
+template <typename K, typename V, typename Less = std::less<K>>
+struct map_entry {
+  using key_t = K;
+  using val_t = V;
+  static bool comp(const K& a, const K& b) { return Less()(a, b); }
+};
+
+// Augmentation by the sum of values (the paper's Equation 1: the running
+// example "augmented sum" map).
+template <typename K, typename V, typename Less = std::less<K>>
+struct sum_entry {
+  using key_t = K;
+  using val_t = V;
+  using aug_t = V;
+  static bool comp(const K& a, const K& b) { return Less()(a, b); }
+  static aug_t identity() { return V{}; }
+  static aug_t base(const K&, const V& v) { return v; }
+  static aug_t combine(const aug_t& a, const aug_t& b) { return a + b; }
+};
+
+// Augmentation by the maximum of values (interval trees, inverted index).
+template <typename K, typename V, typename Less = std::less<K>>
+struct max_entry {
+  using key_t = K;
+  using val_t = V;
+  using aug_t = V;
+  static bool comp(const K& a, const K& b) { return Less()(a, b); }
+  static aug_t identity() { return std::numeric_limits<V>::lowest(); }
+  static aug_t base(const K&, const V& v) { return v; }
+  static aug_t combine(const aug_t& a, const aug_t& b) { return a > b ? a : b; }
+};
+
+// Augmentation by the minimum of values.
+template <typename K, typename V, typename Less = std::less<K>>
+struct min_entry {
+  using key_t = K;
+  using val_t = V;
+  using aug_t = V;
+  static bool comp(const K& a, const K& b) { return Less()(a, b); }
+  static aug_t identity() { return std::numeric_limits<V>::max(); }
+  static aug_t base(const K&, const V& v) { return v; }
+  static aug_t combine(const aug_t& a, const aug_t& b) { return a < b ? a : b; }
+};
+
+}  // namespace pam

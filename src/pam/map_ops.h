@@ -1,0 +1,323 @@
+// Parallel bulk algorithms: union / intersect / difference, filter, build,
+// multi-insert / multi-delete, mapReduce, and parallel tree <-> array
+// conversion. These are the operations the paper parallelizes with
+// fork-join over the tree structure (Figure 2); the work/span bounds are
+// those of Table 2.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pam/tree_ops.h"
+#include "parallel/merge_sort.h"
+#include "parallel/parallel.h"
+#include "parallel/sequence_ops.h"
+
+namespace pam {
+
+// Sequential-cutoff (granularity) knob for all bulk tree recursions: trees
+// smaller than this run sequentially (the paper: "parallelism is not used
+// on very small trees"). Runtime-tunable for the granularity ablation
+// (bench_ablation_granularity); the read is one relaxed load, negligible
+// against the subtree work it gates.
+inline std::atomic<size_t>& par_cutoff_knob() {
+  static std::atomic<size_t> cutoff{512};
+  return cutoff;
+}
+inline size_t par_cutoff() { return par_cutoff_knob().load(std::memory_order_relaxed); }
+inline void set_par_cutoff(size_t c) { par_cutoff_knob().store(c); }
+
+template <typename Entry, typename Balance>
+struct map_ops : tree_ops<Entry, Balance> {
+  using TO = tree_ops<Entry, Balance>;
+  using node = typename TO::node;
+  using K = typename TO::K;
+  using V = typename TO::V;
+  using entry_t = typename TO::entry_t;
+
+  using TO::dec;
+  using TO::expose_own;
+  using TO::join;
+  using TO::join2;
+  using TO::less;
+  using TO::make_single;
+  using TO::size;
+  using TO::split;
+
+  // --------------------------------------------------------- set algebra --
+
+  // UNION(a, b, comb): all keys of either map; a key in both gets
+  // comb(value_in_a, value_in_b). Consumes both. Work O(m log(n/m + 1)).
+  template <typename Comb>
+  static node* union_(node* a, node* b, const Comb& comb) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    size_t total = size(a) + size(b);
+    node *l2, *m2, *r2;
+    expose_own(b, l2, m2, r2);
+    auto sp = split(a, m2->key);
+    node* l = nullptr;
+    node* r = nullptr;
+    par_do_if(
+        total >= par_cutoff(), [&] { l = union_(sp.left, l2, comb); },
+        [&] { r = union_(sp.right, r2, comb); });
+    if (sp.mid != nullptr) {
+      m2->value = comb(sp.mid->value, m2->value);
+      dec(sp.mid);
+    }
+    return join(l, m2, r);
+  }
+
+  // Plain union: on a duplicate key the second map's value wins.
+  static node* union_(node* a, node* b) {
+    return union_(a, b, [](const V&, const V& vb) { return vb; });
+  }
+
+  // INTERSECT(a, b, comb): keys in both maps, values combined by comb.
+  template <typename Comb>
+  static node* intersect(node* a, node* b, const Comb& comb) {
+    if (a == nullptr || b == nullptr) {
+      dec(a);
+      dec(b);
+      return nullptr;
+    }
+    size_t total = size(a) + size(b);
+    node *l2, *m2, *r2;
+    expose_own(b, l2, m2, r2);
+    auto sp = split(a, m2->key);
+    node* l = nullptr;
+    node* r = nullptr;
+    par_do_if(
+        total >= par_cutoff(), [&] { l = intersect(sp.left, l2, comb); },
+        [&] { r = intersect(sp.right, r2, comb); });
+    if (sp.mid != nullptr) {
+      m2->value = comb(sp.mid->value, m2->value);
+      dec(sp.mid);
+      return join(l, m2, r);
+    }
+    dec(m2);
+    return join2(l, r);
+  }
+
+  // DIFFERENCE(a, b): entries of a whose key is not in b.
+  static node* difference(node* a, node* b) {
+    if (a == nullptr) {
+      dec(b);
+      return nullptr;
+    }
+    if (b == nullptr) return a;
+    size_t total = size(a) + size(b);
+    node *l2, *m2, *r2;
+    expose_own(b, l2, m2, r2);
+    auto sp = split(a, m2->key);
+    node* l = nullptr;
+    node* r = nullptr;
+    par_do_if(
+        total >= par_cutoff(), [&] { l = difference(sp.left, l2); },
+        [&] { r = difference(sp.right, r2); });
+    if (sp.mid != nullptr) dec(sp.mid);
+    dec(m2);
+    return join2(l, r);
+  }
+
+  // -------------------------------------------------------------- filter --
+
+  // FILTER(t, pred): entries satisfying pred(k, v). Consumes t.
+  // Work O(n), span O(log^2 n) (paper Figure 2).
+  template <typename Pred>
+  static node* filter(node* t, const Pred& pred) {
+    if (t == nullptr) return nullptr;
+    size_t n = t->size;
+    node *l, *m, *r;
+    expose_own(t, l, m, r);
+    node* l2 = nullptr;
+    node* r2 = nullptr;
+    par_do_if(
+        n >= par_cutoff(), [&] { l2 = filter(l, pred); },
+        [&] { r2 = filter(r, pred); });
+    if (pred(m->key, m->value)) return join(l2, m, r2);
+    dec(m);
+    return join2(l2, r2);
+  }
+
+  // --------------------------------------------------------------- build --
+
+  // Balanced divide-and-conquer construction from sorted, duplicate-free
+  // entries (paper Figure 2, BUILD'). O(n) work after sorting.
+  static node* from_sorted_unique(const entry_t* a, size_t n) {
+    if (n == 0) return nullptr;
+    size_t mid = n / 2;
+    node* m = make_single(a[mid].first, a[mid].second);
+    node* l = nullptr;
+    node* r = nullptr;
+    par_do_if(
+        n >= par_cutoff(), [&] { l = from_sorted_unique(a, mid); },
+        [&] { r = from_sorted_unique(a + mid + 1, n - mid - 1); });
+    return join(l, m, r);
+  }
+
+  // BUILD(seq, comb): parallel sort by key, fold duplicate keys
+  // left-to-right with comb, then balanced construction.
+  // Work O(n log n), span O(log n) given the sort (paper Table 2).
+  template <typename Comb>
+  static node* build(std::vector<entry_t> v, const Comb& comb) {
+    parallel_sort(v.data(), v.size(),
+                  [](const entry_t& x, const entry_t& y) { return less(x.first, y.first); });
+    std::vector<entry_t> u = combine_sorted_runs(
+        v, [](const K& x, const K& y) { return less(x, y); }, comb);
+    return from_sorted_unique(u.data(), u.size());
+  }
+
+  static node* build(std::vector<entry_t> v) {
+    return build(std::move(v), [](const V&, const V& nv) { return nv; });
+  }
+
+  // ---------------------------------------------- multi-insert / delete --
+
+  // MULTIINSERT over a sorted duplicate-free update array: split the array
+  // around the root key and recurse on both sides in parallel.
+  // Work O(m log(n/m + 1)) like union.
+  template <typename Comb>
+  static node* multi_insert_sorted(node* t, const entry_t* a, size_t n,
+                                   const Comb& comb) {
+    if (n == 0) return t;
+    if (t == nullptr) return from_sorted_unique(a, n);
+    node *l, *m, *r;
+    expose_own(t, l, m, r);
+    size_t idx = std::lower_bound(a, a + n, m->key,
+                                  [](const entry_t& e, const K& k) {
+                                    return less(e.first, k);
+                                  }) -
+                 a;
+    bool hit = idx < n && !less(m->key, a[idx].first);
+    node* nl = nullptr;
+    node* nr = nullptr;
+    par_do_if(
+        size(l) + size(r) + n >= par_cutoff(),
+        [&] { nl = multi_insert_sorted(l, a, idx, comb); },
+        [&] { nr = multi_insert_sorted(r, a + idx + hit, n - idx - hit, comb); });
+    if (hit) m->value = comb(m->value, a[idx].second);
+    return join(nl, m, nr);
+  }
+
+  // MULTIINSERT(t, updates, comb): duplicate update keys are folded
+  // left-to-right first, then merged into the map; an existing entry gets
+  // comb(old_in_map, folded_update).
+  template <typename Comb>
+  static node* multi_insert(node* t, std::vector<entry_t> updates, const Comb& comb) {
+    parallel_sort(updates.data(), updates.size(),
+                  [](const entry_t& x, const entry_t& y) { return less(x.first, y.first); });
+    std::vector<entry_t> u = combine_sorted_runs(
+        updates, [](const K& x, const K& y) { return less(x, y); }, comb);
+    return multi_insert_sorted(t, u.data(), u.size(), comb);
+  }
+
+  static node* multi_insert(node* t, std::vector<entry_t> updates) {
+    return multi_insert(t, std::move(updates),
+                        [](const V&, const V& nv) { return nv; });
+  }
+
+  static node* multi_delete_sorted(node* t, const K* keys, size_t n) {
+    if (n == 0 || t == nullptr) return t;
+    node *l, *m, *r;
+    expose_own(t, l, m, r);
+    size_t idx = std::lower_bound(keys, keys + n, m->key,
+                                  [](const K& a, const K& b) { return less(a, b); }) -
+                 keys;
+    bool hit = idx < n && !less(m->key, keys[idx]);
+    node* nl = nullptr;
+    node* nr = nullptr;
+    par_do_if(
+        size(l) + size(r) + n >= par_cutoff(),
+        [&] { nl = multi_delete_sorted(l, keys, idx); },
+        [&] { nr = multi_delete_sorted(r, keys + idx + hit, n - idx - hit); });
+    if (hit) {
+      dec(m);
+      return join2(nl, nr);
+    }
+    return join(nl, m, nr);
+  }
+
+  static node* multi_delete(node* t, std::vector<K> keys) {
+    parallel_sort(keys.data(), keys.size(),
+                  [](const K& a, const K& b) { return less(a, b); });
+    keys.erase(std::unique(keys.begin(), keys.end(),
+                           [](const K& a, const K& b) {
+                             return !less(a, b) && !less(b, a);
+                           }),
+               keys.end());
+    return multi_delete_sorted(t, keys.data(), keys.size());
+  }
+
+  // ----------------------------------------------------------- mapReduce --
+
+  // MAPREDUCE(t, g', f', id): fold g'(k, v) over all entries with the
+  // associative f', in parallel over the tree structure (paper Figure 2).
+  template <typename M, typename R, typename B>
+  static B map_reduce(const node* t, const M& g2, const R& f2, const B& id) {
+    if (t == nullptr) return id;
+    if (t->size < par_cutoff()) {
+      B lv = map_reduce(t->left, g2, f2, id);
+      B rv = map_reduce(t->right, g2, f2, id);
+      return f2(f2(lv, g2(t->key, t->value)), rv);
+    }
+    B lv = id;
+    B rv = id;
+    par_do([&] { lv = map_reduce(t->left, g2, f2, id); },
+           [&] { rv = map_reduce(t->right, g2, f2, id); });
+    return f2(f2(lv, g2(t->key, t->value)), rv);
+  }
+
+  // Batch lookup: out[i] = value at keys[i] (or nullopt), all lookups in
+  // parallel. Borrows t; O(m log n) work, O(log n) span.
+  static void multi_find(const node* t, const K* keys, size_t m,
+                         std::optional<V>* out) {
+    parallel_for(0, m, [&](size_t i) { out[i] = TO::find(t, keys[i]); }, 64);
+  }
+
+  // Same-shape value transform (the paper's `map`): a new tree with
+  // identical keys and structure, value' = f(k, v), augmented values
+  // recomputed bottom-up. Borrows t; O(n) work, O(log n) span.
+  template <typename F>
+  static node* map_values(const node* t, const F& f) {
+    if (t == nullptr) return nullptr;
+    node* l = nullptr;
+    node* r = nullptr;
+    par_do_if(
+        t->size >= par_cutoff(), [&] { l = map_values(t->left, f); },
+        [&] { r = map_values(t->right, f); });
+    node* m = TO::make_single(t->key, f(t->key, t->value));
+    m->bal = t->bal;  // identical shape => identical balance metadata
+    m->left = l;
+    m->right = r;
+    TO::NM::update(m);
+    return m;
+  }
+
+  // ----------------------------------------------------------- traversal --
+
+  // Sequential in-order visit: f(key, value).
+  template <typename F>
+  static void foreach_inorder(const node* t, const F& f) {
+    if (t == nullptr) return;
+    foreach_inorder(t->left, f);
+    f(t->key, t->value);
+    foreach_inorder(t->right, f);
+  }
+
+  // Parallel in-order materialization into out[0, size(t)).
+  static void to_array(const node* t, entry_t* out) {
+    if (t == nullptr) return;
+    size_t ls = size(t->left);
+    par_do_if(
+        t->size >= par_cutoff(), [&] { to_array(t->left, out); },
+        [&] { to_array(t->right, out + ls + 1); });
+    out[ls] = entry_t(t->key, t->value);
+  }
+};
+
+}  // namespace pam

@@ -1,0 +1,265 @@
+// Tree nodes, reference-counting garbage collection, and the node-level
+// helpers (copy-on-share, rotations) that every balancing scheme and every
+// algorithm is built from.
+//
+// PAM's trees are purely functional: operations never mutate a node that any
+// other tree can reach. Concretely, a node may be mutated if and only if its
+// reference count is 1 and the caller owns that reference. `ensure_owned`
+// and `expose_own` enforce this: they either hand back the node (refcount 1,
+// the paper's "reuse optimization") or make a fresh copy that shares the
+// children. Old versions of a map therefore remain valid forever — this is
+// what gives PAM persistence and snapshot-style concurrency for free.
+//
+// Ownership protocol (used consistently across tree_ops/map_ops/aug_ops):
+//   * a `node*` argument passed to a *consuming* function transfers one
+//     reference; the function returns an owned reference;
+//   * read-only queries take `const node*` and never touch counts;
+//   * the public map wrappers translate C++ value semantics (copy = refcount
+//     bump) into this protocol.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "alloc/type_allocator.h"
+#include "parallel/parallel.h"
+
+namespace pam {
+
+// Empty placeholder for "no value" (sets) and "no augmentation" (plain maps).
+struct unit {
+  friend constexpr bool operator==(unit, unit) { return true; }
+};
+
+// Normalized view of an Entry policy. An Entry always provides:
+//   key_t, val_t, static bool comp(key_t, key_t)
+// and, for augmented maps, additionally (paper Section 3):
+//   aug_t                                  the augmented value type A
+//   static aug_t identity()                I, the identity of f
+//   static aug_t base(key_t, val_t)        g, entry -> augmented value
+//   static aug_t combine(aug_t, aug_t)     f, associative combine
+template <typename Entry, typename = void>
+struct entry_traits {
+  static constexpr bool has_aug = false;
+  using aug_t = unit;
+  static unit identity() { return {}; }
+  template <typename K, typename V>
+  static unit base(const K&, const V&) {
+    return {};
+  }
+  static unit combine(unit, unit) { return {}; }
+};
+
+template <typename Entry>
+struct entry_traits<Entry, std::void_t<typename Entry::aug_t>> {
+  static constexpr bool has_aug = true;
+  using aug_t = typename Entry::aug_t;
+  static aug_t identity() { return Entry::identity(); }
+  template <typename K, typename V>
+  static aug_t base(const K& k, const V& v) {
+    return Entry::base(k, v);
+  }
+  static aug_t combine(const aug_t& a, const aug_t& b) { return Entry::combine(a, b); }
+};
+
+// Runtime toggle for the refcount==1 in-place reuse optimization (paper §4,
+// "Persistence"). Disabling it forces full path copying; the ablation tests
+// verify both modes produce identical maps. Toggle only while quiescent.
+inline std::atomic<bool>& reuse_flag() {
+  static std::atomic<bool> f{true};
+  return f;
+}
+inline bool reuse_enabled() { return reuse_flag().load(std::memory_order_relaxed); }
+inline void set_reuse_enabled(bool on) { reuse_flag().store(on); }
+
+// A tree node. With 64-bit keys/values/augmentation and the (empty)
+// weight-balanced metadata this is exactly 48 bytes, matching the node size
+// the paper reports in Table 4 (40 bytes un-augmented + 8 for the sum).
+template <typename Entry, typename BalData>
+struct tree_node {
+  using K = typename Entry::key_t;
+  using V = typename Entry::val_t;
+  using A = typename entry_traits<Entry>::aug_t;
+
+  std::atomic<uint32_t> ref_cnt;
+  uint32_t size;  // subtree entry count (bounds maps to 2^32-1 entries)
+  tree_node* left;
+  tree_node* right;
+  K key;
+  [[no_unique_address]] V value;
+  [[no_unique_address]] A aug;
+  [[no_unique_address]] BalData bal;
+};
+
+template <typename Entry, typename Balance>
+struct node_manager {
+  using entry = Entry;
+  using traits = entry_traits<Entry>;
+  using K = typename Entry::key_t;
+  using V = typename Entry::val_t;
+  using A = typename traits::aug_t;
+  using node = tree_node<Entry, typename Balance::data>;
+  using allocator = type_allocator<node>;
+
+  // Subtrees smaller than this are collected sequentially.
+  static constexpr size_t kParallelGcCutoff = size_t{1} << 12;
+
+  static bool less(const K& a, const K& b) { return Entry::comp(a, b); }
+  static bool keys_equal(const K& a, const K& b) { return !less(a, b) && !less(b, a); }
+  static size_t size(const node* t) { return t == nullptr ? 0 : t->size; }
+  static A aug_of(const node* t) { return t == nullptr ? traits::identity() : t->aug; }
+
+  // ------------------------------------------------- reference counting --
+
+  static node* inc(node* t) {
+    if (t != nullptr) t->ref_cnt.fetch_add(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  static uint32_t ref_count(const node* t) {
+    return t->ref_cnt.load(std::memory_order_relaxed);
+  }
+
+  // Release one reference; frees the node (and recursively its subtrees, in
+  // parallel when large) when the count reaches zero.
+  static void dec(node* t) {
+    while (t != nullptr) {
+      if (t->ref_cnt.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+      node* l = t->left;
+      node* r = t->right;
+      destroy_node(t);
+      if (l != nullptr && r != nullptr &&
+          l->size + r->size >= kParallelGcCutoff) {
+        par_do([l] { dec(l); }, [r] { dec(r); });
+        return;
+      }
+      if (l != nullptr) dec(l);  // bounded by tree height
+      t = r;
+    }
+  }
+
+  // -------------------------------------------- construction / copying --
+
+  // Recompute the cached subtree metadata of t from its children: size, the
+  // augmented value (A(t) = f(A(l), f(g(k,v), A(r))), paper §4), and the
+  // balance scheme's own bookkeeping. Called whenever children change, which
+  // keeps every algorithm except the aug_* family oblivious of augmentation.
+  static void update(node* t) {
+    t->size = static_cast<uint32_t>(1 + size(t->left) + size(t->right));
+    if constexpr (traits::has_aug) {
+      t->aug = traits::combine(
+          aug_of(t->left),
+          traits::combine(traits::base(t->key, t->value), aug_of(t->right)));
+    }
+    Balance::template update_data<node_manager>(t);
+  }
+
+  static node* make_single(const K& k, const V& v) {
+    node* t = allocator::allocate();
+    new (&t->ref_cnt) std::atomic<uint32_t>(1);
+    t->left = nullptr;
+    t->right = nullptr;
+    new (&t->key) K(k);
+    new (&t->value) V(v);
+    if constexpr (traits::has_aug) {
+      new (&t->aug) A(traits::base(k, v));
+    } else {
+      new (&t->aug) A();
+    }
+    new (&t->bal) typename Balance::data();
+    update(t);
+    return t;
+  }
+
+  static void destroy_node(node* t) {
+    t->key.~K();
+    t->value.~V();
+    t->aug.~A();
+    using BD = typename Balance::data;
+    t->bal.~BD();
+    allocator::deallocate(t);
+  }
+
+  // A fresh refcount-1 copy of t sharing t's children (whose counts are
+  // bumped). Borrow-style: t's own count is untouched.
+  static node* copy_node(const node* t) {
+    node* c = allocator::allocate();
+    new (&c->ref_cnt) std::atomic<uint32_t>(1);
+    c->size = t->size;
+    c->left = inc(t->left);
+    c->right = inc(t->right);
+    new (&c->key) K(t->key);
+    new (&c->value) V(t->value);
+    new (&c->aug) A(t->aug);
+    new (&c->bal) typename Balance::data(t->bal);
+    return c;
+  }
+
+  // Make t safe to mutate: hand it back if we hold the only reference (the
+  // reuse optimization), otherwise replace our reference with a copy.
+  static node* ensure_owned(node* t) {
+    if (t == nullptr) return t;
+    if (reuse_enabled() && ref_count(t) == 1) return t;
+    node* c = copy_node(t);
+    dec(t);
+    return c;
+  }
+
+  // Decompose an owned tree into (left child, singleton middle, right
+  // child), transferring ownership of all three to the caller. The middle
+  // node carries t's entry and has null children; it is what the join-based
+  // algorithms thread back into JOIN.
+  static void expose_own(node* t, node*& l, node*& m, node*& r) {
+    if (reuse_enabled() && ref_count(t) == 1) {
+      l = t->left;
+      r = t->right;
+      t->left = nullptr;
+      t->right = nullptr;
+      t->size = 1;
+      m = t;
+    } else {
+      l = inc(t->left);
+      r = inc(t->right);
+      m = make_single(t->key, t->value);
+      dec(t);
+    }
+  }
+
+  // ------------------------------------------------------- rebalancing --
+
+  // Wire l and r under m and refresh metadata. m must be owned.
+  static node* attach(node* l, node* m, node* r) {
+    m->left = l;
+    m->right = r;
+    update(m);
+    return m;
+  }
+
+  // Standard rotations on owned nodes. The child being promoted is made
+  // unique first, so rotations are persistence-safe. Colors/priorities move
+  // with their nodes; per-scheme metadata is refreshed by update().
+  static node* rotate_left(node* x) {
+    node* y = ensure_owned(x->right);
+    x->right = y->left;
+    y->left = x;
+    update(x);
+    update(y);
+    return y;
+  }
+
+  static node* rotate_right(node* x) {
+    node* y = ensure_owned(x->left);
+    x->left = y->right;
+    y->right = x;
+    update(x);
+    update(y);
+    return y;
+  }
+
+  // Live node count across all maps of this instantiated type (Table 4).
+  static int64_t used_nodes() { return allocator::used(); }
+};
+
+}  // namespace pam

@@ -1,0 +1,26 @@
+// Umbrella header for the PAM library: augmented ordered maps with
+// join-based parallel bulk operations, full persistence, and four
+// interchangeable balancing schemes.
+//
+//   #include "pam/pam.h"
+//
+//   struct entry {                       // paper Figure 3
+//     using key_t = long; using val_t = long; using aug_t = long;
+//     static bool comp(long a, long b) { return a < b; }
+//     static long identity() { return 0; }
+//     static long base(long, long v) { return v; }
+//     static long combine(long a, long b) { return a + b; }
+//   };
+//   using sum_map = pam::aug_map<entry>;
+//
+// See README.md for the full tour and DESIGN.md for the architecture.
+#pragma once
+
+#include "pam/augmented_map.h"
+#include "pam/balance/avl.h"
+#include "pam/balance/red_black.h"
+#include "pam/balance/treap.h"
+#include "pam/balance/weight_balanced.h"
+#include "pam/entries.h"
+#include "pam/snapshot.h"
+#include "parallel/parallel.h"

@@ -1,0 +1,274 @@
+// Sequential core algorithms on join-based trees: split, join2, insert,
+// delete, search, order statistics, and range extraction. Everything here is
+// expressed purely in terms of JOIN (paper §4), so it works unchanged for
+// all four balancing schemes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "pam/node.h"
+
+namespace pam {
+
+template <typename Entry, typename Balance>
+struct tree_ops : node_manager<Entry, Balance> {
+  using NM = node_manager<Entry, Balance>;
+  using node = typename NM::node;
+  using BO = typename Balance::template ops<NM>;
+  using K = typename NM::K;
+  using V = typename NM::V;
+  using A = typename NM::A;
+  using traits = typename NM::traits;
+  using entry_t = std::pair<K, V>;
+
+  using NM::attach;
+  using NM::aug_of;
+  using NM::dec;
+  using NM::expose_own;
+  using NM::inc;
+  using NM::less;
+  using NM::make_single;
+  using NM::size;
+
+  // JOIN(l, m, r): the single balancing primitive everything is built from.
+  // Consumes all three owned references; max(l) < m->key < min(r).
+  static node* join(node* l, node* m, node* r) { return BO::node_join(l, m, r); }
+
+  // ------------------------------------------------------ split / join2 --
+
+  struct split_t {
+    node* left = nullptr;
+    node* mid = nullptr;  // singleton node holding k's entry, or null
+    node* right = nullptr;
+  };
+
+  // SPLIT(t, k): partition into keys < k, the entry at k (if present, as an
+  // owned singleton), and keys > k. Consumes t. O(log n).
+  static split_t split(node* t, const K& k) {
+    if (t == nullptr) return {};
+    node *l, *m, *r;
+    expose_own(t, l, m, r);
+    if (less(k, m->key)) {
+      split_t s = split(l, k);
+      s.right = join(s.right, m, r);
+      return s;
+    }
+    if (less(m->key, k)) {
+      split_t s = split(r, k);
+      s.left = join(l, m, s.left);
+      return s;
+    }
+    return {l, m, r};
+  }
+
+  // Remove and return the last (maximum) entry: (rest, last-as-singleton).
+  static std::pair<node*, node*> split_last(node* t) {
+    node *l, *m, *r;
+    expose_own(t, l, m, r);
+    if (r == nullptr) return {l, m};
+    auto [rest, last] = split_last(r);
+    return {join(l, m, rest), last};
+  }
+
+  // JOIN2(l, r): concatenation without a middle entry; max(l) < min(r).
+  static node* join2(node* l, node* r) {
+    if (l == nullptr) return r;
+    if (r == nullptr) return l;
+    auto [rest, last] = split_last(l);
+    return join(rest, last, r);
+  }
+
+  // --------------------------------------------------- insert / delete --
+
+  // INSERT with a combine function: if k is already present the stored
+  // value becomes comb(old, v). Consumes t. O(log n).
+  template <typename Comb>
+  static node* insert(node* t, const K& k, const V& v, const Comb& comb) {
+    if (t == nullptr) return make_single(k, v);
+    node *l, *m, *r;
+    expose_own(t, l, m, r);
+    if (less(k, m->key)) return join(insert(l, k, v, comb), m, r);
+    if (less(m->key, k)) return join(l, m, insert(r, k, v, comb));
+    m->value = comb(m->value, v);
+    return join(l, m, r);
+  }
+
+  // Plain insert: a later value replaces an earlier one.
+  static node* insert(node* t, const K& k, const V& v) {
+    return insert(t, k, v, [](const V&, const V& nv) { return nv; });
+  }
+
+  static node* remove(node* t, const K& k) {
+    if (t == nullptr) return nullptr;
+    node *l, *m, *r;
+    expose_own(t, l, m, r);
+    if (less(k, m->key)) return join(remove(l, k), m, r);
+    if (less(m->key, k)) return join(l, m, remove(r, k));
+    dec(m);
+    return join2(l, r);
+  }
+
+  // ------------------------------------------------------------ search --
+
+  static const node* find_node(const node* t, const K& k) {
+    while (t != nullptr) {
+      if (less(k, t->key)) {
+        t = t->left;
+      } else if (less(t->key, k)) {
+        t = t->right;
+      } else {
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  static std::optional<V> find(const node* t, const K& k) {
+    const node* n = find_node(t, k);
+    if (n == nullptr) return std::nullopt;
+    return n->value;
+  }
+
+  static const node* first_node(const node* t) {
+    if (t == nullptr) return nullptr;
+    while (t->left != nullptr) t = t->left;
+    return t;
+  }
+
+  static const node* last_node(const node* t) {
+    if (t == nullptr) return nullptr;
+    while (t->right != nullptr) t = t->right;
+    return t;
+  }
+
+  // Greatest entry with key < k (the paper's `previous`).
+  static const node* previous_node(const node* t, const K& k) {
+    const node* best = nullptr;
+    while (t != nullptr) {
+      if (less(t->key, k)) {
+        best = t;
+        t = t->right;
+      } else {
+        t = t->left;
+      }
+    }
+    return best;
+  }
+
+  // Least entry with key > k (the paper's `next`).
+  static const node* next_node(const node* t, const K& k) {
+    const node* best = nullptr;
+    while (t != nullptr) {
+      if (less(k, t->key)) {
+        best = t;
+        t = t->left;
+      } else {
+        t = t->right;
+      }
+    }
+    return best;
+  }
+
+  // ---------------------------------------------------- order statistics --
+
+  // Number of entries with key < k.
+  static size_t rank(const node* t, const K& k) {
+    size_t acc = 0;
+    while (t != nullptr) {
+      if (less(t->key, k)) {
+        acc += size(t->left) + 1;
+        t = t->right;
+      } else {
+        t = t->left;
+      }
+    }
+    return acc;
+  }
+
+  // The i-th entry in key order (0-based); null if i >= size.
+  static const node* select(const node* t, size_t i) {
+    while (t != nullptr) {
+      size_t ls = size(t->left);
+      if (i < ls) {
+        t = t->left;
+      } else if (i == ls) {
+        return t;
+      } else {
+        i -= ls + 1;
+        t = t->right;
+      }
+    }
+    return nullptr;
+  }
+
+  // --------------------------------------------------- range extraction --
+
+  // All entries with key <= k (the paper's upTo). Borrows t, returns an
+  // owned tree that shares whole subtrees with t — O(log n) new nodes.
+  static node* take_leq(const node* t, const K& k) {
+    if (t == nullptr) return nullptr;
+    if (less(k, t->key)) return take_leq(t->left, k);
+    return join(inc(t->left), make_single(t->key, t->value), take_leq(t->right, k));
+  }
+
+  // All entries with key >= k (the paper's downTo).
+  static node* take_geq(const node* t, const K& k) {
+    if (t == nullptr) return nullptr;
+    if (less(t->key, k)) return take_geq(t->right, k);
+    return join(take_geq(t->left, k), make_single(t->key, t->value), inc(t->right));
+  }
+
+  // All entries with lo <= key <= hi. Borrows t.
+  static node* range_copy(const node* t, const K& lo, const K& hi) {
+    if (t == nullptr) return nullptr;
+    if (less(t->key, lo)) return range_copy(t->right, lo, hi);
+    if (less(hi, t->key)) return range_copy(t->left, lo, hi);
+    return join(take_geq(t->left, lo), make_single(t->key, t->value),
+                take_leq(t->right, hi));
+  }
+
+  // ---------------------------------------------------------- validation --
+
+  // Full structural validation: balance-scheme invariant, size fields, key
+  // ordering, and (when A is equality-comparable) cached augmented values.
+  static bool check_valid(const node* t) {
+    if (!BO::check(t)) return false;
+    if (!check_sizes(t)) return false;
+    const K* prev = nullptr;
+    if (!check_order(t, prev)) return false;
+    if constexpr (traits::has_aug && requires(const A& a, const A& b) {
+                    { a == b } -> std::convertible_to<bool>;
+                  }) {
+      if (!check_aug(t)) return false;
+    }
+    return true;
+  }
+
+ private:
+  static bool check_sizes(const node* t) {
+    if (t == nullptr) return true;
+    if (t->size != 1 + size(t->left) + size(t->right)) return false;
+    return check_sizes(t->left) && check_sizes(t->right);
+  }
+
+  static bool check_order(const node* t, const K*& prev) {
+    if (t == nullptr) return true;
+    if (!check_order(t->left, prev)) return false;
+    if (prev != nullptr && !less(*prev, t->key)) return false;
+    prev = &t->key;
+    return check_order(t->right, prev);
+  }
+
+  static bool check_aug(const node* t) {
+    if (t == nullptr) return true;
+    A expect = traits::combine(
+        aug_of(t->left),
+        traits::combine(traits::base(t->key, t->value), aug_of(t->right)));
+    if (!(t->aug == expect)) return false;
+    return check_aug(t->left) && check_aug(t->right);
+  }
+};
+
+}  // namespace pam

@@ -1,0 +1,130 @@
+// Blocked parallel sequence primitives: reduce, exclusive scan, pack/filter,
+// tabulate. These are the work-efficient building blocks underneath sorting,
+// build(), and the benchmark generators.
+//
+// All functions take associative combine functions; results are computed
+// block-by-block in left-to-right order so they are deterministic even for
+// combines that are associative but not commutative.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/parallel.h"
+
+namespace pam {
+
+namespace internal {
+inline size_t num_blocks(size_t n, size_t block) { return (n + block - 1) / block; }
+inline constexpr size_t kSeqBase = 4096;  // below this, run sequentially
+}  // namespace internal
+
+// reduce: f(id, a[0], a[1], ..., a[n-1]) for associative f.
+template <typename T, typename F>
+T reduce(const T* a, size_t n, const F& f, T identity) {
+  if (n == 0) return identity;
+  if (n <= internal::kSeqBase) {
+    T acc = identity;
+    for (size_t i = 0; i < n; i++) acc = f(acc, a[i]);
+    return acc;
+  }
+  size_t block = internal::kSeqBase;
+  size_t nb = internal::num_blocks(n, block);
+  std::vector<T> partial(nb, identity);
+  parallel_for(0, nb, [&](size_t b) {
+    size_t lo = b * block, hi = std::min(lo + block, n);
+    T acc = identity;
+    for (size_t i = lo; i < hi; i++) acc = f(acc, a[i]);
+    partial[b] = acc;
+  }, 1);
+  T acc = identity;
+  for (size_t b = 0; b < nb; b++) acc = f(acc, partial[b]);
+  return acc;
+}
+
+// Exclusive in-place scan: a[i] becomes f(id, a[0..i)); returns the total.
+// Two-pass blocked algorithm: O(n) work, O(sqrt-ish) span in practice.
+template <typename T, typename F>
+T scan_exclusive(T* a, size_t n, const F& f, T identity) {
+  if (n == 0) return identity;
+  if (n <= internal::kSeqBase) {
+    T acc = identity;
+    for (size_t i = 0; i < n; i++) {
+      T next = f(acc, a[i]);
+      a[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+  size_t block = internal::kSeqBase;
+  size_t nb = internal::num_blocks(n, block);
+  std::vector<T> offsets(nb, identity);
+  parallel_for(0, nb, [&](size_t b) {
+    size_t lo = b * block, hi = std::min(lo + block, n);
+    T acc = identity;
+    for (size_t i = lo; i < hi; i++) acc = f(acc, a[i]);
+    offsets[b] = acc;
+  }, 1);
+  T total = identity;
+  for (size_t b = 0; b < nb; b++) {
+    T next = f(total, offsets[b]);
+    offsets[b] = total;
+    total = next;
+  }
+  parallel_for(0, nb, [&](size_t b) {
+    size_t lo = b * block, hi = std::min(lo + block, n);
+    T acc = offsets[b];
+    for (size_t i = lo; i < hi; i++) {
+      T next = f(acc, a[i]);
+      a[i] = acc;
+      acc = next;
+    }
+  }, 1);
+  return total;
+}
+
+// tabulate: out[i] = f(i) for i in [0, n).
+template <typename T, typename F>
+std::vector<T> tabulate(size_t n, const F& f) {
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](size_t i) { out[i] = f(i); });
+  return out;
+}
+
+// pack: the elements a[i] with flags[i] set, in order.
+template <typename T>
+std::vector<T> pack(const T* a, const unsigned char* flags, size_t n) {
+  std::vector<size_t> pos(n);
+  parallel_for(0, n, [&](size_t i) { pos[i] = flags[i] ? 1 : 0; });
+  size_t total = scan_exclusive(pos.data(), n, [](size_t x, size_t y) { return x + y; },
+                                size_t{0});
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](size_t i) {
+    if (flags[i]) out[pos[i]] = a[i];
+  });
+  return out;
+}
+
+// filter: the elements satisfying pred, in order.
+template <typename T, typename P>
+std::vector<T> filter_seq(const T* a, size_t n, const P& pred) {
+  std::vector<unsigned char> flags(n);
+  parallel_for(0, n, [&](size_t i) { flags[i] = pred(a[i]) ? 1 : 0; });
+  return pack(a, flags.data(), n);
+}
+
+// The indices i in [0, n) with flags[i] set, in order.
+inline std::vector<size_t> pack_indices(const unsigned char* flags, size_t n) {
+  std::vector<size_t> pos(n);
+  parallel_for(0, n, [&](size_t i) { pos[i] = flags[i] ? 1 : 0; });
+  size_t total = scan_exclusive(pos.data(), n, [](size_t x, size_t y) { return x + y; },
+                                size_t{0});
+  std::vector<size_t> out(total);
+  parallel_for(0, n, [&](size_t i) {
+    if (flags[i]) out[pos[i]] = i;
+  });
+  return out;
+}
+
+}  // namespace pam

@@ -1,0 +1,96 @@
+#include "parallel/scheduler.h"
+
+#include <chrono>
+
+#include "util/env.h"
+#include "util/random.h"
+
+namespace pam {
+namespace internal {
+
+scheduler& scheduler::get() {
+  // Leaked on purpose: workers may still be parked in their idle loop while
+  // static destructors run, so the scheduler must outlive all of them.
+  static scheduler* instance = new scheduler();
+  return *instance;
+}
+
+scheduler::scheduler() {
+  long p = env_long("PAM_NUM_WORKERS", 0);
+  if (p <= 0) p = static_cast<long>(std::thread::hardware_concurrency());
+  if (p <= 0) p = 1;
+  tl_worker_id() = 0;  // the constructing thread is worker 0
+  spawn_workers(static_cast<int>(p));
+}
+
+void scheduler::spawn_workers(int p) {
+  num_workers_ = p;
+  deques_.clear();
+  deques_.reserve(p);
+  for (int i = 0; i < p; i++) deques_.push_back(std::make_unique<ws_deque>());
+  shutdown_.store(false, std::memory_order_relaxed);
+  threads_.reserve(p - 1);
+  for (int i = 1; i < p; i++) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void scheduler::stop_workers() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void scheduler::set_num_workers(int p) {
+  if (p < 1) p = 1;
+  if (p == num_workers_) return;
+  stop_workers();
+  spawn_workers(p);
+}
+
+void scheduler::worker_loop(int id) {
+  tl_worker_id() = id;
+  uint64_t rng_state = hash64(0x9e1ull * (id + 1));
+  int failures = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    work_item* w = try_steal(id, rng_state);
+    if (w != nullptr) {
+      w->execute(w);
+      failures = 0;
+    } else if (++failures >= 64) {
+      if (failures >= 2048) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        failures = 2048;  // keep sleeping until work shows up
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+work_item* scheduler::try_steal(int self, uint64_t& rng_state) {
+  int p = num_workers_;
+  if (p <= 1) return nullptr;
+  rng_state = hash64(rng_state);
+  int victim = static_cast<int>(rng_state % static_cast<uint64_t>(p));
+  if (victim == self) victim = (victim + 1) % p;
+  return deques_[victim]->steal();
+}
+
+void scheduler::wait_until_done(std::atomic<bool>& flag, int self) {
+  uint64_t rng_state = hash64(0xabcdULL + self);
+  int failures = 0;
+  while (!flag.load(std::memory_order_acquire)) {
+    work_item* w = try_steal(self, rng_state);
+    if (w != nullptr) {
+      w->execute(w);
+      failures = 0;
+    } else if (++failures >= 128) {
+      std::this_thread::yield();
+      failures = 0;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace pam

@@ -1,0 +1,198 @@
+// A from-scratch fork-join work-stealing scheduler.
+//
+// The paper runs PAM on the Cilk Plus runtime (cilk_spawn / cilk_sync).
+// This module provides the same programming model — binary fork-join with
+// nested parallelism — on plain std::thread:
+//
+//   * one worker per hardware thread, each owning a Chase-Lev work-stealing
+//     deque (the memory-model-correct formulation of Le, Pop, Cohen &
+//     Zappa Nardelli, PPoPP 2013);
+//   * `par_do(left, right)` pushes the right task onto the local deque, runs
+//     the left task inline, then either pops the right task back (the common,
+//     synchronization-cheap case) or, if it was stolen, helps by running
+//     other stolen tasks until the thief finishes ("helping" join, as in
+//     Cilk's work-first principle);
+//   * idle workers steal from uniformly random victims, backing off to
+//     short sleeps so an idle pool costs ~nothing.
+//
+// Scheduling bounds: this is a greedy work-stealing scheduler, so a
+// computation with work W and span S runs in O(W/P + S) expected time
+// (Blumofe & Leiserson), which is the model under which all asymptotic
+// claims in the paper (and in DESIGN.md) are stated.
+//
+// The pool can be resized at a quiescent point with `set_num_workers`, which
+// is how the thread-sweep benchmarks (Figure 6) vary P within one process.
+//
+// Threads that are not scheduler workers (e.g. user threads in the snapshot
+// tests) may call par_do; they simply run both branches inline. Tasks must
+// not throw: an exception escaping a stolen task terminates the program,
+// matching the Cilk runtime's behavior.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pam {
+namespace internal {
+
+// A type-erased task. The concrete fork_item lives on the forking thread's
+// stack; it stays alive until par_do returns, so raw pointers are safe.
+struct work_item {
+  void (*execute)(work_item*);
+};
+
+template <typename F>
+struct fork_item final : work_item {
+  F& func;
+  std::atomic<bool> done{false};
+
+  explicit fork_item(F& f) : work_item{&fork_item::run}, func(f) {}
+
+  static void run(work_item* base) {
+    auto* self = static_cast<fork_item*>(base);
+    self->func();
+    self->done.store(true, std::memory_order_release);
+  }
+};
+
+// Chase-Lev work-stealing deque, fixed capacity. The owner pushes and pops
+// at the bottom without synchronization in the common case; thieves CAS the
+// top. Memory orderings follow Le et al. (PPoPP 2013) exactly.
+//
+// On overflow push_bottom returns false and the caller runs the task inline,
+// which is always a correct (if unparallel) fallback.
+class ws_deque {
+ public:
+  ws_deque() : buffer_(new std::atomic<work_item*>[kCapacity]) {}
+
+  bool push_bottom(work_item* w) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= kCapacity - 1) return false;  // full
+    buffer_[b & kMask].store(w, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Owner-side pop. Returns nullptr if the deque was empty or the single
+  // remaining task was won by a thief.
+  work_item* pop_bottom() {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    work_item* w = nullptr;
+    if (t <= b) {
+      w = buffer_[b & kMask].load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          w = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return w;
+  }
+
+  // Thief-side steal from the top. Returns nullptr on empty or lost race.
+  work_item* steal() {
+    int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      work_item* w = buffer_[t & kMask].load(std::memory_order_relaxed);
+      if (top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        return w;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  static constexpr int64_t kCapacity = int64_t{1} << 13;
+  static constexpr int64_t kMask = kCapacity - 1;
+
+  alignas(64) std::atomic<int64_t> top_{1};
+  alignas(64) std::atomic<int64_t> bottom_{1};
+  std::unique_ptr<std::atomic<work_item*>[]> buffer_;
+};
+
+class scheduler {
+ public:
+  // The process-wide scheduler, created on first use and intentionally never
+  // destroyed (worker threads outlive static destruction; at exit they are
+  // parked in the idle loop touching only this immortal object).
+  static scheduler& get();
+
+  int num_workers() const noexcept { return num_workers_; }
+
+  // Worker id of the calling thread, or -1 for foreign (non-pool) threads.
+  // The thread that first touched the scheduler is worker 0. Stored as a
+  // function-local thread_local: some toolchains mis-resolve class-static
+  // TLS across static-library boundaries.
+  static int& tl_worker_id() noexcept {
+    static thread_local int id = -1;
+    return id;
+  }
+  static int worker_id() noexcept { return tl_worker_id(); }
+
+  // Resize the pool. Must be called at a quiescent point (no parallel work
+  // in flight) from the thread that owns worker id 0.
+  void set_num_workers(int p);
+
+  template <typename L, typename R>
+  void par_do(L&& left, R&& right) {
+    int id = tl_worker_id();
+    if (id < 0 || num_workers_ == 1) {  // foreign thread or sequential mode
+      left();
+      right();
+      return;
+    }
+    using Rf = std::remove_reference_t<R>;
+    fork_item<Rf> item(right);
+    if (!deques_[id]->push_bottom(&item)) {  // deque full: degrade gracefully
+      left();
+      right();
+      return;
+    }
+    left();
+    work_item* popped = deques_[id]->pop_bottom();
+    if (popped != nullptr) {
+      assert(popped == &item);  // strict fork-join: bottom is ours
+      right();
+      return;
+    }
+    // Our task was stolen; help run other work until the thief finishes it.
+    wait_until_done(item.done, id);
+  }
+
+ private:
+  scheduler();
+  ~scheduler() = delete;  // immortal by design
+
+  void spawn_workers(int p);
+  void stop_workers();
+  void worker_loop(int id);
+  work_item* try_steal(int self, uint64_t& rng_state);
+  void wait_until_done(std::atomic<bool>& flag, int self);
+
+  std::vector<std::unique_ptr<ws_deque>> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  int num_workers_ = 1;
+};
+
+}  // namespace internal
+}  // namespace pam

@@ -1,0 +1,56 @@
+// Higher-level sequence operations built from the primitives:
+//  * combine_sorted_runs - collapse runs of equal keys with a combine
+//    function (the duplicate-removal step of build(), paper Figure 2);
+//  * run_boundaries - start indices of equal-key runs (used by the
+//    inverted-index group-by build).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "parallel/primitives.h"
+
+namespace pam {
+
+// Given a *sorted* sequence, collapses each maximal run of elements with
+// equal keys into one element whose value is the left-to-right fold of the
+// run's values under `comb`. Equality is derived from the strict order
+// `less`. Stable: the surviving element keeps the first key of the run.
+template <typename KV, typename Less, typename Comb>
+std::vector<KV> combine_sorted_runs(const std::vector<KV>& a, const Less& less,
+                                    const Comb& comb) {
+  size_t n = a.size();
+  if (n == 0) return {};
+  std::vector<unsigned char> starts(n);
+  parallel_for(0, n, [&](size_t i) {
+    starts[i] = (i == 0 || less(a[i - 1].first, a[i].first)) ? 1 : 0;
+  });
+  std::vector<size_t> idx = pack_indices(starts.data(), n);
+  size_t m = idx.size();
+  std::vector<KV> out(m);
+  parallel_for(0, m, [&](size_t j) {
+    size_t lo = idx[j];
+    size_t hi = (j + 1 < m) ? idx[j + 1] : n;
+    KV acc = a[lo];
+    for (size_t i = lo + 1; i < hi; i++) acc.second = comb(acc.second, a[i].second);
+    out[j] = std::move(acc);
+  }, 1);
+  return out;
+}
+
+// Start indices of maximal runs under the equivalence !less(a,b) && !less(b,a)
+// of key projections. `key_of(elem)` extracts the grouping key.
+template <typename T, typename KeyOf, typename Less>
+std::vector<size_t> run_boundaries(const std::vector<T>& a, const KeyOf& key_of,
+                                   const Less& less) {
+  size_t n = a.size();
+  if (n == 0) return {};
+  std::vector<unsigned char> starts(n);
+  parallel_for(0, n, [&](size_t i) {
+    starts[i] = (i == 0 || less(key_of(a[i - 1]), key_of(a[i]))) ? 1 : 0;
+  });
+  return pack_indices(starts.data(), n);
+}
+
+}  // namespace pam

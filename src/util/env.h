@@ -1,0 +1,34 @@
+// Environment-variable knobs shared by tests and benchmarks.
+//
+//   PAM_NUM_WORKERS  number of scheduler workers (default: all hardware threads)
+//   PAM_BENCH_SCALE  multiplies every default benchmark size (default 1.0);
+//                    the paper's 10^8..10^10-scale experiments are scaled to
+//                    laptop sizes by default and can be grown back with this.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace pam {
+
+inline long env_long(const char* name, long fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtol(s, nullptr, 10);
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtod(s, nullptr);
+}
+
+// Scales a paper-sized workload down to the default local size. `paper_n` is
+// what the paper used; `local_n` is our default; PAM_BENCH_SCALE multiplies.
+inline size_t scaled_size(size_t local_n) {
+  double s = env_double("PAM_BENCH_SCALE", 1.0);
+  double v = static_cast<double>(local_n) * s;
+  return v < 1.0 ? 1 : static_cast<size_t>(v);
+}
+
+}  // namespace pam

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random utilities used across the library, tests and
+// benchmarks. Everything here is seeded explicitly so that all experiments
+// are reproducible run-to-run and machine-to-machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pam {
+
+// splitmix64 (Steele, Lea, Flood; JEA 2014). A tiny, statistically strong
+// mixer. We use it both as a PRNG and as the hash that drives treap
+// priorities, so trees built from the same keys are always identical.
+inline constexpr uint64_t hash64(uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// A small value-type PRNG: `random(seed)` is a pure function of the seed, and
+// `fork(i)` derives an independent stream, which lets parallel loops draw
+// per-index randomness without sharing state.
+class random_gen {
+ public:
+  explicit constexpr random_gen(uint64_t seed = 0) noexcept : state_(seed) {}
+
+  // The i-th value of this stream, without advancing.
+  constexpr uint64_t ith(uint64_t i) const noexcept { return hash64(state_ + i); }
+
+  // An independent generator derived from this one.
+  constexpr random_gen fork(uint64_t i) const noexcept {
+    return random_gen(hash64(state_ + i));
+  }
+
+  constexpr uint64_t next() noexcept {
+    state_ = hash64(state_);
+    return state_;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  constexpr uint64_t next_bounded(uint64_t bound) noexcept { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// n uniform keys in [0, range). With range >> n the keys are distinct with
+// high probability; benchmark builders dedupe where needed.
+inline std::vector<uint64_t> random_keys(size_t n, uint64_t range, uint64_t seed) {
+  std::vector<uint64_t> out(n);
+  random_gen g(seed);
+  for (size_t i = 0; i < n; i++) out[i] = g.ith(i) % range;
+  return out;
+}
+
+// A random permutation of [0, n) (Fisher-Yates, sequential).
+inline std::vector<uint64_t> random_permutation(size_t n, uint64_t seed) {
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; i++) out[i] = i;
+  random_gen g(seed);
+  for (size_t i = n; i > 1; i--) {
+    size_t j = g.next_bounded(i);
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+}  // namespace pam

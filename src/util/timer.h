@@ -1,0 +1,25 @@
+// Wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace pam {
+
+// A simple start/elapsed wall-clock timer (seconds, double precision).
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  // Seconds since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pam

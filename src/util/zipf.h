@@ -1,0 +1,50 @@
+// Zipf-distributed sampling, used by the synthetic corpus that stands in for
+// the paper's Wikipedia dump (Section 6.4). Word frequencies in natural
+// language corpora are famously Zipfian, which is exactly the property that
+// drives inverted-index posting-list skew.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pam {
+
+// Samples ranks in [0, n) with P(rank = r) proportional to 1 / (r+1)^s.
+// Uses a precomputed cumulative table + binary search: O(n) setup,
+// O(log n) per sample, fully deterministic given the seed.
+class zipf_generator {
+ public:
+  zipf_generator(size_t n, double s, uint64_t seed)
+      : cdf_(n), rng_(seed) {
+    double acc = 0.0;
+    for (size_t r = 0; r < n; r++) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = acc;
+    }
+    total_ = acc;
+  }
+
+  size_t operator()() {
+    double u = rng_.next_double() * total_;
+    // first index with cdf >= u
+    size_t lo = 0, hi = cdf_.size();
+    while (lo + 1 < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid - 1] >= u) hi = mid; else lo = mid;
+    }
+    return (cdf_[lo] >= u) ? lo : hi - 1;
+  }
+
+  size_t universe() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  double total_;
+  random_gen rng_;
+};
+
+}  // namespace pam

@@ -1,0 +1,113 @@
+// Tests for the concurrent fixed-size pool allocator (src/alloc).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "alloc/type_allocator.h"
+#include "parallel/parallel.h"
+
+namespace {
+
+struct blob48 {
+  uint64_t a, b, c, d, e, f;
+};
+
+struct counted {
+  static inline std::atomic<int> live{0};
+  int payload;
+  explicit counted(int p) : payload(p) { live.fetch_add(1); }
+  ~counted() { live.fetch_sub(1); }
+};
+
+using alloc48 = pam::type_allocator<blob48>;
+using alloc_counted = pam::type_allocator<counted>;
+
+TEST(Allocator, AllocateGivesDistinctAlignedBlocks) {
+  std::vector<blob48*> ps;
+  std::set<void*> seen;
+  for (int i = 0; i < 10000; i++) {
+    blob48* p = alloc48::allocate();
+    ASSERT_NE(p, nullptr);
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(blob48), 0u);
+    ASSERT_TRUE(seen.insert(p).second) << "duplicate block";
+    p->a = static_cast<uint64_t>(i);
+    ps.push_back(p);
+  }
+  for (int i = 0; i < 10000; i++) ASSERT_EQ(ps[i]->a, static_cast<uint64_t>(i));
+  for (auto* p : ps) alloc48::deallocate(p);
+}
+
+TEST(Allocator, UsedCountTracksNet) {
+  int64_t base = alloc48::used();
+  std::vector<blob48*> ps;
+  for (int i = 0; i < 5000; i++) ps.push_back(alloc48::allocate());
+  EXPECT_EQ(alloc48::used(), base + 5000);
+  for (int i = 0; i < 2000; i++) {
+    alloc48::deallocate(ps.back());
+    ps.pop_back();
+  }
+  EXPECT_EQ(alloc48::used(), base + 3000);
+  for (auto* p : ps) alloc48::deallocate(p);
+  EXPECT_EQ(alloc48::used(), base);
+}
+
+TEST(Allocator, BlocksAreRecycled) {
+  // Freeing then allocating should reuse storage rather than grow the pool.
+  std::vector<blob48*> ps;
+  for (int i = 0; i < 1000; i++) ps.push_back(alloc48::allocate());
+  for (auto* p : ps) alloc48::deallocate(p);
+  int64_t reserved = alloc48::reserved();
+  for (int i = 0; i < 1000; i++) ps[i] = alloc48::allocate();
+  EXPECT_EQ(alloc48::reserved(), reserved);
+  for (auto* p : ps) alloc48::deallocate(p);
+}
+
+TEST(Allocator, CreateDestroyRunConstructors) {
+  int live_before = counted::live.load();
+  counted* p = alloc_counted::create(17);
+  EXPECT_EQ(p->payload, 17);
+  EXPECT_EQ(counted::live.load(), live_before + 1);
+  alloc_counted::destroy(p);
+  EXPECT_EQ(counted::live.load(), live_before);
+}
+
+TEST(Allocator, ParallelAllocFreeStress) {
+  // Hammer the pool from all workers; verify no block is handed out twice
+  // concurrently by writing a worker-unique stamp and re-reading it.
+  const size_t rounds = 200, per_round = 500;
+  int64_t base = alloc48::used();
+  pam::parallel_for(0, static_cast<size_t>(pam::num_workers()) * 4, [&](size_t lane) {
+    std::vector<blob48*> mine;
+    mine.reserve(per_round);
+    for (size_t r = 0; r < rounds; r++) {
+      for (size_t i = 0; i < per_round; i++) {
+        blob48* p = alloc48::allocate();
+        p->a = lane;
+        p->b = i;
+        mine.push_back(p);
+      }
+      for (size_t i = 0; i < per_round; i++) {
+        blob48* p = mine[i];
+        ASSERT_EQ(p->a, lane);
+        ASSERT_EQ(p->b, i);
+        alloc48::deallocate(p);
+      }
+      mine.clear();
+    }
+  }, 1);
+  EXPECT_EQ(alloc48::used(), base);
+}
+
+TEST(Allocator, IndependentPoolsPerType) {
+  struct other {
+    char data[24];
+  };
+  int64_t used48 = alloc48::used();
+  auto* p = pam::type_allocator<other>::allocate();
+  EXPECT_EQ(alloc48::used(), used48);  // other type's pool does not affect ours
+  pam::type_allocator<other>::deallocate(p);
+}
+
+}  // namespace

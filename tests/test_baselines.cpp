@@ -1,0 +1,341 @@
+// Tests for the baseline comparators (src/baselines): correctness of each
+// structure, including multi-threaded stress for the concurrent ones, so
+// the benchmark numbers in Figure 6 / Tables 3 & 5 compare against code
+// that demonstrably works.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baselines/concurrent_bptree.h"
+#include "baselines/concurrent_hashmap.h"
+#include "baselines/concurrent_skiplist.h"
+#include "baselines/naive_interval.h"
+#include "baselines/sorted_array_map.h"
+#include "baselines/static_range_tree.h"
+#include "baselines/stl_map_baseline.h"
+#include "util/random.h"
+
+namespace {
+
+std::vector<std::pair<uint64_t, uint64_t>> random_kvs(size_t n, uint64_t seed,
+                                                      uint64_t range) {
+  std::vector<std::pair<uint64_t, uint64_t>> v(n);
+  pam::random_gen g(seed);
+  for (auto& e : v) e = {g.next() % range, g.next() % 100000 + 1};
+  return v;
+}
+
+// ------------------------------------------------------------- STL glue --
+
+TEST(StlBaselines, UnionTreeAndArrayAgree) {
+  auto ea = random_kvs(5000, 1, 20000);
+  auto eb = random_kvs(5000, 2, 20000);
+  std::map<uint64_t, uint64_t> ma(ea.begin(), ea.end()), mb(eb.begin(), eb.end());
+  auto tree_u = pam::baselines::stl_union_tree(ma, mb);
+  std::vector<std::pair<uint64_t, uint64_t>> va(ma.begin(), ma.end()),
+      vb(mb.begin(), mb.end());
+  auto arr_u = pam::baselines::stl_union_array(va, vb);
+  ASSERT_EQ(tree_u.size(), arr_u.size());
+  size_t i = 0;
+  for (auto& [k, v] : tree_u) {
+    ASSERT_EQ(arr_u[i].first, k);
+    ASSERT_EQ(arr_u[i].second, v);
+    i++;
+  }
+}
+
+// ------------------------------------------------------ sorted-array map --
+
+TEST(SortedArrayMap, BuildFindMultiInsert) {
+  auto es = random_kvs(20000, 3, 1u << 16);
+  pam::baselines::sorted_array_map<uint64_t, uint64_t> m(es);
+  std::map<uint64_t, uint64_t> oracle;
+  for (auto& e : es) oracle[e.first] = e.second;
+  ASSERT_EQ(m.size(), oracle.size());
+  auto batch = random_kvs(7000, 4, 1u << 16);
+  m.multi_insert(batch);
+  for (auto& e : batch) oracle[e.first] = e.second;
+  ASSERT_EQ(m.size(), oracle.size());
+  for (auto& [k, v] : oracle) {
+    uint64_t got = 0;
+    ASSERT_TRUE(m.find(k, got));
+    ASSERT_EQ(got, v);
+  }
+  uint64_t sink;
+  EXPECT_FALSE(m.find(1ull << 40, sink));
+}
+
+TEST(SortedArrayMap, EmptyAndSingleBatch) {
+  pam::baselines::sorted_array_map<uint64_t, uint64_t> m;
+  EXPECT_EQ(m.size(), 0u);
+  m.multi_insert({{5, 50}});
+  uint64_t v = 0;
+  EXPECT_TRUE(m.find(5, v));
+  EXPECT_EQ(v, 50u);
+  m.multi_insert({});
+  EXPECT_EQ(m.size(), 1u);
+}
+
+// ---------------------------------------------------------- skiplist ----
+
+TEST(Skiplist, SequentialInsertFind) {
+  pam::baselines::concurrent_skiplist sl;
+  auto es = random_kvs(20000, 5, 1u << 20);
+  std::map<uint64_t, uint64_t> oracle;
+  for (auto& [k, v] : es) {
+    sl.insert(k, v);
+    oracle[k] = v;
+  }
+  EXPECT_EQ(sl.size_slow(), oracle.size());
+  EXPECT_TRUE(sl.is_sorted());
+  for (auto& [k, v] : oracle) {
+    uint64_t got = 0;
+    ASSERT_TRUE(sl.find(k, got));
+    ASSERT_EQ(got, v);
+  }
+  EXPECT_FALSE(sl.contains(1ull << 40));
+}
+
+TEST(Skiplist, ConcurrentInsertsAllLand) {
+  pam::baselines::concurrent_skiplist sl;
+  const int threads = 8, per = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&sl, t] {
+      pam::random_gen g(t);
+      for (int i = 0; i < per; i++) {
+        uint64_t k = (static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(i);
+        sl.insert(k, k + 1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(sl.size_slow(), static_cast<size_t>(threads) * per);
+  EXPECT_TRUE(sl.is_sorted());
+  // spot check across all threads' ranges
+  for (int t = 0; t < threads; t++) {
+    for (int i = 0; i < per; i += 997) {
+      uint64_t k = (static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(i);
+      uint64_t v = 0;
+      ASSERT_TRUE(sl.find(k, v));
+      ASSERT_EQ(v, k + 1);
+    }
+  }
+}
+
+TEST(Skiplist, ConcurrentInsertsOnContendedKeys) {
+  // All threads hammer the same small key range; the list must stay sorted
+  // and contain exactly the distinct keys.
+  pam::baselines::concurrent_skiplist sl;
+  const int threads = 8;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&sl, t] {
+      pam::random_gen g(1000 + t);
+      for (int i = 0; i < 20000; i++) sl.insert(g.next() % 512, t + 1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_LE(sl.size_slow(), 512u);
+  EXPECT_TRUE(sl.is_sorted());
+}
+
+// ------------------------------------------------------------ B+-tree ----
+
+TEST(BPTree, SequentialInsertFindOrdered) {
+  pam::baselines::concurrent_bptree bt;
+  auto es = random_kvs(50000, 6, 1u << 24);
+  std::map<uint64_t, uint64_t> oracle;
+  for (auto& [k, v] : es) {
+    bt.insert(k, v);
+    oracle[k] = v;
+  }
+  EXPECT_EQ(bt.size_slow(), oracle.size());
+  std::vector<uint64_t> keys;
+  bt.keys_inorder(keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), oracle.size());
+  for (auto& [k, v] : oracle) {
+    uint64_t got = 0;
+    ASSERT_TRUE(bt.find(k, got));
+    ASSERT_EQ(got, v);
+  }
+  EXPECT_FALSE(bt.contains(1ull << 50));
+}
+
+TEST(BPTree, SequentialAndReverseKeys) {
+  pam::baselines::concurrent_bptree bt;
+  for (uint64_t k = 0; k < 10000; k++) bt.insert(k, k);
+  for (uint64_t k = 30000; k > 20000; k--) bt.insert(k, k);
+  EXPECT_EQ(bt.size_slow(), 20000u);
+  std::vector<uint64_t> keys;
+  bt.keys_inorder(keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BPTree, ConcurrentInsertsAllLand) {
+  pam::baselines::concurrent_bptree bt;
+  const int threads = 8, per = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&bt, t] {
+      for (int i = 0; i < per; i++) {
+        uint64_t k = (static_cast<uint64_t>(i) << 8) | static_cast<uint64_t>(t);
+        bt.insert(k, k + 1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(bt.size_slow(), static_cast<size_t>(threads) * per);
+  std::vector<uint64_t> keys;
+  bt.keys_inorder(keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BPTree, ConcurrentMixedReadWrite) {
+  pam::baselines::concurrent_bptree bt;
+  for (uint64_t k = 0; k < 50000; k += 2) bt.insert(k, k);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; t++) {
+    ts.emplace_back([&, t] {  // writers fill odd keys
+      for (uint64_t k = 1 + 2 * t; k < 50000; k += 8) bt.insert(k, k);
+    });
+    ts.emplace_back([&, t] {  // readers verify even keys never vanish
+      pam::random_gen g(t);
+      for (int i = 0; i < 30000; i++) {
+        uint64_t k = (g.next() % 25000) * 2;
+        uint64_t v = 0;
+        if (!bt.find(k, v) || v != k) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(bt.size_slow(), 50000u);
+}
+
+// ----------------------------------------------------------- hash map ----
+
+TEST(HashMap, SequentialInsertFind) {
+  pam::baselines::concurrent_hashmap hm(100000);
+  auto es = random_kvs(100000, 7, ~0ull - 1);
+  std::map<uint64_t, uint64_t> oracle;
+  for (auto& [k, v] : es) {
+    hm.insert(k, v);
+    oracle[k] = v;
+  }
+  EXPECT_EQ(hm.size(), oracle.size());
+  for (auto& [k, v] : oracle) {
+    uint64_t got = 0;
+    ASSERT_TRUE(hm.find(k, got));
+    ASSERT_EQ(got, v);
+  }
+  uint64_t sink;
+  EXPECT_FALSE(hm.find(123456789, sink) && oracle.count(123456789) == 0);
+}
+
+TEST(HashMap, ConcurrentInsertsDistinctKeys) {
+  const int threads = 8, per = 50000;
+  pam::baselines::concurrent_hashmap hm(static_cast<size_t>(threads) * per);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; t++) {
+    ts.emplace_back([&hm, t] {
+      for (int i = 0; i < per; i++) {
+        uint64_t k = (static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(i + 1);
+        hm.insert(k, k * 2);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(hm.size(), static_cast<size_t>(threads) * per);
+  for (int t = 0; t < threads; t++) {
+    for (int i = 0; i < per; i += 991) {
+      uint64_t k = (static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(i + 1);
+      uint64_t v = 0;
+      ASSERT_TRUE(hm.find(k, v));
+      ASSERT_EQ(v, k * 2);
+    }
+  }
+}
+
+TEST(HashMap, ConcurrentSameKeyRace) {
+  pam::baselines::concurrent_hashmap hm(1024);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; t++) {
+    ts.emplace_back([&hm, t] {
+      for (int i = 0; i < 10000; i++) hm.insert(42, static_cast<uint64_t>(t + 1));
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(hm.size(), 1u);
+  uint64_t v = 0;
+  ASSERT_TRUE(hm.find(42, v));
+  EXPECT_GE(v, 1u);
+  EXPECT_LE(v, 8u);
+}
+
+// --------------------------------------------------- static range tree ----
+
+TEST(StaticRangeTree, MatchesBruteForce) {
+  using srt = pam::baselines::static_range_tree<double, int64_t>;
+  std::vector<srt::point> ps(3000);
+  pam::random_gen g(8);
+  for (auto& p : ps) {
+    p.x = g.next_double() * 1000;
+    p.y = g.next_double() * 1000;
+    p.w = static_cast<int64_t>(g.next() % 50);
+  }
+  srt t(ps);
+  EXPECT_EQ(t.size(), ps.size());
+  for (int q = 0; q < 300; q++) {
+    double x1 = g.next_double() * 1000, x2 = g.next_double() * 1000;
+    double y1 = g.next_double() * 1000, y2 = g.next_double() * 1000;
+    double xlo = std::min(x1, x2), xhi = std::max(x1, x2);
+    double ylo = std::min(y1, y2), yhi = std::max(y1, y2);
+    int64_t bsum = 0;
+    size_t bcount = 0;
+    for (auto& p : ps) {
+      if (p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi) {
+        bsum += p.w;
+        bcount++;
+      }
+    }
+    auto rep = t.query_report(xlo, xhi, ylo, yhi);
+    ASSERT_EQ(rep.size(), bcount);
+    ASSERT_EQ(t.query_sum(xlo, xhi, ylo, yhi), bsum);
+    int64_t rep_sum = 0;
+    for (auto& p : rep) rep_sum += p.w;
+    ASSERT_EQ(rep_sum, bsum);
+  }
+}
+
+TEST(StaticRangeTree, EmptyAndSingle) {
+  using srt = pam::baselines::static_range_tree<double, int64_t>;
+  srt empty;
+  EXPECT_EQ(empty.query_sum(0, 1, 0, 1), 0);
+  EXPECT_TRUE(empty.query_report(0, 1, 0, 1).empty());
+  srt one(std::vector<srt::point>{{5, 5, 7}});
+  EXPECT_EQ(one.query_sum(5, 5, 5, 5), 7);
+  EXPECT_EQ(one.query_sum(6, 7, 5, 5), 0);
+}
+
+// -------------------------------------------------------- naive interval --
+
+TEST(NaiveInterval, AgreesWithDefinition) {
+  pam::baselines::naive_interval_store<double> s;
+  s.insert({1.0, 3.0});
+  s.insert({2.0, 6.0});
+  EXPECT_TRUE(s.stab(2.5));
+  EXPECT_FALSE(s.stab(0.5));
+  EXPECT_EQ(s.report_all(2.5).size(), 2u);
+  EXPECT_EQ(s.report_all(5.0).size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Differential fuzzing: long randomized mixed-operation runs (point ops,
+// bulk ops, aug queries, range extraction) against a std::map oracle, with
+// full structural validation and leak accounting at every phase boundary.
+// Parameterized over seeds; run for both the default weight-balanced scheme
+// and red-black (the scheme with the most intricate join).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pam/pam.h"
+#include "util/random.h"
+
+namespace {
+
+using K = uint64_t;
+using V = uint64_t;
+
+template <typename Balance>
+void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
+  using map_t = pam::aug_map<pam::sum_entry<K, V>, Balance>;
+  using entry_t = typename map_t::entry_t;
+  constexpr uint64_t kKeyRange = 1 << 14;
+
+  int64_t node_base = map_t::used_nodes();
+  {
+    pam::random_gen g(seed);
+    map_t m;
+    std::map<K, V> oracle;
+    std::vector<map_t> retained;  // old versions that must never change
+    std::vector<std::map<K, V>> retained_oracle;
+
+    for (int phase = 0; phase < phases; phase++) {
+      for (int op = 0; op < ops_per_phase; op++) {
+        switch (g.next() % 10) {
+          case 0:
+          case 1: {  // point insert
+            K k = g.next() % kKeyRange;
+            V v = g.next() % 1000;
+            m = map_t::insert(std::move(m), k, v);
+            oracle[k] = v;
+            break;
+          }
+          case 2: {  // point remove
+            K k = g.next() % kKeyRange;
+            m = map_t::remove(std::move(m), k);
+            oracle.erase(k);
+            break;
+          }
+          case 3: {  // multi-insert a batch
+            size_t bn = g.next() % 200;
+            std::vector<entry_t> batch(bn);
+            for (auto& e : batch) e = {g.next() % kKeyRange, g.next() % 1000};
+            for (auto& e : batch) oracle[e.first] = e.second;
+            m = map_t::multi_insert(std::move(m), std::move(batch));
+            break;
+          }
+          case 4: {  // multi-delete a batch
+            size_t bn = g.next() % 100;
+            std::vector<K> batch(bn);
+            for (auto& k : batch) k = g.next() % kKeyRange;
+            for (auto& k : batch) oracle.erase(k);
+            m = map_t::multi_delete(std::move(m), std::move(batch));
+            break;
+          }
+          case 5: {  // union with a random small map
+            size_t bn = g.next() % 150;
+            std::vector<entry_t> other(bn);
+            for (auto& e : other) e = {g.next() % kKeyRange, g.next() % 1000};
+            map_t om(other);
+            for (auto& [k, v] : om.entries()) oracle[k] = v;
+            m = map_t::map_union(std::move(m), std::move(om));
+            break;
+          }
+          case 6: {  // difference with a random small map
+            size_t bn = g.next() % 100;
+            std::vector<entry_t> other(bn);
+            for (auto& e : other) e = {g.next() % kKeyRange, 0};
+            map_t om(other);
+            for (auto& [k, v] : om.entries()) oracle.erase(k);
+            m = map_t::map_difference(std::move(m), std::move(om));
+            break;
+          }
+          case 7: {  // aug_range spot check
+            K a = g.next() % kKeyRange, b = g.next() % kKeyRange;
+            K lo = std::min(a, b), hi = std::max(a, b);
+            uint64_t expect = 0;
+            for (auto it = oracle.lower_bound(lo);
+                 it != oracle.end() && it->first <= hi; ++it)
+              expect += it->second;
+            ASSERT_EQ(m.aug_range(lo, hi), expect);
+            break;
+          }
+          case 8: {  // find spot check
+            K k = g.next() % kKeyRange;
+            auto it = oracle.find(k);
+            auto got = m.find(k);
+            ASSERT_EQ(got.has_value(), it != oracle.end());
+            if (got.has_value()) ASSERT_EQ(*got, it->second);
+            break;
+          }
+          case 9: {  // retain a version (tests persistence under churn)
+            if (retained.size() < 8) {
+              retained.push_back(m);
+              retained_oracle.push_back(oracle);
+            }
+            break;
+          }
+        }
+      }
+      // Phase boundary: full validation of the live map and all retained
+      // versions against their oracles.
+      ASSERT_TRUE(m.check_valid()) << "seed " << seed << " phase " << phase;
+      ASSERT_EQ(m.size(), oracle.size());
+      {
+        auto es = m.entries();
+        size_t i = 0;
+        for (auto& [k, v] : oracle) {
+          ASSERT_EQ(es[i].first, k);
+          ASSERT_EQ(es[i].second, v);
+          i++;
+        }
+      }
+      for (size_t r = 0; r < retained.size(); r++) {
+        ASSERT_EQ(retained[r].size(), retained_oracle[r].size()) << "version " << r;
+        uint64_t expect = 0;
+        for (auto& [k, v] : retained_oracle[r]) expect += v;
+        ASSERT_EQ(retained[r].aug_val(), expect) << "version " << r;
+      }
+    }
+  }
+  // Everything destroyed: the allocator must be back to baseline.
+  ASSERT_EQ(map_t::used_nodes(), node_base) << "leak with seed " << seed;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSeeds, WeightBalanced) {
+  fuzz_run<pam::weight_balanced>(GetParam(), 5, 400);
+}
+
+TEST_P(FuzzSeeds, RedBlack) { fuzz_run<pam::red_black>(GetParam(), 5, 400); }
+
+TEST_P(FuzzSeeds, Avl) { fuzz_run<pam::avl_tree>(GetParam(), 3, 300); }
+
+TEST_P(FuzzSeeds, Treap) { fuzz_run<pam::treap>(GetParam(), 3, 300); }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1, 7, 13, 99, 123456, 0xdeadbeef));
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Tests for the interval-tree application (paper Section 5.1) against a
+// brute-force scan oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "apps/interval_map.h"
+#include "util/random.h"
+
+namespace {
+
+using imap = pam::interval_map<double>;
+using interval = imap::interval;
+
+std::vector<interval> random_intervals(size_t n, uint64_t seed, double span,
+                                       double max_len) {
+  std::vector<interval> xs(n);
+  pam::random_gen g(seed);
+  for (auto& x : xs) {
+    double l = g.next_double() * span;
+    double len = g.next_double() * max_len;
+    x = {l, l + len};
+  }
+  return xs;
+}
+
+bool brute_stab(const std::vector<interval>& xs, double p) {
+  for (auto& [l, r] : xs)
+    if (l <= p && p <= r) return true;
+  return false;
+}
+
+std::vector<interval> brute_report(const std::vector<interval>& xs, double p) {
+  std::vector<interval> out;
+  for (auto& x : xs)
+    if (x.first <= p && p <= x.second) out.push_back(x);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(IntervalMap, EmptyMapStabsNothing) {
+  imap m;
+  EXPECT_FALSE(m.stab(0.0));
+  EXPECT_TRUE(m.report_all(0.0).empty());
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(IntervalMap, SingleInterval) {
+  imap m(std::vector<interval>{{1.0, 3.0}});
+  EXPECT_TRUE(m.stab(1.0));   // closed on the left
+  EXPECT_TRUE(m.stab(2.0));
+  EXPECT_TRUE(m.stab(3.0));   // closed on the right
+  EXPECT_FALSE(m.stab(0.999));
+  EXPECT_FALSE(m.stab(3.001));
+}
+
+TEST(IntervalMap, StabMatchesBruteForceRandomized) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto xs = random_intervals(2000, seed, 1000.0, 5.0);
+    imap m(xs);
+    ASSERT_TRUE(m.check_valid());
+    pam::random_gen g(seed * 100);
+    for (int q = 0; q < 2000; q++) {
+      double p = g.next_double() * 1100.0 - 50.0;
+      ASSERT_EQ(m.stab(p), brute_stab(xs, p)) << "p=" << p;
+    }
+  }
+}
+
+TEST(IntervalMap, ReportAllMatchesBruteForce) {
+  auto xs = random_intervals(3000, 7, 500.0, 20.0);
+  imap m(xs);
+  pam::random_gen g(70);
+  for (int q = 0; q < 300; q++) {
+    double p = g.next_double() * 500.0;
+    auto got = m.report_all(p);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, brute_report(xs, p)) << "p=" << p;
+  }
+}
+
+TEST(IntervalMap, DuplicateLeftEndpointsCoexist) {
+  imap m(std::vector<interval>{{1.0, 2.0}, {1.0, 5.0}, {1.0, 9.0}});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.report_all(4.0).size(), 2u);
+  EXPECT_EQ(m.report_all(1.5).size(), 3u);
+  EXPECT_EQ(m.report_all(7.0).size(), 1u);
+}
+
+TEST(IntervalMap, DynamicInsertRemove) {
+  std::vector<interval> xs;
+  imap m;
+  pam::random_gen g(11);
+  for (int i = 0; i < 500; i++) {
+    double l = g.next_double() * 100.0;
+    interval x = {l, l + g.next_double() * 10.0};
+    m.insert(x);
+    xs.push_back(x);
+  }
+  EXPECT_EQ(m.size(), xs.size());
+  // remove a random half
+  for (int i = 0; i < 250; i++) {
+    size_t j = g.next_bounded(xs.size());
+    m.remove(xs[j]);
+    xs.erase(xs.begin() + static_cast<long>(j));
+  }
+  EXPECT_EQ(m.size(), xs.size());
+  ASSERT_TRUE(m.check_valid());
+  for (int q = 0; q < 500; q++) {
+    double p = g.next_double() * 110.0;
+    ASSERT_EQ(m.stab(p), brute_stab(xs, p));
+  }
+}
+
+TEST(IntervalMap, PointIntervals) {
+  // Degenerate [p, p] intervals must stab exactly their point.
+  imap m(std::vector<interval>{{5.0, 5.0}, {7.0, 7.0}});
+  EXPECT_TRUE(m.stab(5.0));
+  EXPECT_TRUE(m.stab(7.0));
+  EXPECT_FALSE(m.stab(6.0));
+  EXPECT_EQ(m.count_stab(5.0), 1u);
+}
+
+TEST(IntervalMap, NestedAndOverlappingIntervals) {
+  imap m(std::vector<interval>{{0.0, 100.0}, {10.0, 20.0}, {15.0, 17.0}, {50.0, 60.0}});
+  EXPECT_EQ(m.count_stab(16.0), 3u);
+  EXPECT_EQ(m.count_stab(55.0), 2u);
+  EXPECT_EQ(m.count_stab(99.0), 1u);
+  EXPECT_FALSE(m.stab(101.0));
+}
+
+TEST(IntervalMap, LargeParallelBuild) {
+  auto xs = random_intervals(200000, 21, 1e6, 100.0);
+  imap m(xs);
+  EXPECT_EQ(m.size(), xs.size());
+  ASSERT_TRUE(m.check_valid());
+  pam::random_gen g(22);
+  for (int q = 0; q < 100; q++) {
+    double p = g.next_double() * 1e6;
+    ASSERT_EQ(m.stab(p), brute_stab(xs, p));
+  }
+}
+
+}  // namespace
+
+// --- additions: dynamic differential fuzz and integer coordinates ----------
+namespace {
+
+TEST(IntervalMap, DynamicDifferentialFuzz) {
+  // Interleave inserts, removes, stabs and report_alls against a vector
+  // oracle across several seeds.
+  for (uint64_t seed : {101ull, 202ull, 303ull}) {
+    pam::random_gen g(seed);
+    imap m;
+    std::vector<interval> oracle;
+    for (int step = 0; step < 3000; step++) {
+      int op = static_cast<int>(g.next() % 10);
+      if (op < 5 || oracle.empty()) {
+        double l = g.next_double() * 200.0;
+        interval x = {l, l + g.next_double() * 20.0};
+        m.insert(x);
+        oracle.push_back(x);
+      } else if (op < 7) {
+        size_t j = g.next_bounded(oracle.size());
+        m.remove(oracle[j]);
+        oracle.erase(oracle.begin() + static_cast<long>(j));
+      } else if (op < 9) {
+        double p = g.next_double() * 220.0 - 10.0;
+        ASSERT_EQ(m.stab(p), brute_stab(oracle, p)) << "seed " << seed;
+      } else {
+        double p = g.next_double() * 200.0;
+        auto got = m.report_all(p);
+        std::sort(got.begin(), got.end());
+        ASSERT_EQ(got, brute_report(oracle, p)) << "seed " << seed;
+      }
+    }
+    ASSERT_TRUE(m.check_valid());
+    ASSERT_EQ(m.size(), oracle.size());
+  }
+}
+
+TEST(IntervalMap, IntegerCoordinates) {
+  pam::interval_map<int64_t> m;
+  m.insert({1, 5});
+  m.insert({3, 3});
+  m.insert({-10, -2});
+  EXPECT_TRUE(m.stab(3));
+  EXPECT_TRUE(m.stab(-5));
+  EXPECT_FALSE(m.stab(0));
+  EXPECT_FALSE(m.stab(6));
+  EXPECT_EQ(m.report_all(3).size(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+// Tests for the weighted inverted index (paper Section 5.3) against
+// brute-force postings computed from the raw corpus, plus concurrency
+// tests for snapshot-isolated queries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/corpus.h"
+#include "apps/inverted_index.h"
+#include "util/random.h"
+
+namespace {
+
+using pam::corpus_word;
+using pam::inverted_index;
+using pam::posting;
+
+using brute_index = std::map<std::string, std::map<uint32_t, float>>;
+
+brute_index brute_of(const std::vector<posting>& ts) {
+  brute_index idx;
+  for (auto& t : ts) {
+    auto& slot = idx[corpus_word(t.word)];
+    auto it = slot.find(t.doc);
+    if (it == slot.end())
+      slot[t.doc] = t.weight;
+    else
+      it->second = std::max(it->second, t.weight);
+  }
+  return idx;
+}
+
+std::vector<posting> small_corpus(uint64_t seed, size_t n, uint32_t vocab,
+                                  uint32_t docs) {
+  std::vector<posting> ts(n);
+  pam::random_gen g(seed);
+  for (auto& t : ts) {
+    t.word = static_cast<uint32_t>(g.next() % vocab);
+    t.doc = static_cast<uint32_t>(g.next() % docs);
+    t.weight = static_cast<float>((g.next() % 1000) + 1);
+  }
+  return ts;
+}
+
+TEST(InvertedIndex, BuildProducesAllTerms) {
+  auto ts = small_corpus(1, 20000, 50, 200);
+  auto oracle = brute_of(ts);
+  inverted_index idx(ts);
+  EXPECT_EQ(idx.num_terms(), oracle.size());
+  for (auto& [term, docs] : oracle) {
+    auto pm = idx.postings(term);
+    ASSERT_EQ(pm.size(), docs.size()) << term;
+    for (auto& [d, w] : docs) {
+      auto got = pm.find(d);
+      ASSERT_TRUE(got.has_value());
+      ASSERT_FLOAT_EQ(*got, w);
+    }
+  }
+}
+
+TEST(InvertedIndex, MissingTermIsEmpty) {
+  inverted_index idx(small_corpus(2, 1000, 10, 50));
+  EXPECT_TRUE(idx.postings("zzzznotaword").empty());
+  EXPECT_TRUE(idx.query_and("zzzznotaword", corpus_word(0)).empty());
+}
+
+TEST(InvertedIndex, AndQueryMatchesBruteForce) {
+  auto ts = small_corpus(3, 30000, 30, 300);
+  auto oracle = brute_of(ts);
+  inverted_index idx(ts);
+  for (uint32_t a = 0; a < 10; a++) {
+    for (uint32_t b = 0; b < 10; b++) {
+      auto w1 = corpus_word(a), w2 = corpus_word(b);
+      auto got = idx.query_and(w1, w2);
+      auto &d1 = oracle[w1], &d2 = oracle[w2];
+      std::map<uint32_t, float> want;
+      for (auto& [d, w] : d1) {
+        auto it = d2.find(d);
+        if (it != d2.end()) want[d] = w + it->second;
+      }
+      ASSERT_EQ(got.size(), want.size()) << w1 << " AND " << w2;
+      for (auto& [d, w] : want) ASSERT_FLOAT_EQ(got.find(d).value(), w);
+    }
+  }
+}
+
+TEST(InvertedIndex, OrQueryMatchesBruteForce) {
+  auto ts = small_corpus(4, 20000, 25, 200);
+  auto oracle = brute_of(ts);
+  inverted_index idx(ts);
+  for (uint32_t a = 0; a < 8; a++) {
+    uint32_t b = a + 7;
+    auto w1 = corpus_word(a), w2 = corpus_word(b % 25);
+    auto got = idx.query_or(w1, w2);
+    auto &d1 = oracle[w1], &d2 = oracle[w2];
+    std::map<uint32_t, float> want = d1;
+    for (auto& [d, w] : d2) {
+      auto it = want.find(d);
+      if (it == want.end())
+        want[d] = w;
+      else
+        it->second += w;
+    }
+    ASSERT_EQ(got.size(), want.size());
+    for (auto& [d, w] : want) ASSERT_FLOAT_EQ(got.find(d).value(), w);
+  }
+}
+
+TEST(InvertedIndex, MultiTermAnd) {
+  auto ts = small_corpus(5, 40000, 20, 100);
+  auto oracle = brute_of(ts);
+  inverted_index idx(ts);
+  std::vector<std::string> terms = {corpus_word(0), corpus_word(1), corpus_word(2)};
+  auto got = idx.query_and_all(terms);
+  std::set<uint32_t> want;
+  for (auto& [d, w] : oracle[terms[0]]) {
+    if (oracle[terms[1]].count(d) && oracle[terms[2]].count(d)) want.insert(d);
+  }
+  ASSERT_EQ(got.size(), want.size());
+  got.for_each([&](uint32_t d, float) { ASSERT_TRUE(want.count(d)); });
+}
+
+TEST(InvertedIndex, TopKReturnsHeaviestInOrder) {
+  auto ts = small_corpus(6, 30000, 15, 2000);
+  auto oracle = brute_of(ts);
+  inverted_index idx(ts);
+  for (uint32_t a = 0; a < 5; a++) {
+    auto term = corpus_word(a);
+    auto pm = idx.postings(term);
+    for (size_t k : {1, 5, 10, 100, 100000}) {
+      auto got = inverted_index::top_k(pm, k);
+      // oracle: sort postings by weight descending
+      std::vector<std::pair<uint32_t, float>> all(oracle[term].begin(),
+                                                  oracle[term].end());
+      std::sort(all.begin(), all.end(),
+                [](auto& x, auto& y) { return x.second > y.second; });
+      size_t expect_n = std::min(k, all.size());
+      ASSERT_EQ(got.size(), expect_n);
+      for (size_t i = 0; i < expect_n; i++) {
+        // weights must match position-by-position (docs may tie)
+        ASSERT_FLOAT_EQ(got[i].second, all[i].second) << "k=" << k << " i=" << i;
+      }
+      // descending order
+      for (size_t i = 1; i < got.size(); i++)
+        ASSERT_GE(got[i - 1].second, got[i].second);
+    }
+  }
+}
+
+TEST(InvertedIndex, TopKOfAndQuery) {
+  // The paper's query: intersect two posting lists, return the 10 heaviest.
+  auto ts = small_corpus(7, 60000, 10, 3000);
+  auto oracle = brute_of(ts);
+  inverted_index idx(ts);
+  auto w1 = corpus_word(0), w2 = corpus_word(1);
+  auto result = idx.query_and(w1, w2);
+  auto top = inverted_index::top_k(result, 10);
+  std::vector<std::pair<uint32_t, float>> want;
+  for (auto& [d, w] : oracle[w1]) {
+    auto it = oracle[w2].find(d);
+    if (it != oracle[w2].end()) want.push_back({d, w + it->second});
+  }
+  std::sort(want.begin(), want.end(),
+            [](auto& x, auto& y) { return x.second > y.second; });
+  ASSERT_EQ(top.size(), std::min<size_t>(10, want.size()));
+  for (size_t i = 0; i < top.size(); i++) ASSERT_FLOAT_EQ(top[i].second, want[i].second);
+}
+
+TEST(InvertedIndex, FilterAboveMatchesScan) {
+  auto ts = small_corpus(8, 20000, 10, 500);
+  inverted_index idx(ts);
+  auto pm = idx.postings(corpus_word(0));
+  float theta = 800.0f;
+  auto got = inverted_index::filter_above(pm, theta);
+  size_t want = 0;
+  pm.for_each([&](uint32_t, float w) {
+    if (w > theta) want++;
+  });
+  EXPECT_EQ(got.size(), want);
+  got.for_each([&](uint32_t, float w) { EXPECT_GT(w, theta); });
+}
+
+TEST(InvertedIndex, ZipfCorpusGeneratorShape) {
+  // The synthetic corpus must be Zipf-skewed: the most frequent word's
+  // posting list should dwarf the median one.
+  pam::corpus_params p;
+  p.vocabulary = 2000;
+  p.num_docs = 500;
+  p.words_per_doc = 100;
+  auto c = pam::make_corpus(p);
+  ASSERT_EQ(c.triples.size(), 50000u);
+  std::map<uint32_t, size_t> freq;
+  for (auto& t : c.triples) freq[t.word]++;
+  // rank 0 must be much more frequent than rank 100
+  ASSERT_TRUE(freq.count(0));
+  ASSERT_GT(freq[0], 20 * std::max<size_t>(freq.count(100) ? freq[100] : 1, 1) / 10);
+  // determinism
+  auto c2 = pam::make_corpus(p);
+  EXPECT_EQ(c.triples.size(), c2.triples.size());
+  EXPECT_EQ(c.triples[123].word, c2.triples[123].word);
+  EXPECT_EQ(c.triples[123].doc, c2.triples[123].doc);
+}
+
+TEST(InvertedIndex, ConcurrentQueriesOnSharedIndex) {
+  // The paper's concurrency experiment: many users intersect shared posting
+  // lists at once, each building private result maps.
+  auto ts = small_corpus(9, 100000, 40, 2000);
+  auto oracle = brute_of(ts);
+  inverted_index idx(ts);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> users;
+  for (int u = 0; u < 8; u++) {
+    users.emplace_back([&, u] {
+      pam::random_gen g(u + 1);
+      for (int q = 0; q < 200; q++) {
+        auto w1 = corpus_word(g.next() % 40);
+        auto w2 = corpus_word(g.next() % 40);
+        auto res = idx.query_and(w1, w2);
+        size_t want = 0;
+        for (auto& [d, w] : oracle[w1])
+          if (oracle[w2].count(d)) want++;
+        if (res.size() != want) failures.fetch_add(1);
+        auto top = inverted_index::top_k(res, 10);
+        if (top.size() != std::min<size_t>(10, want)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : users) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace

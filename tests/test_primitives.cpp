@@ -1,0 +1,242 @@
+// Tests for the parallel sequence primitives (reduce/scan/pack/sort/...).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "parallel/merge_sort.h"
+#include "parallel/primitives.h"
+#include "parallel/sequence_ops.h"
+#include "util/random.h"
+
+namespace {
+
+std::vector<uint64_t> test_data(size_t n, uint64_t seed, uint64_t range) {
+  std::vector<uint64_t> v(n);
+  pam::random_gen g(seed);
+  for (auto& x : v) x = g.next() % range;
+  return v;
+}
+
+// ---------------------------------------------------------------- reduce --
+
+class ReduceSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ReduceSizes, MatchesSequentialSum) {
+  size_t n = GetParam();
+  auto v = test_data(n, n * 7 + 1, 1000);
+  uint64_t expect = std::accumulate(v.begin(), v.end(), uint64_t{0});
+  uint64_t got = pam::reduce(v.data(), n, [](uint64_t a, uint64_t b) { return a + b; },
+                             uint64_t{0});
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(ReduceSizes, MatchesSequentialMax) {
+  size_t n = GetParam();
+  auto v = test_data(n, n * 13 + 5, 1u << 30);
+  uint64_t expect = n == 0 ? 0 : *std::max_element(v.begin(), v.end());
+  uint64_t got = pam::reduce(v.data(), n,
+                             [](uint64_t a, uint64_t b) { return std::max(a, b); },
+                             uint64_t{0});
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceSizes,
+                         ::testing::Values(0, 1, 2, 7, 100, 4096, 4097, 100000,
+                                           1 << 20));
+
+// Non-commutative (but associative) combine: string concat on small input,
+// checking blocks fold in left-to-right order.
+TEST(Reduce, NonCommutativeAssociative) {
+  size_t n = 10000;
+  std::vector<std::string> v(n);
+  for (size_t i = 0; i < n; i++) v[i] = std::string(1, static_cast<char>('a' + i % 26));
+  std::string expect;
+  for (auto& s : v) expect += s;
+  std::string got = pam::reduce(v.data(), n,
+                                [](std::string a, const std::string& b) { return a + b; },
+                                std::string());
+  EXPECT_EQ(got, expect);
+}
+
+// ------------------------------------------------------------------ scan --
+
+class ScanSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ScanSizes, ExclusivePrefixSums) {
+  size_t n = GetParam();
+  auto v = test_data(n, n + 3, 50);
+  auto expect = v;
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; i++) {
+    uint64_t nxt = acc + expect[i];
+    expect[i] = acc;
+    acc = nxt;
+  }
+  auto got = v;
+  uint64_t total = pam::scan_exclusive(got.data(), n,
+                                       [](uint64_t a, uint64_t b) { return a + b; },
+                                       uint64_t{0});
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(0, 1, 2, 100, 4096, 4097, 12289, 1 << 20));
+
+// ------------------------------------------------------------- pack etc. --
+
+TEST(Pack, KeepsFlaggedInOrder) {
+  size_t n = 100001;
+  auto v = test_data(n, 99, 1000000);
+  std::vector<unsigned char> flags(n);
+  for (size_t i = 0; i < n; i++) flags[i] = (v[i] % 3 == 0);
+  auto got = pam::pack(v.data(), flags.data(), n);
+  std::vector<uint64_t> expect;
+  for (size_t i = 0; i < n; i++)
+    if (flags[i]) expect.push_back(v[i]);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Filter, MatchesStdCopyIf) {
+  size_t n = 54321;
+  auto v = test_data(n, 7, 1000);
+  auto got = pam::filter_seq(v.data(), n, [](uint64_t x) { return x < 100; });
+  std::vector<uint64_t> expect;
+  std::copy_if(v.begin(), v.end(), std::back_inserter(expect),
+               [](uint64_t x) { return x < 100; });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(PackIndices, FindsAllFlagPositions) {
+  size_t n = 70000;
+  std::vector<unsigned char> flags(n);
+  for (size_t i = 0; i < n; i++) flags[i] = (pam::hash64(i) % 7 == 0);
+  auto got = pam::pack_indices(flags.data(), n);
+  std::vector<size_t> expect;
+  for (size_t i = 0; i < n; i++)
+    if (flags[i]) expect.push_back(i);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Tabulate, ProducesFunctionValues) {
+  auto got = pam::tabulate<uint64_t>(100000, [](size_t i) { return i * i; });
+  ASSERT_EQ(got.size(), 100000u);
+  EXPECT_EQ(got[333], 333u * 333u);
+  EXPECT_EQ(got[99999], 99999ull * 99999ull);
+}
+
+// ------------------------------------------------------------------ sort --
+
+class SortSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SortSizes, MatchesStdStableSort) {
+  size_t n = GetParam();
+  auto v = test_data(n, n * 31 + 7, std::max<size_t>(n, 16));
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end());
+  pam::parallel_sort(v, std::less<uint64_t>());
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(0, 1, 2, 3, 100, 8192, 8193, 100000,
+                                           1 << 21));
+
+TEST(Sort, StableOnEqualKeys) {
+  // Sort (key, original_index) pairs by key only; equal keys must preserve
+  // index order.
+  size_t n = 200000;
+  std::vector<std::pair<uint32_t, uint32_t>> v(n);
+  pam::random_gen g(5);
+  for (size_t i = 0; i < n; i++)
+    v[i] = {static_cast<uint32_t>(g.next() % 64), static_cast<uint32_t>(i)};
+  pam::parallel_sort(v.data(), n,
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < n; i++) {
+    ASSERT_LE(v[i - 1].first, v[i].first);
+    if (v[i - 1].first == v[i].first) ASSERT_LT(v[i - 1].second, v[i].second);
+  }
+}
+
+TEST(Sort, AlreadySortedAndReversed) {
+  size_t n = 300000;
+  std::vector<uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  pam::parallel_sort(v, std::less<uint64_t>());
+  for (size_t i = 0; i < n; i++) ASSERT_EQ(v[i], i);
+  std::reverse(v.begin(), v.end());
+  pam::parallel_sort(v, std::less<uint64_t>());
+  for (size_t i = 0; i < n; i++) ASSERT_EQ(v[i], i);
+}
+
+TEST(Sort, AllEqualKeys) {
+  std::vector<uint64_t> v(100000, 7);
+  pam::parallel_sort(v, std::less<uint64_t>());
+  for (auto x : v) ASSERT_EQ(x, 7u);
+}
+
+// --------------------------------------------------- combine_sorted_runs --
+
+TEST(CombineSortedRuns, SumsDuplicateKeys) {
+  std::vector<std::pair<int, int>> a = {{1, 1}, {1, 2}, {2, 5}, {3, 1}, {3, 1},
+                                        {3, 1}, {9, 4}};
+  auto out = pam::combine_sorted_runs(
+      a, [](int x, int y) { return x < y; }, [](int x, int y) { return x + y; });
+  std::vector<std::pair<int, int>> expect = {{1, 3}, {2, 5}, {3, 3}, {9, 4}};
+  EXPECT_EQ(out, expect);
+}
+
+TEST(CombineSortedRuns, LeftToRightOrderWithNonCommutativeCombine) {
+  // combine = "take left" must keep the first value of each run,
+  // combine = "take right" must keep the last.
+  std::vector<std::pair<int, int>> a = {{1, 10}, {1, 20}, {1, 30}, {2, 7}};
+  auto first = pam::combine_sorted_runs(
+      a, [](int x, int y) { return x < y; }, [](int x, int) { return x; });
+  auto last = pam::combine_sorted_runs(
+      a, [](int x, int y) { return x < y; }, [](int, int y) { return y; });
+  EXPECT_EQ(first[0].second, 10);
+  EXPECT_EQ(last[0].second, 30);
+  EXPECT_EQ(first[1].second, 7);
+}
+
+TEST(CombineSortedRuns, LargeRandom) {
+  size_t n = 500000;
+  std::vector<std::pair<uint64_t, uint64_t>> a(n);
+  pam::random_gen g(11);
+  for (auto& kv : a) kv = {g.next() % 5000, g.next() % 100};
+  pam::parallel_sort(a.data(), n,
+                     [](const auto& x, const auto& y) { return x.first < y.first; });
+  auto got = pam::combine_sorted_runs(
+      a, [](uint64_t x, uint64_t y) { return x < y; },
+      [](uint64_t x, uint64_t y) { return x + y; });
+  // sequential oracle
+  std::vector<std::pair<uint64_t, uint64_t>> expect;
+  for (auto& kv : a) {
+    if (!expect.empty() && expect.back().first == kv.first)
+      expect.back().second += kv.second;
+    else
+      expect.push_back(kv);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(CombineSortedRuns, EmptyInput) {
+  std::vector<std::pair<int, int>> a;
+  auto out = pam::combine_sorted_runs(
+      a, [](int x, int y) { return x < y; }, [](int x, int y) { return x + y; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RunBoundaries, GroupsByKey) {
+  std::vector<int> a = {5, 5, 5, 7, 9, 9, 12};
+  auto idx = pam::run_boundaries(a, [](int x) { return x; },
+                                 [](int x, int y) { return x < y; });
+  std::vector<size_t> expect = {0, 3, 4, 6};
+  EXPECT_EQ(idx, expect);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Tests for the 2D range-tree application (paper Section 5.2) against
+// brute-force rectangle scans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "apps/range_tree.h"
+#include "util/random.h"
+
+namespace {
+
+using rtree = pam::range_tree<double, int64_t>;
+using point = rtree::point;
+
+std::vector<point> random_points(size_t n, uint64_t seed, double span) {
+  // Distinct (x, y) with high probability thanks to random doubles.
+  std::vector<point> ps(n);
+  pam::random_gen g(seed);
+  for (auto& p : ps) {
+    p.x = g.next_double() * span;
+    p.y = g.next_double() * span;
+    p.w = static_cast<int64_t>(g.next() % 100);
+  }
+  return ps;
+}
+
+int64_t brute_sum(const std::vector<point>& ps, double xlo, double xhi,
+                  double ylo, double yhi) {
+  int64_t s = 0;
+  for (auto& p : ps)
+    if (p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi) s += p.w;
+  return s;
+}
+
+size_t brute_count(const std::vector<point>& ps, double xlo, double xhi,
+                   double ylo, double yhi) {
+  size_t c = 0;
+  for (auto& p : ps)
+    if (p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi) c++;
+  return c;
+}
+
+std::vector<std::pair<double, double>> brute_points(const std::vector<point>& ps,
+                                                    double xlo, double xhi,
+                                                    double ylo, double yhi) {
+  std::vector<std::pair<double, double>> out;
+  for (auto& p : ps)
+    if (p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi)
+      out.push_back({p.x, p.y});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RangeTree, EmptyTree) {
+  rtree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.query_sum(0, 100, 0, 100), 0);
+  EXPECT_EQ(t.query_count(0, 100, 0, 100), 0u);
+  EXPECT_TRUE(t.query_points(0, 100, 0, 100).empty());
+}
+
+TEST(RangeTree, SinglePoint) {
+  rtree t(std::vector<point>{{5.0, 7.0, 42}});
+  EXPECT_EQ(t.query_sum(0, 10, 0, 10), 42);
+  EXPECT_EQ(t.query_sum(5, 5, 7, 7), 42);  // boundaries inclusive
+  EXPECT_EQ(t.query_sum(0, 4.9, 0, 10), 0);
+  EXPECT_EQ(t.query_sum(0, 10, 7.1, 10), 0);
+}
+
+TEST(RangeTree, InnerMapsMirrorSubtrees) {
+  auto ps = random_points(2000, 1, 100.0);
+  rtree t(ps);
+  ASSERT_TRUE(t.check_valid());  // every outer subtree's inner map size match
+  // The root's augmented inner map holds all points; its aug is the total.
+  int64_t total = 0;
+  for (auto& p : ps) total += p.w;
+  EXPECT_EQ(t.query_sum(-1, 101, -1, 101), total);
+}
+
+TEST(RangeTree, QuerySumMatchesBruteForce) {
+  for (uint64_t seed : {2ull, 3ull}) {
+    auto ps = random_points(3000, seed, 1000.0);
+    rtree t(ps);
+    pam::random_gen g(seed * 10);
+    for (int q = 0; q < 300; q++) {
+      double x1 = g.next_double() * 1000, x2 = g.next_double() * 1000;
+      double y1 = g.next_double() * 1000, y2 = g.next_double() * 1000;
+      double xlo = std::min(x1, x2), xhi = std::max(x1, x2);
+      double ylo = std::min(y1, y2), yhi = std::max(y1, y2);
+      ASSERT_EQ(t.query_sum(xlo, xhi, ylo, yhi),
+                brute_sum(ps, xlo, xhi, ylo, yhi))
+          << "rect " << xlo << "," << xhi << " x " << ylo << "," << yhi;
+    }
+  }
+}
+
+TEST(RangeTree, QueryCountMatchesBruteForce) {
+  auto ps = random_points(2500, 4, 500.0);
+  rtree t(ps);
+  pam::random_gen g(40);
+  for (int q = 0; q < 200; q++) {
+    double x1 = g.next_double() * 500, x2 = g.next_double() * 500;
+    double y1 = g.next_double() * 500, y2 = g.next_double() * 500;
+    double xlo = std::min(x1, x2), xhi = std::max(x1, x2);
+    double ylo = std::min(y1, y2), yhi = std::max(y1, y2);
+    ASSERT_EQ(t.query_count(xlo, xhi, ylo, yhi),
+              brute_count(ps, xlo, xhi, ylo, yhi));
+  }
+}
+
+TEST(RangeTree, QueryPointsMatchesBruteForce) {
+  auto ps = random_points(2000, 5, 300.0);
+  rtree t(ps);
+  pam::random_gen g(50);
+  for (int q = 0; q < 100; q++) {
+    double x1 = g.next_double() * 300, x2 = g.next_double() * 300;
+    double y1 = g.next_double() * 300, y2 = g.next_double() * 300;
+    double xlo = std::min(x1, x2), xhi = std::max(x1, x2);
+    double ylo = std::min(y1, y2), yhi = std::max(y1, y2);
+    auto got_pts = t.query_points(xlo, xhi, ylo, yhi);
+    std::vector<std::pair<double, double>> got;
+    int64_t got_w = 0;
+    for (auto& p : got_pts) {
+      got.push_back({p.x, p.y});
+      got_w += p.w;
+    }
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, brute_points(ps, xlo, xhi, ylo, yhi));
+    ASSERT_EQ(got_w, brute_sum(ps, xlo, xhi, ylo, yhi));
+  }
+}
+
+TEST(RangeTree, DegenerateRectangles) {
+  auto ps = random_points(500, 6, 100.0);
+  rtree t(ps);
+  // a rectangle that is a single point
+  auto& p0 = ps[123];
+  EXPECT_EQ(t.query_sum(p0.x, p0.x, p0.y, p0.y), p0.w);
+  EXPECT_EQ(t.query_count(p0.x, p0.x, p0.y, p0.y), 1u);
+  // empty (inverted) ranges
+  EXPECT_EQ(t.query_sum(50, 40, 0, 100), 0);
+  EXPECT_EQ(t.query_sum(0, 100, 50, 40), 0);
+  // slabs: full x range, thin y range and vice versa
+  EXPECT_EQ(t.query_sum(-1, 101, 20, 30), brute_sum(ps, -1, 101, 20, 30));
+  EXPECT_EQ(t.query_sum(20, 30, -1, 101), brute_sum(ps, 20, 30, -1, 101));
+}
+
+TEST(RangeTree, NodeSharingAcrossInnerTrees) {
+  // Paper Table 4: path copying lets inner trees share nodes with their
+  // children's inner trees, saving ~13.8% over the no-sharing theoretical
+  // count of n*log2(n) (one copy of every point per outer level).
+  int64_t inner_before = rtree::inner_nodes_used();
+  auto ps = random_points(4096, 7, 1000.0);
+  {
+    rtree t(ps);
+    int64_t inner_used = rtree::inner_nodes_used() - inner_before;
+    int64_t n = 4096;
+    int64_t theory = n * 12;  // n * log2(n), no sharing
+    EXPECT_LT(inner_used, theory);              // some sharing happened
+    EXPECT_GT(inner_used, theory / 2);          // but only ~10-20%, as in paper
+    double saving = 1.0 - static_cast<double>(inner_used) / static_cast<double>(theory);
+    EXPECT_GT(saving, 0.05);
+    EXPECT_LT(saving, 0.5);
+  }
+  EXPECT_EQ(rtree::inner_nodes_used(), inner_before);  // no leaks
+}
+
+TEST(RangeTree, IntegerCoordinates) {
+  pam::range_tree<int64_t, int64_t> t(
+      std::vector<pam::range_tree<int64_t, int64_t>::point>{
+          {1, 1, 5}, {2, 2, 7}, {3, 3, 11}, {2, 5, 13}});
+  EXPECT_EQ(t.query_sum(1, 3, 1, 3), 23);
+  EXPECT_EQ(t.query_sum(2, 2, 2, 2), 7);
+  EXPECT_EQ(t.query_sum(2, 2, 0, 10), 20);
+}
+
+}  // namespace

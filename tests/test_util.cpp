@@ -1,0 +1,118 @@
+// Tests for the utility layer: hashing, PRNG, Zipf sampling, env knobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/env.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "util/zipf.h"
+
+namespace {
+
+TEST(Hash64, DeterministicAndWellMixed) {
+  EXPECT_EQ(pam::hash64(42), pam::hash64(42));
+  EXPECT_NE(pam::hash64(42), pam::hash64(43));
+  // Avalanche smoke check: flipping one input bit flips ~half the output.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; bit += 7) {
+    uint64_t a = pam::hash64(0x12345678), b = pam::hash64(0x12345678ull ^ (1ull << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  double avg = total_flips / 10.0;
+  EXPECT_GT(avg, 20.0);
+  EXPECT_LT(avg, 44.0);
+}
+
+TEST(RandomGen, StreamsAreReproducibleAndIndependent) {
+  pam::random_gen a(5), b(5), c(6);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+  // fork() derives decorrelated streams
+  pam::random_gen base(9);
+  auto f1 = base.fork(1), f2 = base.fork(2);
+  EXPECT_NE(f1.next(), f2.next());
+  // ith() is a pure function
+  pam::random_gen d(11);
+  EXPECT_EQ(d.ith(100), pam::random_gen(11).ith(100));
+}
+
+TEST(RandomGen, BoundedAndDoubleRanges) {
+  pam::random_gen g(3);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(g.next_bounded(17), 17u);
+    double d = g.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  auto p = pam::random_permutation(1000, 5);
+  std::set<uint64_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 999u);
+  // not the identity (astronomically unlikely)
+  bool identity = true;
+  for (size_t i = 0; i < p.size(); i++)
+    if (p[i] != i) identity = false;
+  EXPECT_FALSE(identity);
+}
+
+TEST(Zipf, RanksAreSkewedAndInRange) {
+  pam::zipf_generator z(1000, 1.0, 42);
+  std::map<size_t, size_t> freq;
+  for (int i = 0; i < 200000; i++) {
+    size_t r = z();
+    ASSERT_LT(r, 1000u);
+    freq[r]++;
+  }
+  // Zipf s=1: f(0)/f(9) ~ 10; allow wide slack.
+  ASSERT_TRUE(freq.count(0));
+  ASSERT_TRUE(freq.count(9));
+  double ratio = static_cast<double>(freq[0]) / static_cast<double>(freq[9]);
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST(Zipf, Deterministic) {
+  pam::zipf_generator a(100, 1.2, 7), b(100, 1.2, 7);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a(), b());
+}
+
+TEST(Env, ParsesAndDefaults) {
+  ::setenv("PAM_TEST_ENV_L", "123", 1);
+  EXPECT_EQ(pam::env_long("PAM_TEST_ENV_L", 7), 123);
+  EXPECT_EQ(pam::env_long("PAM_TEST_ENV_MISSING", 7), 7);
+  ::setenv("PAM_TEST_ENV_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(pam::env_double("PAM_TEST_ENV_D", 1.0), 2.5);
+  ::unsetenv("PAM_TEST_ENV_L");
+  ::unsetenv("PAM_TEST_ENV_D");
+}
+
+TEST(ScaledSize, RespectsScaleEnv) {
+  ::unsetenv("PAM_BENCH_SCALE");
+  EXPECT_EQ(pam::scaled_size(1000), 1000u);
+  ::setenv("PAM_BENCH_SCALE", "0.5", 1);
+  EXPECT_EQ(pam::scaled_size(1000), 500u);
+  ::setenv("PAM_BENCH_SCALE", "0.00001", 1);
+  EXPECT_EQ(pam::scaled_size(1000), 1u);  // never scales to zero
+  ::unsetenv("PAM_BENCH_SCALE");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  pam::timer t;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; i++) sink = sink + pam::hash64(i);
+  double e = t.elapsed();
+  EXPECT_GT(e, 0.0);
+  t.reset();
+  EXPECT_LT(t.elapsed(), e + 1.0);
+}
+
+}  // namespace
