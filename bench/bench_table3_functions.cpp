@@ -26,12 +26,12 @@ using plain_t = plain_sum_map;                                // no augmentation
 using maxm_t = aug_map<max_entry<uint64_t, uint64_t>>;        // for aug_filter
 
 // "Augmented functions" on a NON-augmented tree: a range sum must scan
-// every entry in the range (paper Section 6.1).
-uint64_t scan_range_sum(const plain_t::node* t, uint64_t lo, uint64_t hi) {
-  if (t == nullptr) return 0;
-  if (t->key < lo) return scan_range_sum(t->right, lo, hi);
-  if (t->key > hi) return scan_range_sum(t->left, lo, hi);
-  return scan_range_sum(t->left, lo, hi) + t->value + scan_range_sum(t->right, lo, hi);
+// every entry in the range (paper Section 6.1). Walks read-only cursors.
+uint64_t scan_range_sum(plain_t::cursor t, uint64_t lo, uint64_t hi) {
+  if (t.empty()) return 0;
+  if (t.key() < lo) return scan_range_sum(t.right(), lo, hi);
+  if (t.key() > hi) return scan_range_sum(t.left(), lo, hi);
+  return scan_range_sum(t.left(), lo, hi) + t.value() + scan_range_sum(t.right(), lo, hi);
 }
 
 }  // namespace
@@ -117,6 +117,19 @@ int main() {
     row("Range", n, m, t1, tp);
   }
   {
+    // The lazy alternative: a range_view allocates no nodes; its size() is
+    // two rank queries against the shared tree.
+    size_t m = queries / 4;
+    auto los = keys_only(m, 6);
+    std::vector<uint64_t> sink(m);
+    auto [t1, tp] = seq_vs_par([&] {
+      parallel_for(0, m, [&](size_t i) {
+        sink[i] = A.view(los[i], los[i] + (~0ull / n)).size();
+      }, 64);
+    });
+    row("Range(view)", n, m, t1, tp);
+  }
+  {
     auto qs = keys_only(queries, 7);
     std::vector<uint64_t> sink(queries);
     auto [t1, tp] = seq_vs_par([&] {
@@ -188,7 +201,7 @@ int main() {
     std::vector<uint64_t> sink(m);
     auto [t1, tp] = seq_vs_par([&] {
       parallel_for(0, m, [&](size_t i) {
-        sink[i] = scan_range_sum(PA.internal_root(), qs[i], qs[i] + (~0ull / 4));
+        sink[i] = scan_range_sum(PA.root_cursor(), qs[i], qs[i] + (~0ull / 4));
       }, 1);
     });
     row("AugRange(scan)", n, m, t1, tp);

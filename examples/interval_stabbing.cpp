@@ -40,12 +40,19 @@ int main() {
   std::printf("after insert: t=1450 online: %s\n",
               online.stab(1450.0) ? "yes" : "no");
 
-  // report_all uses the pruned aug_filter: cost O(k log(n/k + 1)) for k
-  // results, not O(n) — find the sessions spanning a full hour boundary.
+  // report_all is a pruned read-only traversal: cost O(k log(n/k + 1)) for
+  // k results, not O(n), and no tree nodes are allocated — find the
+  // sessions spanning a full hour boundary.
   auto spanning = online.report_all(720.0);
   double longest = 0;
   for (auto& [l, r] : spanning) longest = std::max(longest, r - l);
   std::printf("sessions covering noon: %zu (longest %.1f min)\n", spanning.size(),
               longest);
+
+  // The underlying map is an ordered range: lazy views answer "sessions
+  // starting within an hour window" without copying anything.
+  auto hour = online.map().view({600.0, 0.0}, {660.0, 1e18});
+  std::printf("sessions starting 10:00-11:00: %zu (latest logout %.1f)\n",
+              hour.size(), hour.aug_val());
   return 0;
 }

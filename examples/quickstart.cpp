@@ -1,11 +1,13 @@
 // Quickstart: define an augmented map type, build it in parallel, and use
-// the full interface — insert/union/filter, range extraction, and the
-// augmented queries (aug_val / aug_left / aug_range / aug_filter).
+// the full interface — insert/union/filter, lazy range views, STL-style
+// iteration, and the augmented queries (aug_val / aug_left / aug_range /
+// aug_filter).
 //
 //   ./example_quickstart
 //
 // This is the paper's running example (Equation 1): an ordered map from
 // integer keys to integer values augmented with the sum of values.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -60,9 +62,32 @@ int main() {
   std::printf("sales > 90            : %zu entries, total %ld\n", big_sales.size(),
               big_sales.aug_val());
 
-  // Range extraction shares nodes with the source (O(log n) new nodes).
-  sales_map window = sales_map::range(merged, 1000, 2000);
-  std::printf("window [1000,2000]    : %zu entries\n", window.size());
+  // Lazy range views: no nodes are copied, yet the view answers size and
+  // augmented-sum queries in O(log n) and iterates in O(k).
+  auto window = merged.view(1000, 2000);
+  std::printf("window [1000,2000]    : %zu entries, sum %ld\n", window.size(),
+              window.aug_val());
+
+  // Maps are C++ ranges: in-order iteration with structured bindings.
+  long first_big = -1;
+  for (auto [t, amount] : merged.view(0, 5000)) {
+    if (amount > 90) {
+      first_big = t;
+      break;
+    }
+  }
+  std::printf("first sale > 90       at t=%ld\n", first_big);
+
+  // ... and work with <algorithm>: count the window's large sales.
+  auto big_in_window = std::count_if(window.begin(), window.end(),
+                                     [](auto e) { return e.value > 90; });
+  std::printf("window sales > 90     : %ld\n", static_cast<long>(big_in_window));
+
+  // Ordered sets are ranges too.
+  pam::pam_set<long> vip({7, 3, 11});
+  std::printf("vip timestamps        :");
+  for (auto [t, _] : vip) std::printf(" %ld", t);
+  std::printf("\n");
 
   // mapReduce: arbitrary parallel folds over entries.
   long max_amount = merged.map_reduce<long>(

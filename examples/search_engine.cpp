@@ -52,5 +52,21 @@ int main() {
   auto snapshot = index.postings(pam::corpus_word(0));
   std::printf("snapshot of '%s': %zu docs, max weight %.3f\n",
               pam::corpus_word(0).c_str(), snapshot.size(), snapshot.aug_val());
+
+  // Posting maps are ranges: stream a result lazily (no materialized
+  // vectors — the iterator walks the shared tree directly).
+  std::printf("first docs of the conjunction:");
+  size_t shown = 0;
+  for (auto [doc, w] : multi) {
+    std::printf(" %u(%.2f)", doc, w);
+    if (++shown == 5) break;
+  }
+  std::printf("\n");
+
+  // A lazy view restricted to a doc-id shard: e.g. docs 1000..1999 of a
+  // posting list, with the shard's max weight in O(log n).
+  auto shard = snapshot.view(1000, 1999);
+  std::printf("shard [1000,2000) of '%s': %zu docs, max weight %.3f\n",
+              pam::corpus_word(0).c_str(), shard.size(), shard.aug_val());
   return 0;
 }

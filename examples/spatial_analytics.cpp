@@ -5,6 +5,7 @@
 //
 //   ./example_spatial_analytics
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "apps/range_tree.h"
@@ -51,5 +52,12 @@ int main() {
   // unit weights, but works for any weights).
   size_t n_mid = tree.query_count(40.0, 50.0, 80.0, 120.0);
   std::printf("\nage 40-50 with salary $80K-$120K: %zu people\n", n_mid);
+
+  // The outer map is an ordered range over age: a lazy view answers
+  // one-dimensional questions (count, iteration) with no copying at all.
+  const double inf = std::numeric_limits<double>::max();
+  auto band = tree.outer().view({30.0, -inf}, {40.0, inf});
+  std::printf("people aged 30-40 (lazy view over the outer map): %zu\n",
+              band.size());
   return 0;
 }

@@ -62,27 +62,46 @@ class interval_map {
   // Is p covered by any interval? O(log n).
   bool stab(P p) const { return m_.aug_left(upper_key(p)) >= p; }
 
-  // All intervals containing p, via up_to + pruned aug_filter
-  // (O(k log(n/k + 1)) work for k results).
+  // All intervals containing p: a pruned read-only traversal. Subtrees
+  // whose max right endpoint is < p cannot contain a covering interval and
+  // are skipped; subtrees whose least left endpoint is > p are never
+  // entered. O(k log(n/k + 1)) work for k results, with zero node
+  // allocation (the old implementation materialized up_to + aug_filter
+  // intermediate maps).
   std::vector<interval> report_all(P p) const {
-    amap candidates = amap::up_to(m_, upper_key(p));
-    amap hits = amap::aug_filter(std::move(candidates),
-                                 [p](const P& max_right) { return max_right >= p; });
     std::vector<interval> out;
-    out.reserve(hits.size());
-    hits.for_each([&](const interval& k, const P&) { out.push_back(k); });
+    stab_visit(m_.root_cursor(), p, [&](const interval& x) { out.push_back(x); });
     return out;
   }
 
   // Number of intervals containing p (same pruned search, counted).
-  size_t count_stab(P p) const { return report_all(p).size(); }
+  size_t count_stab(P p) const {
+    size_t n = 0;
+    stab_visit(m_.root_cursor(), p, [&](const interval&) { n++; });
+    return n;
+  }
 
   const amap& map() const { return m_; }
   bool check_valid() const { return m_.check_valid(); }
 
  private:
+  using cursor = typename amap::cursor;
+
   // The largest key whose left endpoint is <= p.
   static interval upper_key(P p) { return {p, std::numeric_limits<P>::max()}; }
+
+  // Pruned stabbing traversal: t.aug() < p prunes the whole subtree (no
+  // interval in it reaches p); a node with left endpoint > p excludes
+  // itself and its right subtree (keys there start even later). Calls
+  // visit(interval) for every interval containing p, in key order.
+  template <typename Visit>
+  static void stab_visit(cursor t, P p, const Visit& visit) {
+    if (t.empty() || t.aug() < p) return;
+    stab_visit(t.left(), p, visit);
+    if (t.key().first > p) return;
+    if (t.value() >= p) visit(t.key());
+    stab_visit(t.right(), p, visit);
+  }
 
   amap m_;
 };

@@ -128,32 +128,31 @@ class inverted_index {
   // The k heaviest (doc, weight) pairs of a result map, heaviest first.
   // Best-first search over the max augmentation: a subtree is only expanded
   // if its cached maximum still beats the current frontier, so the search
-  // touches O(k log n) nodes instead of all n.
+  // touches O(k log n) nodes instead of all n. Traverses the tree through
+  // read-only cursors — no raw node access, no copies.
   static std::vector<std::pair<doc_id, weight>> top_k(const posting_map& m, size_t k) {
-    using node = typename posting_map::node;
+    using cursor = typename posting_map::cursor;
     struct item {
       weight w;
-      const node* subtree;  // null => settled entry
+      cursor subtree;  // empty => settled entry
       doc_id doc;
       weight doc_w;
       bool operator<(const item& o) const { return w < o.w; }
     };
     std::priority_queue<item> pq;
-    if (m.internal_root() != nullptr) {
-      pq.push({m.internal_root()->aug, m.internal_root(), 0, 0});
-    }
+    if (cursor root = m.root_cursor()) pq.push({root.aug(), root, 0, 0});
     std::vector<std::pair<doc_id, weight>> out;
     while (!pq.empty() && out.size() < k) {
       item it = pq.top();
       pq.pop();
-      if (it.subtree == nullptr) {
+      if (it.subtree.empty()) {
         out.emplace_back(it.doc, it.doc_w);
         continue;
       }
-      const node* t = it.subtree;
-      pq.push({t->value, nullptr, t->key, t->value});
-      if (t->left != nullptr) pq.push({t->left->aug, t->left, 0, 0});
-      if (t->right != nullptr) pq.push({t->right->aug, t->right, 0, 0});
+      cursor t = it.subtree;
+      pq.push({t.value(), cursor(), t.key(), t.value()});
+      if (cursor l = t.left()) pq.push({l.aug(), l, 0, 0});
+      if (cursor r = t.right()) pq.push({r.aug(), r, 0, 0});
     }
     return out;
   }
@@ -169,8 +168,7 @@ class inverted_index {
 
  private:
   static posting_map from_sorted_docs(const std::vector<typename posting_map::entry_t>& docs) {
-    return posting_map::from_root(
-        posting_map::ops::from_sorted_unique(docs.data(), docs.size()));
+    return posting_map::from_sorted(docs);
   }
 
   index_map index_;

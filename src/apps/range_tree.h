@@ -103,7 +103,7 @@ class range_tree {
   // O(log^2 n + k) for k results.
   std::vector<point> query_points(Coord xlo, Coord xhi, Coord ylo, Coord yhi) const {
     std::vector<point> out;
-    collect(outer_.internal_root(), xlo_key(xlo), xhi_key(xhi), ylo, yhi, out);
+    collect(outer_.root_cursor(), xlo_key(xlo), xhi_key(xhi), ylo, yhi, out);
     return out;
   }
 
@@ -113,11 +113,14 @@ class range_tree {
   static int64_t outer_nodes_used() { return outer_map::used_nodes(); }
   static int64_t inner_nodes_used() { return inner_map::used_nodes(); }
 
-  bool check_valid() const { return check_outer(outer_.internal_root()); }
+  bool check_valid() const {
+    return outer_.check_valid() && check_outer(outer_.root_cursor());
+  }
 
  private:
-  using onode = typename outer_map::node;
-  using oops = typename outer_map::ops;
+  using ocursor = typename outer_map::cursor;
+
+  static bool xless(const xy& a, const xy& b) { return outer_entry::comp(a, b); }
 
   static xy xlo_key(Coord x) { return {x, std::numeric_limits<Coord>::lowest()}; }
   static xy xhi_key(Coord x) { return {x, std::numeric_limits<Coord>::max()}; }
@@ -125,70 +128,69 @@ class range_tree {
   static xy yhi_key(Coord y) { return {y, std::numeric_limits<Coord>::max()}; }
 
   // Standard range-tree reporting: decompose the x-range into canonical
-  // subtrees, query each subtree's inner map by y.
-  void collect(const onode* t, const xy& lo, const xy& hi, Coord ylo, Coord yhi,
+  // subtrees (via read-only cursors), query each subtree's inner map by y.
+  void collect(ocursor t, const xy& lo, const xy& hi, Coord ylo, Coord yhi,
                std::vector<point>& out) const {
-    if (t == nullptr) return;
-    if (oops::less(t->key, lo)) {
-      collect(t->right, lo, hi, ylo, yhi, out);
+    if (t.empty()) return;
+    if (xless(t.key(), lo)) {
+      collect(t.right(), lo, hi, ylo, yhi, out);
       return;
     }
-    if (oops::less(hi, t->key)) {
-      collect(t->left, lo, hi, ylo, yhi, out);
+    if (xless(hi, t.key())) {
+      collect(t.left(), lo, hi, ylo, yhi, out);
       return;
     }
-    // t->key inside the x-range: left subtree is bounded above by hi, right
+    // t's key inside the x-range: left subtree is bounded above by hi, right
     // below by lo, so each needs only one-sided x filtering.
-    collect_geq(t->left, lo, ylo, yhi, out);
-    if (t->key.second >= ylo && t->key.second <= yhi)
-      out.push_back({t->key.first, t->key.second, t->value});
-    collect_leq(t->right, hi, ylo, yhi, out);
+    collect_geq(t.left(), lo, ylo, yhi, out);
+    if (t.key().second >= ylo && t.key().second <= yhi)
+      out.push_back({t.key().first, t.key().second, t.value()});
+    collect_leq(t.right(), hi, ylo, yhi, out);
   }
 
   // Report points with x-key >= lo (whole right subtrees are canonical).
-  void collect_geq(const onode* t, const xy& lo, Coord ylo, Coord yhi,
+  void collect_geq(ocursor t, const xy& lo, Coord ylo, Coord yhi,
                    std::vector<point>& out) const {
-    if (t == nullptr) return;
-    if (oops::less(t->key, lo)) {
-      collect_geq(t->right, lo, ylo, yhi, out);
+    if (t.empty()) return;
+    if (xless(t.key(), lo)) {
+      collect_geq(t.right(), lo, ylo, yhi, out);
       return;
     }
-    collect_geq(t->left, lo, ylo, yhi, out);
-    if (t->key.second >= ylo && t->key.second <= yhi)
-      out.push_back({t->key.first, t->key.second, t->value});
-    report_inner(t->right, ylo, yhi, out);
+    collect_geq(t.left(), lo, ylo, yhi, out);
+    if (t.key().second >= ylo && t.key().second <= yhi)
+      out.push_back({t.key().first, t.key().second, t.value()});
+    report_inner(t.right(), ylo, yhi, out);
   }
 
   // Report points with x-key <= hi.
-  void collect_leq(const onode* t, const xy& hi, Coord ylo, Coord yhi,
+  void collect_leq(ocursor t, const xy& hi, Coord ylo, Coord yhi,
                    std::vector<point>& out) const {
-    if (t == nullptr) return;
-    if (oops::less(hi, t->key)) {
-      collect_leq(t->left, hi, ylo, yhi, out);
+    if (t.empty()) return;
+    if (xless(hi, t.key())) {
+      collect_leq(t.left(), hi, ylo, yhi, out);
       return;
     }
-    report_inner(t->left, ylo, yhi, out);
-    if (t->key.second >= ylo && t->key.second <= yhi)
-      out.push_back({t->key.first, t->key.second, t->value});
-    collect_leq(t->right, hi, ylo, yhi, out);
+    report_inner(t.left(), ylo, yhi, out);
+    if (t.key().second >= ylo && t.key().second <= yhi)
+      out.push_back({t.key().first, t.key().second, t.value()});
+    collect_leq(t.right(), hi, ylo, yhi, out);
   }
 
-  // Query one canonical subtree's inner map by y and append the hits.
-  void report_inner(const onode* t, Coord ylo, Coord yhi,
+  // Query one canonical subtree's inner map by y and append the hits. A
+  // lazy view over the inner map: no range_copy, no node allocation.
+  void report_inner(ocursor t, Coord ylo, Coord yhi,
                     std::vector<point>& out) const {
-    if (t == nullptr) return;
-    inner_map hits = inner_map::range(t->aug, ylo_key(ylo), yhi_key(yhi));
-    hits.for_each([&](const xy& k, const W& w) {
+    if (t.empty()) return;
+    t.aug().view(ylo_key(ylo), yhi_key(yhi)).for_each([&](const xy& k, const W& w) {
       out.push_back({k.second, k.first, w});  // inner key is (y, x)
     });
   }
 
   // Validation: every outer subtree's inner map holds exactly its points.
-  bool check_outer(const onode* t) const {
-    if (t == nullptr) return true;
-    if (!outer_.check_valid()) return false;
-    if (oops::size(t) != t->aug.size()) return false;
-    return check_outer(t->left) && check_outer(t->right);
+  bool check_outer(ocursor t) const {
+    if (t.empty()) return true;
+    if (t.size() != t.aug().size()) return false;
+    return check_outer(t.left()) && check_outer(t.right());
   }
 
   outer_map outer_;

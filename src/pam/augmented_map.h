@@ -25,6 +25,10 @@
 // copy to keep the input alive, or std::move it to let the library recycle
 // nodes in place (the refcount==1 reuse optimization).
 //
+// Maps are also C++ forward ranges: begin()/end() iterate in key order
+// lazily, view(lo, hi)/view_all() give non-materializing range views, and
+// root_cursor() offers read-only structural traversal (see pam/iterator.h).
+//
 // Thread safety: any number of threads may run read-only queries on (their
 // copies of) maps concurrently, and bulk operations internally use all
 // workers. Distinct map handles may be updated from distinct threads; a
@@ -41,6 +45,7 @@
 
 #include "pam/aug_ops.h"
 #include "pam/balance/weight_balanced.h"
+#include "pam/iterator.h"
 
 namespace pam {
 
@@ -55,6 +60,10 @@ class aug_map {
   using entry_t = std::pair<K, V>;
   using entry_policy = Entry;
   using balance_policy = Balance;
+  using const_iterator = map_iterator<Entry, Balance>;
+  using iterator = const_iterator;
+  using view_type = range_view<Entry, Balance>;
+  using cursor = tree_cursor<Entry, Balance>;
 
   static constexpr bool has_aug = ops::traits::has_aug;
 
@@ -98,6 +107,12 @@ class aug_map {
 
   static aug_map singleton(const K& k, const V& v) {
     return aug_map(ops::make_single(k, v));
+  }
+
+  // Balanced O(n) construction from entries that are already sorted by key
+  // and duplicate-free (skips the sort + fold of the vector constructor).
+  static aug_map from_sorted(const std::vector<entry_t>& entries) {
+    return aug_map(ops::from_sorted_unique(entries.data(), entries.size()));
   }
 
   // --------------------------------------------------------- observers ----
@@ -231,6 +246,30 @@ class aug_map {
     return aug_map(ops::range_copy(m.root_, lo, hi));
   }
 
+  // ----------------------------------------------------------- lazy views --
+  // Non-materializing alternatives to up_to/down_to/range for read paths: a
+  // view is an O(1) snapshot of the tree (one refcount bump, zero node
+  // allocation) restricted to a key range. It offers size() and aug_val()
+  // in O(log n) and iteration / for_each in O(k + log n), and remains valid
+  // even if this map handle is reassigned afterwards.
+
+  // Entries with lo <= key <= hi.
+  view_type view(const K& lo, const K& hi) const {
+    return view_type(root_, lo, hi);
+  }
+  // The whole map as a view.
+  view_type view_all() const {
+    return view_type(root_, std::nullopt, std::nullopt);
+  }
+  // Entries with key <= k (lazy upTo).
+  view_type view_up_to(const K& k) const {
+    return view_type(root_, std::nullopt, k);
+  }
+  // Entries with key >= k (lazy downTo).
+  view_type view_down_to(const K& k) const {
+    return view_type(root_, k, std::nullopt);
+  }
+
   // ------------------------------------------------- augmented queries ----
   // (Only for augmented entries; see paper Figure 1, below the dashed line.)
 
@@ -270,6 +309,23 @@ class aug_map {
 
   // ------------------------------------------------- bulk read / iterate --
 
+  // In-order forward iteration: O(log n) begin(), amortized O(1) ++, and a
+  // {key, value} reference proxy supporting structured bindings, so a map
+  // is a range:  for (auto [k, v] : m) ...   Iterators borrow the map and
+  // must not outlive this handle (take a view_all() for a self-owning
+  // snapshot to iterate).
+  const_iterator begin() const { return const_iterator(root_); }
+  const_iterator end() const { return const_iterator(); }
+  // Iterator to the least entry with key >= k (end() if none). O(log n).
+  const_iterator lower_bound(const K& k) const {
+    return const_iterator(root_, &k, nullptr);
+  }
+
+  // Read-only structural cursor at the root: key/value/aug of each subtree
+  // plus left()/right() navigation. The safe replacement for raw node
+  // access — used for best-first searches and canonical decompositions.
+  cursor root_cursor() const { return cursor(root_); }
+
   // Parallel g2/f2 fold over all entries (paper mapReduce).
   template <typename B, typename M, typename R>
   B map_reduce(const M& g2, const R& f2, const B& id) const {
@@ -289,26 +345,24 @@ class aug_map {
     ops::foreach_inorder(root_, f);
   }
 
-  // All keys / all values, in key order.
+  // All keys / all values, in key order: one parallel projection pass
+  // straight out of the tree (no intermediate entry materialization).
   std::vector<K> keys() const {
-    auto es = entries();
-    std::vector<K> out;
-    out.reserve(es.size());
-    for (auto& e : es) out.push_back(std::move(e.first));
+    std::vector<K> out(size());
+    ops::project_to_array(root_, out.data(),
+                          [](const K& k, const V&) { return k; });
     return out;
   }
   std::vector<V> values() const {
-    auto es = entries();
-    std::vector<V> out;
-    out.reserve(es.size());
-    for (auto& e : es) out.push_back(std::move(e.second));
+    std::vector<V> out(size());
+    ops::project_to_array(root_, out.data(),
+                          [](const K&, const V& v) { return v; });
     return out;
   }
 
   // Number of entries with lo <= key <= hi, via two rank queries (O(log n)).
   size_t count_range(const K& lo, const K& hi) const {
-    if (Entry::comp(hi, lo)) return 0;
-    return ops::rank(root_, hi) - ops::rank(root_, lo) + (contains(hi) ? 1 : 0);
+    return ops::count_in_range(root_, &lo, &hi);
   }
 
   // ------------------------------------------- in-place conveniences ----
@@ -334,10 +388,6 @@ class aug_map {
   static int64_t used_nodes() { return ops::used_nodes(); }
   static constexpr size_t node_bytes() { return sizeof(node); }
   static const char* balance_name() { return Balance::name; }
-
-  // Escape hatch for library-internal composition (apps, tests).
-  node* internal_root() const { return root_; }
-  static aug_map from_root(node* owned) { return aug_map(owned); }
 
  private:
   explicit aug_map(node* owned_root) : root_(owned_root) {}

@@ -1,0 +1,331 @@
+// Lazy traversal over PAM trees: STL-compatible in-order iterators,
+// non-materializing range views, and read-only structural cursors.
+//
+// Three abstractions, all borrowing the tree instead of copying it:
+//
+//   map_iterator<Entry, Balance>   an in-order forward iterator with an
+//       explicit ancestor stack: O(log n) to construct, amortized O(1) per
+//       ++. Dereferencing yields a lightweight {key, value} reference proxy
+//       that works with structured bindings:
+//
+//           for (auto [k, v] : m) ...
+//
+//   range_view<Entry, Balance>     a lazy sub-range [lo, hi] of a map (or
+//       the whole map). Holds its own reference to the tree root, so it
+//       stays valid — a consistent snapshot — even if the map handle it
+//       came from is reassigned afterwards. Exposes size() and aug_val()
+//       as O(log n) queries and iteration / for_each in O(k + log n),
+//       without allocating a single tree node (contrast with
+//       aug_map::range, which path-copies O(log n) nodes).
+//
+//   tree_cursor<Entry, Balance>    a read-only cursor over tree structure:
+//       key/value/aug of the current subtree root plus navigation to
+//       left/right children. This replaces the old internal_root() raw-node
+//       escape hatch: applications that need structural traversal (e.g.
+//       best-first search over augmented values, range-tree canonical
+//       decomposition) get the shape of the tree without the ability to
+//       touch reference counts or mutate nodes.
+//
+// Lifetime rules: an iterator or cursor borrows from the map (or view) that
+// produced it and must not outlive it. A range_view owns a reference to its
+// snapshot of the tree and has no lifetime tie to the originating map.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pam/aug_ops.h"
+
+namespace pam {
+
+// ---------------------------------------------------------------- iterator --
+
+template <typename Entry, typename Balance>
+class map_iterator {
+ public:
+  using ops = aug_ops<Entry, Balance>;
+  using node = typename ops::node;
+  using K = typename Entry::key_t;
+  using V = typename Entry::val_t;
+
+  // The reference proxy: two references into the tree node, destructurable
+  // as `auto [k, v]` and convertible to a materialized std::pair.
+  struct entry_ref {
+    const K& key;
+    const V& value;
+    operator std::pair<K, V>() const { return {key, value}; }
+    friend bool operator==(const entry_ref& a, const std::pair<K, V>& b) {
+      return !Entry::comp(a.key, b.first) && !Entry::comp(b.first, a.key) &&
+             a.value == b.value;
+    }
+  };
+
+  struct arrow_proxy {
+    entry_ref ref;
+    const entry_ref* operator->() const { return &ref; }
+  };
+
+  using iterator_category = std::forward_iterator_tag;
+  using value_type = std::pair<K, V>;
+  using difference_type = std::ptrdiff_t;
+  using reference = entry_ref;
+  using pointer = arrow_proxy;
+
+  // The end (and default) iterator: an empty ancestor stack.
+  map_iterator() = default;
+
+  // Begin of an in-order walk over the whole tree rooted at t. Internal:
+  // obtained via aug_map::begin() / range_view::begin().
+  explicit map_iterator(const node* t) {
+    path_.reserve(kTypicalHeight);
+    push_left(t);
+  }
+
+  // Begin at the least key >= *lo (or the least key if lo is null), walking
+  // no further than *hi (inclusive; null = unbounded). `hi` is borrowed and
+  // must outlive the iterator — range_view stores it for exactly this.
+  map_iterator(const node* t, const K* lo, const K* hi) : hi_(hi) {
+    path_.reserve(kTypicalHeight);
+    if (lo == nullptr) {
+      push_left(t);
+    } else {
+      while (t != nullptr) {
+        if (ops::less(t->key, *lo)) {
+          t = t->right;  // everything here is below the range
+        } else {
+          path_.push_back(t);
+          t = t->left;
+        }
+      }
+    }
+    clamp();
+  }
+
+  entry_ref operator*() const {
+    const node* t = path_.back();
+    return {t->key, t->value};
+  }
+  arrow_proxy operator->() const { return {**this}; }
+
+  map_iterator& operator++() {
+    const node* t = path_.back();
+    path_.pop_back();
+    push_left(t->right);
+    clamp();
+    return *this;
+  }
+  map_iterator operator++(int) {
+    map_iterator old = *this;
+    ++*this;
+    return old;
+  }
+
+  // Iterators over the same tree are equal iff they sit on the same node;
+  // all exhausted iterators (including the default) are equal.
+  friend bool operator==(const map_iterator& a, const map_iterator& b) {
+    return a.current() == b.current();
+  }
+  friend bool operator!=(const map_iterator& a, const map_iterator& b) {
+    return !(a == b);
+  }
+
+ private:
+  // Deep enough for every balanced scheme at the 2^32-entry size cap; the
+  // stack grows past it only for degenerate treap draws.
+  static constexpr size_t kTypicalHeight = 64;
+
+  const node* current() const { return path_.empty() ? nullptr : path_.back(); }
+
+  void push_left(const node* t) {
+    while (t != nullptr) {
+      path_.push_back(t);
+      t = t->left;
+    }
+  }
+
+  // Enforce the inclusive upper bound: once the next in-order key exceeds
+  // *hi_, the iterator becomes end().
+  void clamp() {
+    if (hi_ != nullptr && !path_.empty() && ops::less(*hi_, path_.back()->key)) {
+      path_.clear();
+    }
+  }
+
+  // Ancestor stack: back() is the current node; the nodes below it are the
+  // ancestors whose entries (and right subtrees) are still to be visited.
+  std::vector<const node*> path_;
+  const K* hi_ = nullptr;
+};
+
+// ------------------------------------------------------------ tree cursor --
+
+// A read-only view of a subtree: the entry and augmented value cached at
+// its root, and navigation to the child subtrees. Borrows the tree — no
+// refcount traffic, so it is as cheap as a raw pointer but cannot violate
+// the persistence invariants. An empty cursor tests false.
+template <typename Entry, typename Balance>
+class tree_cursor {
+ public:
+  using ops = aug_ops<Entry, Balance>;
+  using node = typename ops::node;
+  using K = typename Entry::key_t;
+  using V = typename Entry::val_t;
+  using A = typename ops::A;
+
+  tree_cursor() = default;
+  // Internal: obtained via aug_map::root_cursor().
+  explicit tree_cursor(const node* t) : t_(t) {}
+
+  bool empty() const { return t_ == nullptr; }
+  explicit operator bool() const { return t_ != nullptr; }
+
+  // Entry stored at the subtree root.
+  const K& key() const { return t_->key; }
+  const V& value() const { return t_->value; }
+  // Cached augmented value of the whole subtree (identity for plain maps).
+  const A& aug() const { return t_->aug; }
+  // Number of entries in the subtree. O(1).
+  size_t size() const { return ops::size(t_); }
+
+  tree_cursor left() const { return tree_cursor(t_ == nullptr ? nullptr : t_->left); }
+  tree_cursor right() const { return tree_cursor(t_ == nullptr ? nullptr : t_->right); }
+
+  friend bool operator==(const tree_cursor& a, const tree_cursor& b) {
+    return a.t_ == b.t_;
+  }
+  friend bool operator!=(const tree_cursor& a, const tree_cursor& b) {
+    return !(a == b);
+  }
+
+ private:
+  const node* t_ = nullptr;
+};
+
+// ------------------------------------------------------------- range view --
+
+// A lazy, non-materializing view of the entries with lo <= key <= hi
+// (either bound optional). The view owns one reference to the tree root, so
+// it is an O(1) snapshot: reassigning or destroying the originating map
+// afterwards does not invalidate it. Nothing is copied or allocated beyond
+// that single refcount bump — iteration, for_each, size() and aug_val() all
+// run directly against the shared tree.
+template <typename Entry, typename Balance>
+class range_view {
+ public:
+  using ops = aug_ops<Entry, Balance>;
+  using node = typename ops::node;
+  using K = typename Entry::key_t;
+  using V = typename Entry::val_t;
+  using A = typename ops::A;
+  using entry_t = std::pair<K, V>;
+  using const_iterator = map_iterator<Entry, Balance>;
+  using iterator = const_iterator;
+
+  range_view() = default;
+
+  // Internal: borrows t and takes its own reference; obtained via
+  // aug_map::view / view_all / view_up_to / view_down_to.
+  range_view(const node* t, std::optional<K> lo, std::optional<K> hi)
+      : root_(ops::inc(const_cast<node*>(t))), lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  range_view(const range_view& o)
+      : root_(ops::inc(o.root_)), lo_(o.lo_), hi_(o.hi_) {}
+  range_view(range_view&& o) noexcept
+      : root_(o.root_), lo_(std::move(o.lo_)), hi_(std::move(o.hi_)) {
+    o.root_ = nullptr;
+  }
+  range_view& operator=(const range_view& o) {
+    if (this != &o) {
+      node* old = root_;
+      root_ = ops::inc(o.root_);
+      lo_ = o.lo_;
+      hi_ = o.hi_;
+      ops::dec(old);
+    }
+    return *this;
+  }
+  range_view& operator=(range_view&& o) noexcept {
+    std::swap(root_, o.root_);
+    std::swap(lo_, o.lo_);
+    std::swap(hi_, o.hi_);
+    return *this;
+  }
+  ~range_view() { ops::dec(root_); }
+
+  // ------------------------------------------------------------- queries --
+
+  // Number of entries in the range: two rank descents. O(log n).
+  size_t size() const {
+    return ops::count_in_range(root_, lo_.has_value() ? &*lo_ : nullptr,
+                               hi_.has_value() ? &*hi_ : nullptr);
+  }
+
+  bool empty() const { return begin() == end(); }  // O(log n)
+
+  // Least / greatest entry in the range. O(log n).
+  std::optional<entry_t> first() const {
+    const_iterator it = begin();
+    if (it == end()) return std::nullopt;
+    return entry_t(*it);
+  }
+
+  // Augmented value over the range: exactly aug_range / aug_left /
+  // aug_right / aug_val depending on which bounds are set. O(log n),
+  // allocation-free.
+  A aug_val() const {
+    static_assert(ops::traits::has_aug, "aug_val requires an augmented Entry");
+    if (lo_.has_value() && hi_.has_value()) return ops::aug_range(root_, *lo_, *hi_);
+    if (lo_.has_value()) return ops::aug_right(root_, *lo_);
+    if (hi_.has_value()) return ops::aug_left(root_, *hi_);
+    return ops::aug_val(root_);
+  }
+
+  // ----------------------------------------------------------- traversal --
+
+  const_iterator begin() const {
+    return const_iterator(root_, lo_.has_value() ? &*lo_ : nullptr,
+                          hi_.has_value() ? &*hi_ : nullptr);
+  }
+  const_iterator end() const { return const_iterator(); }
+
+  // Sequential in-order visit of the range: f(key, value).
+  // O(k + log n) for k entries, no allocation.
+  template <typename F>
+  void for_each(const F& f) const {
+    foreach_bounded(root_, lo_.has_value() ? &*lo_ : nullptr,
+                    hi_.has_value() ? &*hi_ : nullptr, f);
+  }
+
+  // Materialize the range when a vector is genuinely wanted. O(k + log n).
+  std::vector<entry_t> to_entries() const {
+    std::vector<entry_t> out;
+    out.reserve(size());
+    for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+ private:
+  // In-order traversal with pruning at the bounds. Once the recursion
+  // enters a subtree known to be inside a bound, that bound check is
+  // dropped, so total work is O(k + log n).
+  template <typename F>
+  static void foreach_bounded(const node* t, const K* lo, const K* hi, const F& f) {
+    if (t == nullptr) return;
+    if (lo != nullptr && ops::less(t->key, *lo))
+      return foreach_bounded(t->right, lo, hi, f);
+    if (hi != nullptr && ops::less(*hi, t->key))
+      return foreach_bounded(t->left, lo, hi, f);
+    foreach_bounded(t->left, lo, nullptr, f);  // keys < t->key <= *hi
+    f(t->key, t->value);
+    foreach_bounded(t->right, nullptr, hi, f);  // keys > t->key >= *lo
+  }
+
+  node* root_ = nullptr;
+  std::optional<K> lo_;
+  std::optional<K> hi_;
+};
+
+}  // namespace pam

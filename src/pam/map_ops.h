@@ -309,14 +309,22 @@ struct map_ops : tree_ops<Entry, Balance> {
     foreach_inorder(t->right, f);
   }
 
-  // Parallel in-order materialization into out[0, size(t)).
-  static void to_array(const node* t, entry_t* out) {
+  // Parallel in-order projection into out[0, size(t)): out[i] = f(k_i, v_i)
+  // for the i-th entry in key order. One pass, no intermediate entry array.
+  template <typename Out, typename F>
+  static void project_to_array(const node* t, Out* out, const F& f) {
     if (t == nullptr) return;
     size_t ls = size(t->left);
     par_do_if(
-        t->size >= par_cutoff(), [&] { to_array(t->left, out); },
-        [&] { to_array(t->right, out + ls + 1); });
-    out[ls] = entry_t(t->key, t->value);
+        t->size >= par_cutoff(), [&] { project_to_array(t->left, out, f); },
+        [&] { project_to_array(t->right, out + ls + 1, f); });
+    out[ls] = f(t->key, t->value);
+  }
+
+  // Parallel in-order materialization into out[0, size(t)).
+  static void to_array(const node* t, entry_t* out) {
+    project_to_array(t, out,
+                     [](const K& k, const V& v) { return entry_t(k, v); });
   }
 };
 

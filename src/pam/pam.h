@@ -22,5 +22,6 @@
 #include "pam/balance/treap.h"
 #include "pam/balance/weight_balanced.h"
 #include "pam/entries.h"
+#include "pam/iterator.h"
 #include "pam/snapshot.h"
 #include "parallel/parallel.h"

@@ -187,6 +187,29 @@ struct tree_ops : node_manager<Entry, Balance> {
     return acc;
   }
 
+  // Number of entries with key <= k (one descent).
+  static size_t rank_leq(const node* t, const K& k) {
+    size_t acc = 0;
+    while (t != nullptr) {
+      if (!less(k, t->key)) {
+        acc += size(t->left) + 1;
+        t = t->right;
+      } else {
+        t = t->left;
+      }
+    }
+    return acc;
+  }
+
+  // Number of entries with lo <= key <= hi (null = unbounded): two rank
+  // descents. Shared by aug_map::count_range and range_view::size.
+  static size_t count_in_range(const node* t, const K* lo, const K* hi) {
+    if (t == nullptr) return 0;
+    size_t upto_hi = hi != nullptr ? rank_leq(t, *hi) : size(t);
+    size_t below_lo = lo != nullptr ? rank(t, *lo) : 0;
+    return upto_hi > below_lo ? upto_hi - below_lo : 0;
+  }
+
   // The i-th entry in key order (0-based); null if i >= size.
   static const node* select(const node* t, size_t i) {
     while (t != nullptr) {

@@ -123,6 +123,39 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
           i++;
         }
       }
+      {
+        // Lockstep lazy iteration against the oracle: the iterator walk
+        // must visit exactly the oracle's entries, in order.
+        auto it = m.begin();
+        for (auto& [k, v] : oracle) {
+          ASSERT_TRUE(it != m.end());
+          ASSERT_EQ(it->key, k);
+          ASSERT_EQ(it->value, v);
+          ++it;
+        }
+        ASSERT_TRUE(it == m.end());
+      }
+      {
+        // A random bounded view walked in lockstep with the oracle's
+        // equivalent range, plus its O(log n) size/aug_val summaries.
+        K a = g.next() % kKeyRange, b = g.next() % kKeyRange;
+        K lo = std::min(a, b), hi = std::max(a, b);
+        auto view = m.view(lo, hi);
+        auto oit = oracle.lower_bound(lo);
+        size_t count = 0;
+        uint64_t sum = 0;
+        for (auto [k, v] : view) {
+          ASSERT_TRUE(oit != oracle.end() && oit->first <= hi);
+          ASSERT_EQ(k, oit->first);
+          ASSERT_EQ(v, oit->second);
+          ++oit;
+          count++;
+          sum += v;
+        }
+        ASSERT_TRUE(oit == oracle.end() || oit->first > hi);
+        ASSERT_EQ(view.size(), count);
+        ASSERT_EQ(view.aug_val(), sum);
+      }
       for (size_t r = 0; r < retained.size(); r++) {
         ASSERT_EQ(retained[r].size(), retained_oracle[r].size()) << "version " << r;
         uint64_t expect = 0;

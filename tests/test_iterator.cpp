@@ -1,0 +1,296 @@
+// Iterator & range-view tests: in-order iteration, lower_bound, bounded
+// views (contents, size, aug_val), cursors, and iterator validity under
+// persistence — cross-checked against entries()/aug_range() on random maps
+// for all four balancing schemes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pam/pam.h"
+#include "util/random.h"
+
+namespace {
+
+using K = uint64_t;
+using V = uint64_t;
+
+template <typename Balance>
+class IteratorTest : public ::testing::Test {
+ public:
+  using map_t = pam::aug_map<pam::sum_entry<K, V>, Balance>;
+  using entry_t = typename map_t::entry_t;
+
+  static map_t random_map(size_t n, uint64_t seed, uint64_t key_range) {
+    pam::random_gen g(seed);
+    std::vector<entry_t> es(n);
+    for (auto& e : es) e = {g.next() % key_range, g.next() % 1000};
+    return map_t(std::move(es));
+  }
+};
+
+using BalanceTypes = ::testing::Types<pam::weight_balanced, pam::avl_tree,
+                                      pam::red_black, pam::treap>;
+TYPED_TEST_SUITE(IteratorTest, BalanceTypes);
+
+TYPED_TEST(IteratorTest, EmptyMap) {
+  typename TestFixture::map_t m;
+  EXPECT_TRUE(m.begin() == m.end());
+  EXPECT_EQ(std::distance(m.begin(), m.end()), 0);
+  EXPECT_EQ(m.view_all().size(), 0u);
+  EXPECT_TRUE(m.view_all().begin() == m.view_all().end());
+  EXPECT_TRUE(m.root_cursor().empty());
+}
+
+TYPED_TEST(IteratorTest, InOrderMatchesEntries) {
+  for (size_t n : {1u, 2u, 100u, 5000u}) {
+    auto m = TestFixture::random_map(n, 42 + n, 3 * n);
+    auto es = m.entries();
+    size_t i = 0;
+    for (auto [k, v] : m) {
+      ASSERT_LT(i, es.size());
+      EXPECT_EQ(k, es[i].first);
+      EXPECT_EQ(v, es[i].second);
+      i++;
+    }
+    EXPECT_EQ(i, es.size());
+    EXPECT_EQ(static_cast<size_t>(std::distance(m.begin(), m.end())), m.size());
+  }
+}
+
+TYPED_TEST(IteratorTest, IteratorProxyAndAlgorithms) {
+  auto m = TestFixture::random_map(1000, 7, 500);
+  auto es = m.entries();
+  // operator-> through the arrow proxy.
+  auto it = m.begin();
+  EXPECT_EQ(it->key, es[0].first);
+  EXPECT_EQ(it->value, es[0].second);
+  // Post-increment returns the pre-increment position.
+  auto old = it++;
+  EXPECT_EQ(old->key, es[0].first);
+  EXPECT_EQ(it->key, es[1].first);
+  // <algorithm> interop on the forward range.
+  size_t big = static_cast<size_t>(
+      std::count_if(m.begin(), m.end(), [](auto e) { return e.value >= 500; }));
+  size_t expect = 0;
+  for (auto& [k, v] : es) expect += v >= 500;
+  EXPECT_EQ(big, expect);
+  auto found = std::find_if(m.begin(), m.end(),
+                            [&](auto e) { return e.key == es.back().first; });
+  EXPECT_TRUE(found != m.end());
+  EXPECT_EQ(found->value, es.back().second);
+}
+
+TYPED_TEST(IteratorTest, LowerBound) {
+  auto m = TestFixture::random_map(2000, 11, 1000);
+  auto es = m.entries();
+  pam::random_gen g(99);
+  for (int q = 0; q < 50; q++) {
+    K k = g.next() % 1200;
+    auto it = m.lower_bound(k);
+    auto oit = std::lower_bound(es.begin(), es.end(), k,
+                                [](const auto& e, K x) { return e.first < x; });
+    if (oit == es.end()) {
+      EXPECT_TRUE(it == m.end());
+    } else {
+      ASSERT_TRUE(it != m.end());
+      EXPECT_EQ(it->key, oit->first);
+    }
+  }
+}
+
+TYPED_TEST(IteratorTest, ViewContentsMatchEntries) {
+  auto m = TestFixture::random_map(3000, 5, 2000);
+  auto es = m.entries();
+  pam::random_gen g(17);
+  for (int q = 0; q < 40; q++) {
+    K a = g.next() % 2200, b = g.next() % 2200;
+    K lo = std::min(a, b), hi = std::max(a, b);
+    // Oracle: the entries() slice in [lo, hi].
+    std::vector<typename TestFixture::entry_t> expect;
+    for (auto& e : es)
+      if (e.first >= lo && e.first <= hi) expect.push_back(e);
+
+    auto view = m.view(lo, hi);
+    // size() via rank queries.
+    ASSERT_EQ(view.size(), expect.size()) << "lo=" << lo << " hi=" << hi;
+    EXPECT_EQ(view.size(), m.count_range(lo, hi));
+    // Iteration.
+    size_t i = 0;
+    for (auto [k, v] : view) {
+      ASSERT_LT(i, expect.size());
+      EXPECT_EQ(k, expect[i].first);
+      EXPECT_EQ(v, expect[i].second);
+      i++;
+    }
+    EXPECT_EQ(i, expect.size());
+    // for_each and to_entries agree with iteration.
+    std::vector<typename TestFixture::entry_t> collected;
+    view.for_each([&](K k, V v) { collected.emplace_back(k, v); });
+    EXPECT_EQ(collected, expect);
+    EXPECT_EQ(view.to_entries(), expect);
+    // aug_val matches the O(log n) aug_range and a manual sum.
+    V manual = 0;
+    for (auto& e : expect) manual += e.second;
+    EXPECT_EQ(view.aug_val(), m.aug_range(lo, hi));
+    EXPECT_EQ(view.aug_val(), manual);
+    // first / empty.
+    if (expect.empty()) {
+      EXPECT_TRUE(view.empty());
+      EXPECT_FALSE(view.first().has_value());
+    } else {
+      EXPECT_FALSE(view.empty());
+      EXPECT_EQ(view.first()->first, expect.front().first);
+    }
+  }
+}
+
+TYPED_TEST(IteratorTest, OneSidedAndFullViews) {
+  auto m = TestFixture::random_map(1500, 23, 1000);
+  auto es = m.entries();
+  K mid = 500;
+
+  auto up = m.view_up_to(mid);
+  auto down = m.view_down_to(mid);
+  // Both bounds are inclusive: an entry at exactly `mid` is in both views.
+  size_t n_leq = 0, n_geq = 0;
+  V sum_leq = 0, sum_geq = 0;
+  for (auto& [k, v] : es) {
+    if (k <= mid) {
+      n_leq++;
+      sum_leq += v;
+    }
+    if (k >= mid) {
+      n_geq++;
+      sum_geq += v;
+    }
+  }
+  EXPECT_EQ(up.size(), n_leq);
+  EXPECT_EQ(up.aug_val(), sum_leq);
+  EXPECT_EQ(down.size(), n_geq);
+  EXPECT_EQ(down.aug_val(), sum_geq);
+
+  auto all = m.view_all();
+  EXPECT_EQ(all.size(), m.size());
+  EXPECT_EQ(all.aug_val(), m.aug_val());
+  EXPECT_TRUE(std::equal(all.begin(), all.end(), es.begin(), es.end(),
+                         [](auto a, const auto& b) {
+                           return a.key == b.first && a.value == b.second;
+                         }));
+
+  // An inverted range is empty.
+  auto none = m.view(800, 100);
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_TRUE(none.begin() == none.end());
+}
+
+TYPED_TEST(IteratorTest, IterationUnderPersistence) {
+  // Iterate a snapshot while a derived copy churns: the snapshot's
+  // iteration must see exactly the original contents.
+  auto m = TestFixture::random_map(4000, 31, 10000);
+  auto snapshot = m;  // O(1) copy
+  auto expect = snapshot.entries();
+
+  using map_t = typename TestFixture::map_t;
+  pam::random_gen g(77);
+  auto it = snapshot.begin();  // iterator live across updates to the copy
+  size_t i = 0;
+  for (int round = 0; round < 200; round++) {
+    // Mutate the copy (insert + remove) while mid-iteration on the snapshot.
+    m = map_t::insert(std::move(m), g.next() % 20000, g.next() % 1000);
+    m = map_t::remove(std::move(m), g.next() % 20000);
+    ASSERT_TRUE(it != snapshot.end());
+    EXPECT_EQ(it->key, expect[i].first);
+    EXPECT_EQ(it->value, expect[i].second);
+    ++it;
+    i++;
+  }
+  // Finish the walk and verify the whole snapshot is untouched.
+  for (; it != snapshot.end(); ++it, ++i) {
+    EXPECT_EQ(it->key, expect[i].first);
+    EXPECT_EQ(it->value, expect[i].second);
+  }
+  EXPECT_EQ(i, expect.size());
+  EXPECT_TRUE(snapshot.check_valid());
+}
+
+TYPED_TEST(IteratorTest, ViewIsASnapshot) {
+  // A view holds its own reference: reassigning the source map does not
+  // disturb it.
+  using map_t = typename TestFixture::map_t;
+  auto m = TestFixture::random_map(1000, 13, 800);
+  V total = m.aug_val();
+  size_t n = m.size();
+  auto view = m.view_all();
+  m = map_t();  // drop the only map handle
+  EXPECT_EQ(view.size(), n);
+  EXPECT_EQ(view.aug_val(), total);
+  size_t count = 0;
+  for (auto [k, v] : view) count++;
+  EXPECT_EQ(count, n);
+}
+
+TYPED_TEST(IteratorTest, CursorTraversal) {
+  // An explicit in-order cursor walk reproduces entries(); cursor aug()
+  // matches the map-level augmentation.
+  auto m = TestFixture::random_map(2000, 3, 1500);
+  using cursor = typename TestFixture::map_t::cursor;
+  std::vector<typename TestFixture::entry_t> walked;
+  auto walk = [&](auto&& self, cursor t) -> void {
+    if (t.empty()) return;
+    self(self, t.left());
+    walked.emplace_back(t.key(), t.value());
+    self(self, t.right());
+  };
+  walk(walk, m.root_cursor());
+  EXPECT_EQ(walked, m.entries());
+  EXPECT_EQ(m.root_cursor().aug(), m.aug_val());
+  EXPECT_EQ(m.root_cursor().size(), m.size());
+}
+
+TYPED_TEST(IteratorTest, KeysValuesProjection) {
+  auto m = TestFixture::random_map(3000, 19, 2500);
+  auto es = m.entries();
+  auto ks = m.keys();
+  auto vs = m.values();
+  ASSERT_EQ(ks.size(), es.size());
+  ASSERT_EQ(vs.size(), es.size());
+  for (size_t i = 0; i < es.size(); i++) {
+    EXPECT_EQ(ks[i], es[i].first);
+    EXPECT_EQ(vs[i], es[i].second);
+  }
+}
+
+TEST(IteratorSetTest, PamSetIsARange) {
+  pam::pam_set<uint64_t> s(std::vector<uint64_t>{5, 1, 9, 3, 7});
+  std::vector<uint64_t> seen;
+  for (auto [k, unused] : s) seen.push_back(k);
+  EXPECT_EQ(seen, (std::vector<uint64_t>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(std::distance(s.begin(), s.end()), 5);
+}
+
+TEST(IteratorStringTest, NonTrivialKeyType) {
+  // Heap-allocated keys through views and iterators (the proxy hands out
+  // references into the tree, not copies).
+  using map_t = pam::pam_map<pam::map_entry<std::string, int>>;
+  map_t m({{"delta", 4},
+           {"alpha", 1},
+           {"echo", 5},
+           {"bravo", 2},
+           {"charlie", 3}});
+  auto view = m.view(std::string("bravo"), std::string("delta"));
+  std::string joined;
+  for (auto [k, v] : view) {
+    joined += k;
+    joined += ':';
+  }
+  EXPECT_EQ(joined, "bravo:charlie:delta:");
+  EXPECT_EQ(m.lower_bound("cat")->key, "charlie");
+}
+
+}  // namespace
