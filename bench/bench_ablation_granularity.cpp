@@ -24,11 +24,12 @@ int main() {
   const size_t n = scaled_size(2000000);
   auto ea = kv_entries(n, 1);
   auto eb = kv_entries(n, 2);
+  auto qkeys = keys_only(n / 4, 3);
   range_sum_map A(ea), B(eb);
   size_t saved = par_cutoff();
 
-  std::printf("\n%-10s %14s %14s %14s\n", "cutoff", "union(n,n) s", "build(n) s",
-              "filter(n) s");
+  std::printf("\n%-10s %14s %14s %14s %14s\n", "cutoff", "union(n,n) s",
+              "build(n) s", "filter(n) s", "mfind(n/4) s");
   for (size_t cutoff : {size_t{16}, size_t{64}, size_t{256}, size_t{512},
                         size_t{2048}, size_t{16384}, size_t{1} << 20}) {
     set_par_cutoff(cutoff);
@@ -40,7 +41,9 @@ int main() {
     double t_filter = timed_best(2, [&] {
       auto f = range_sum_map::filter(A, [](uint64_t k, uint64_t) { return k & 1; });
     });
-    std::printf("%-10zu %14.4f %14.4f %14.4f\n", cutoff, t_union, t_build, t_filter);
+    double t_mfind = timed_best(2, [&] { auto r = A.multi_find(qkeys); });
+    std::printf("%-10zu %14.4f %14.4f %14.4f %14.4f\n", cutoff, t_union, t_build,
+                t_filter, t_mfind);
   }
   set_par_cutoff(saved);
 

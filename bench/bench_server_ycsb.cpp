@@ -1,0 +1,175 @@
+// YCSB-style mixed read/write throughput for the serving layer
+// (src/server/): T client threads issue point ops against a preloaded
+// store, Zipf-distributed keys, under three workload mixes
+// (write-only, 50/50 "YCSB-A", 95/5 reads "YCSB-B").
+//
+// Two serving configurations are compared:
+//   * single-box     one snapshot_box<Map>; every write commits alone
+//                    through update() (per-op O(log n) + full writer
+//                    serialization) — the paper's §4 kernel used naively;
+//   * sharded+wc     sharded_map (S shards) fed through write_combiner:
+//                    point writes coalesce into per-shard multi_insert /
+//                    multi_delete batches, the paper's O(m log(n/m + 1))
+//                    bulk path, with writers of distinct shards running in
+//                    parallel.
+//
+// Acceptance gate (ISSUE 2): with >= 8 client threads the write-combining
+// sharded path must sustain >= 5x the single-box write throughput. The
+// final line prints the measured ratio.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "pam/pam.h"
+#include "server/kv_store.h"
+#include "util/zipf.h"
+
+namespace {
+using namespace pam;
+using namespace pam::bench;
+
+using K = uint64_t;
+using V = uint64_t;
+using map_t = pam_map<map_entry<K, V>>;
+using entry_t = map_t::entry_t;
+
+struct mix_result {
+  double ops_per_sec;
+  double write_ops_per_sec;
+};
+
+// One pre-generated request: read k, or write (k, v).
+struct request {
+  K key;
+  V value;
+  bool is_read;
+};
+
+// Pre-generate each client's request stream (YCSB practice: the generator's
+// cost must not be billed to the store). Keys are Zipf ranks scattered over
+// the universe with the same hash used to preload, so hot keys hit existing
+// entries spread across the whole key space (and thus across shards).
+std::vector<std::vector<request>> make_streams(int threads,
+                                               size_t ops_per_thread,
+                                               int read_pct, size_t universe) {
+  std::vector<std::vector<request>> streams(threads);
+  for (int c = 0; c < threads; c++) {
+    zipf_generator zipf(universe, 0.99, 1000 + c);
+    random_gen g(500 + c);
+    streams[c].reserve(ops_per_thread);
+    for (size_t i = 0; i < ops_per_thread; i++) {
+      K k = hash64(zipf()) % universe;
+      streams[c].push_back(
+          {k, g.next() % 1000, int(g.next() % 100) < read_pct});
+    }
+  }
+  return streams;
+}
+
+// Replay the streams on `threads` clients against one serving path.
+// do_read(k) / do_write(k, v) define the path; `barrier` commits
+// outstanding buffered writes before the clock stops.
+template <typename Read, typename Write, typename Barrier>
+mix_result run_mix(const std::vector<std::vector<request>>& streams,
+                   int read_pct, const Read& do_read, const Write& do_write,
+                   const Barrier& barrier) {
+  std::atomic<size_t> sink{0};
+  std::vector<std::thread> clients;
+  timer t;
+  for (const auto& stream : streams) {
+    clients.emplace_back([&] {
+      size_t hits = 0;
+      for (const request& r : stream) {
+        if (r.is_read) {
+          if (do_read(r.key)) hits++;
+        } else {
+          do_write(r.key, r.value);
+        }
+      }
+      sink.fetch_add(hits);
+    });
+  }
+  for (auto& c : clients) c.join();
+  barrier();
+  double secs = t.elapsed();
+  double total = 0;
+  for (const auto& s : streams) total += double(s.size());
+  double writes = total * (100 - read_pct) / 100.0;
+  return {total / secs, writes / secs};
+}
+
+}  // namespace
+
+int main() {
+  print_header("bench_server_ycsb",
+               "serving layer: write-combining sharded ingest vs single "
+               "snapshot_box (paper SS4 concurrency, Table 2 bulk bounds)");
+
+  const size_t n = scaled_size(200000);   // preloaded entries
+  const size_t universe = n * 2;          // half the ops miss / insert fresh
+  const int threads = std::max(8, num_workers());
+  const size_t ops = scaled_size(40000);  // per client thread
+  const size_t shards = 16;
+
+  std::printf("preload n=%zu  universe=%zu  clients=%d  ops/client=%zu  "
+              "shards=%zu  zipf s=0.99\n\n",
+              n, universe, threads, ops, shards);
+
+  auto preload = kv_entries(n, 11, universe);
+  double gate_ratio = 0.0;
+
+  std::printf("%-12s %-14s %12s %12s %14s\n", "mix", "path", "ops/s", "writes/s",
+              "write-speedup");
+  for (int read_pct : {0, 50, 95}) {
+    auto streams = make_streams(threads, ops, read_pct, universe);
+
+    // --- single snapshot_box, per-op commits --------------------------------
+    snapshot_box<map_t> box(map_t{std::vector<entry_t>(preload)});
+    auto single = run_mix(
+        streams, read_pct,
+        [&](K k) { return box.snapshot().find(k).has_value(); },
+        [&](K k, V v) {
+          box.update([&](map_t m) { return map_t::insert(std::move(m), k, v); });
+        },
+        [] {});
+
+    // --- sharded_map + write_combiner ---------------------------------------
+    kv_store<map_t> store(map_t{std::vector<entry_t>(preload)},
+                          {.num_shards = shards,
+                           .combiner = {.batch_size = 8192,
+                                        .flush_interval =
+                                            std::chrono::milliseconds(2)}});
+    auto combined = run_mix(
+        streams, read_pct,
+        [&](K k) { return store.get(k).has_value(); },
+        [&](K k, V v) { store.put(k, v); },
+        [&] { store.flush(); });
+
+    const char* label = read_pct == 0 ? "write-only"
+                        : read_pct == 50 ? "50/50 (A)" : "95/5 (B)";
+    double ratio = read_pct == 100 ? 0.0
+                   : combined.write_ops_per_sec / single.write_ops_per_sec;
+    std::printf("%-12s %-14s %12.0f %12.0f %14s\n", label, "single-box",
+                single.ops_per_sec, single.write_ops_per_sec, "1.0x");
+    std::printf("%-12s %-14s %12.0f %12.0f %13.1fx\n", label, "sharded+wc",
+                combined.ops_per_sec, combined.write_ops_per_sec, ratio);
+    if (read_pct == 0) gate_ratio = ratio;
+
+    auto st = store.ingest_stats();
+    std::printf("%-12s %-14s enqueued=%llu committed=%llu batches=%llu "
+                "(avg batch %.0f)\n\n",
+                "", "  ingest",
+                (unsigned long long)st.ops_enqueued,
+                (unsigned long long)st.ops_committed,
+                (unsigned long long)st.batches_flushed,
+                st.batches_flushed ? double(st.ops_committed) / st.batches_flushed
+                                   : 0.0);
+  }
+
+  std::printf("write-combining speedup at %d client threads (write-only): "
+              "%.1fx  [acceptance target >= 5x]\n",
+              threads, gate_ratio);
+  return gate_ratio >= 5.0 ? 0 : 1;
+}

@@ -74,6 +74,9 @@ class map_iterator {
   using reference = entry_ref;
   using pointer = arrow_proxy;
 
+  // Tag selecting the seek-to-last constructor.
+  struct seek_last_t {};
+
   // The end (and default) iterator: an empty ancestor stack.
   map_iterator() = default;
 
@@ -102,6 +105,35 @@ class map_iterator {
       }
     }
     clamp();
+  }
+
+  // Seek to the greatest key <= *hi that is also >= *lo (either bound may be
+  // null = unbounded): one O(log n) descent from the high bound. The stack is
+  // left in the normal in-order state, so ++ from here walks to the in-order
+  // successor and then clamps to end() — this is how range_view::last() gets
+  // its entry without touching the O(k) forward walk.
+  map_iterator(const node* t, const K* lo, const K* hi, seek_last_t) : hi_(hi) {
+    path_.reserve(kTypicalHeight);
+    const node* best = nullptr;
+    size_t best_depth = 0;
+    while (t != nullptr) {
+      if (hi != nullptr && ops::less(*hi, t->key)) {
+        path_.push_back(t);  // a future in-order successor of the result
+        t = t->left;
+      } else {
+        best = t;
+        best_depth = path_.size();
+        t = t->right;
+      }
+    }
+    if (best == nullptr || (lo != nullptr && ops::less(best->key, *lo))) {
+      path_.clear();  // range is empty
+      return;
+    }
+    // Nodes pushed while exploring best->right are > *hi and sit above the
+    // result in in-order; drop them so best is the current node.
+    path_.resize(best_depth);
+    path_.push_back(best);
   }
 
   entry_ref operator*() const {
@@ -269,6 +301,14 @@ class range_view {
   std::optional<entry_t> first() const {
     const_iterator it = begin();
     if (it == end()) return std::nullopt;
+    return entry_t(*it);
+  }
+
+  std::optional<entry_t> last() const {
+    const_iterator it(root_, lo_.has_value() ? &*lo_ : nullptr,
+                      hi_.has_value() ? &*hi_ : nullptr,
+                      typename const_iterator::seek_last_t{});
+    if (it == const_iterator()) return std::nullopt;
     return entry_t(*it);
   }
 

@@ -273,10 +273,12 @@ struct map_ops : tree_ops<Entry, Balance> {
   }
 
   // Batch lookup: out[i] = value at keys[i] (or nullopt), all lookups in
-  // parallel. Borrows t; O(m log n) work, O(log n) span.
+  // parallel. Borrows t; O(m log n) work, O(log n) span. Honors the same
+  // granularity knob as the tree recursions so the ablation sweep covers it.
   static void multi_find(const node* t, const K* keys, size_t m,
                          std::optional<V>* out) {
-    parallel_for(0, m, [&](size_t i) { out[i] = TO::find(t, keys[i]); }, 64);
+    parallel_for(0, m, [&](size_t i) { out[i] = TO::find(t, keys[i]); },
+                 par_cutoff());
   }
 
   // Same-shape value transform (the paper's `map`): a new tree with

@@ -7,8 +7,15 @@
 // protocol — writers are sequentialized either way, and the critical
 // sections here are O(1) refcount bumps. Batched updates (the recommended
 // pattern) go through update() with a multi_insert inside.
+//
+// The serving layer (src/server/) builds on two small extensions: a
+// monotonic version counter (bumped on every committed store/update), and
+// an external-lock protocol (lock() + peek()) that lets sharded_map take a
+// consistent cut across many boxes by holding all their snapshot mutexes
+// for the O(S) duration of S refcount bumps.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <utility>
 
@@ -27,10 +34,24 @@ class snapshot_box {
     return current_;
   }
 
+  // Snapshot plus the version it corresponds to.
+  std::pair<Map, uint64_t> snapshot_versioned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {current_, version_};
+  }
+
+  // Number of commits (store / update) ever applied. Monotonic; a reader
+  // can compare versions from two snapshots to detect intervening writes.
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return version_;
+  }
+
   // Replace the shared instance.
   void store(Map m) {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = std::move(m);
+    ++version_;
   }
 
   // Atomically apply f : Map -> Map to the shared instance. Writers are
@@ -49,13 +70,27 @@ class snapshot_box {
     {
       std::lock_guard<std::mutex> lock(mu_);
       current_ = std::move(next);
+      ++version_;
     }
   }
+
+  // --------------------------------------------- multi-box consistent cut --
+  // For an atomic snapshot across several boxes: lock() each box (always in
+  // one global order to avoid deadlock), peek() each while the locks are
+  // held, then drop the locks. No update can commit at any locked box in
+  // between, so the peeked maps form a consistent cut. peek() must only be
+  // called while the lock returned by lock() on the same box is alive.
+  std::unique_lock<std::mutex> lock() const {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+  const Map& peek() const { return current_; }
+  uint64_t peek_version() const { return version_; }
 
  private:
   mutable std::mutex mu_;  // guards current_ (held only for O(1) copies)
   std::mutex writer_mu_;   // serializes whole read-modify-write updates
   Map current_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace pam

@@ -1,0 +1,105 @@
+// kv_store: the serving-layer facade — a sharded_map fronted by a
+// write_combiner, wired together with one options struct.
+//
+// This is the deployment shape the paper's §4 sketches for a query server:
+// many client threads issue point puts/erases and reads; writes ride the
+// combiner onto the O(m log(n/m + 1)) bulk path per shard, reads run
+// against immutable snapshots and never block writers (or each other).
+//
+//     kv_store<Map> store(initial_map, {.num_shards = 16});
+//     store.put(k, v);            // buffered; durable after the next flush
+//     store.flush();              // barrier: all prior puts are committed
+//     store.get(k);               // committed read, one shard snapshot
+//     auto snap = store.snapshot();          // consistent cut, O(S)
+//     snap.for_each_range(lo, hi, f);        // stitched in-order walk
+//
+// Writes are eventually visible (bounded by batch_size / flush_interval);
+// flush() is the barrier when read-your-writes is needed. All members are
+// safe to call from any thread.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "server/sharded_map.h"
+#include "server/write_combiner.h"
+
+namespace pam {
+
+template <typename Map>
+class kv_store {
+ public:
+  using K = typename Map::K;
+  using V = typename Map::V;
+  using A = typename Map::A;
+  using entry_t = typename Map::entry_t;
+  using snapshot_type = sharded_snapshot<Map>;
+
+  struct options {
+    // Shard count for quantile partitioning of `initial`. Quantiles can
+    // only be inferred from existing keys: an empty initial map collapses
+    // to ONE shard (no write parallelism) — a fresh store should set
+    // `splitters` instead.
+    size_t num_shards = 16;
+    // Explicit shard splitters; when non-empty they take precedence over
+    // num_shards (S-1 splitters make S shards).
+    std::vector<K> splitters{};
+    typename write_combiner<Map>::config combiner{};
+  };
+
+  explicit kv_store(Map initial = Map{}, options opt = {})
+      : shards_(opt.splitters.empty()
+                    ? sharded_map<Map>(std::move(initial), opt.num_shards)
+                    : sharded_map<Map>(std::move(initial),
+                                       std::move(opt.splitters))),
+        combiner_(shards_, opt.combiner) {}
+
+  // ------------------------------------------------------------- writes --
+
+  // Buffered point upsert / delete (see write_combiner for the batching
+  // contract). Visible after the next flush of the owning shard.
+  void put(const K& k, const V& v) { combiner_.upsert(k, v); }
+  void erase(const K& k) { combiner_.erase(k); }
+
+  // Barrier: every put/erase issued before this call is committed on return.
+  void flush() { combiner_.flush_all(); }
+
+  // Bulk writes bypass the combiner: they are already batches, and commit
+  // before returning. Mixing bulk and buffered writes to the same key is
+  // racy by construction — flush() first if ordering matters.
+  void put_batch(std::vector<entry_t> updates) {
+    shards_.multi_insert(std::move(updates));
+  }
+  void erase_batch(std::vector<K> keys) { shards_.multi_delete(std::move(keys)); }
+
+  // -------------------------------------------------------------- reads --
+  // All reads see committed state only (pending buffered writes excluded).
+
+  std::optional<V> get(const K& k) const { return shards_.find(k); }
+
+  std::vector<std::optional<V>> multi_get(const std::vector<K>& keys) const {
+    return shards_.multi_find(keys);
+  }
+
+  // A consistent cut across every shard; all stitched range/aug queries
+  // (for_each_range, count_range, aug_range, entries) live on the snapshot.
+  snapshot_type snapshot() const { return shards_.snapshot_all(); }
+
+  size_t size() const { return shards_.size(); }
+
+  // ------------------------------------------------------ introspection --
+
+  sharded_map<Map>& shards() { return shards_; }
+  const sharded_map<Map>& shards() const { return shards_; }
+  typename write_combiner<Map>::stats_snapshot ingest_stats() const {
+    return combiner_.stats();
+  }
+
+ private:
+  sharded_map<Map> shards_;
+  write_combiner<Map> combiner_;
+};
+
+}  // namespace pam

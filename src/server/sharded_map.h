@@ -1,0 +1,366 @@
+// sharded_map: the key space partitioned across S independent snapshot_box
+// shards behind a shard directory (sorted splitter keys).
+//
+// The paper's §4 concurrency pattern serializes all writers of one map on a
+// single writer lock. Sharding recovers write parallelism at the serving
+// layer: shard s owns keys in [splitter[s-1], splitter[s]), each shard is
+// its own snapshot_box, and writers touching disjoint ranges commit
+// concurrently. Readers keep the O(1)-snapshot property:
+//
+//   * snapshot_shard(s)   one shard, O(1), uncoordinated;
+//   * snapshot_all()      a *consistent cut* across every shard — all shard
+//                         snapshot mutexes are taken in index order, each
+//                         root is peeked (a refcount bump), and the locks
+//                         drop. No commit can land anywhere in between, so
+//                         the S maps form one atomic version of the store.
+//
+// Bulk writes (multi_insert / multi_delete) partition the batch by shard in
+// O(m) and run the per-shard merges in parallel, so the paper's
+// O(m log(n/m + 1)) bulk path applies within every shard. Range and
+// augmented queries stitch per-shard range_views in shard order: shard
+// ranges tile the key space, so concatenating per-shard in-order walks is a
+// global in-order walk.
+//
+// Thread safety: every public member is safe to call from any thread. The
+// splitter directory is immutable after construction (resharding = build a
+// new sharded_map), which is what lets shard_of run lock-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pam/snapshot.h"
+#include "parallel/parallel.h"
+
+namespace pam {
+
+namespace server_internal {
+// Index of the shard owning key k under a sorted splitter directory: the
+// number of splitters <= k (a splitter key belongs to the shard on its
+// right). O(log S), lock-free — the directory is immutable.
+template <typename K, typename Comp>
+size_t shard_index(const std::vector<K>& splitters, const K& k, const Comp& comp) {
+  size_t lo = 0, hi = splitters.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (comp(k, splitters[mid])) hi = mid; else lo = mid + 1;
+  }
+  return lo;
+}
+}  // namespace server_internal
+
+// A consistent cut of a sharded_map: one immutable Map per shard plus the
+// shared splitter directory. Value type — copies are O(S) refcount bumps —
+// with read-only queries that stitch the shards back into one key space.
+template <typename Map>
+class sharded_snapshot {
+ public:
+  using K = typename Map::K;
+  using V = typename Map::V;
+  using A = typename Map::A;
+  using entry_t = typename Map::entry_t;
+  using view_type = typename Map::view_type;
+  using entry_policy = typename Map::entry_policy;
+
+  // The default snapshot is empty (no shards): every query answers as the
+  // empty map rather than touching a null directory.
+  sharded_snapshot() = default;
+  sharded_snapshot(std::vector<Map> shards,
+                   std::shared_ptr<const std::vector<K>> splitters)
+      : shards_(std::move(shards)), splitters_(std::move(splitters)) {}
+
+  size_t num_shards() const { return shards_.size(); }
+  const Map& shard(size_t s) const { return shards_[s]; }
+
+  // Index of the shard owning key k: the first splitter greater than k.
+  size_t shard_of(const K& k) const {
+    if (splitters_ == nullptr) return 0;
+    return server_internal::shard_index(*splitters_, k, entry_policy::comp);
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Map& m : shards_) total += m.size();
+    return total;
+  }
+  bool empty() const { return size() == 0; }
+
+  std::optional<V> find(const K& k) const {
+    if (shards_.empty()) return std::nullopt;
+    return shards_[shard_of(k)].find(k);
+  }
+  bool contains(const K& k) const {
+    return !shards_.empty() && shards_[shard_of(k)].contains(k);
+  }
+
+  // Sharded batch lookup: group the keys by owning shard, run the per-shard
+  // parallel multi_finds concurrently, scatter results back to input order.
+  std::vector<std::optional<V>> multi_find(const std::vector<K>& keys) const {
+    const size_t S = shards_.size();
+    if (S == 0) return std::vector<std::optional<V>>(keys.size());
+    std::vector<std::vector<K>> by_shard(S);
+    std::vector<std::vector<size_t>> idx(S);
+    for (size_t i = 0; i < keys.size(); i++) {
+      size_t s = shard_of(keys[i]);
+      by_shard[s].push_back(keys[i]);
+      idx[s].push_back(i);
+    }
+    std::vector<std::optional<V>> out(keys.size());
+    parallel_for(
+        0, S,
+        [&](size_t s) {
+          if (by_shard[s].empty()) return;
+          auto found = shards_[s].multi_find(by_shard[s]);
+          for (size_t j = 0; j < found.size(); j++) out[idx[s][j]] = std::move(found[j]);
+        },
+        1);
+    return out;
+  }
+
+  // Lazy per-shard views of [lo, hi], in shard (= key) order. Shards tile
+  // the key space, so iterating the views back-to-back is a global in-order
+  // walk of the range; each view is allocation-free (pam/iterator.h).
+  std::vector<view_type> range_views(const K& lo, const K& hi) const {
+    std::vector<view_type> views;
+    if (shards_.empty() || entry_policy::comp(hi, lo)) return views;
+    size_t last = shard_of(hi);
+    for (size_t s = shard_of(lo); s <= last; s++)
+      views.push_back(shards_[s].view(lo, hi));
+    return views;
+  }
+
+  // In-order visit of every entry with lo <= key <= hi: f(key, value).
+  template <typename F>
+  void for_each_range(const K& lo, const K& hi, const F& f) const {
+    for (const view_type& v : range_views(lo, hi)) v.for_each(f);
+  }
+
+  // In-order visit of the whole store.
+  template <typename F>
+  void for_each(const F& f) const {
+    for (const Map& m : shards_) m.for_each(f);
+  }
+
+  // Number of entries with lo <= key <= hi: one O(log n) count per
+  // overlapping shard.
+  size_t count_range(const K& lo, const K& hi) const {
+    size_t total = 0;
+    for (const view_type& v : range_views(lo, hi)) total += v.size();
+    return total;
+  }
+
+  // Augmented value over lo <= key <= hi: per-shard aug_range stitched with
+  // the entry's combine (associativity makes shard order the only
+  // requirement). O(S log n), allocation-free.
+  A aug_range(const K& lo, const K& hi) const {
+    static_assert(Map::has_aug, "aug_range requires an augmented Entry");
+    A acc = entry_policy::identity();
+    for (const view_type& v : range_views(lo, hi))
+      acc = entry_policy::combine(acc, v.aug_val());
+    return acc;
+  }
+
+  // Every entry in key order, materialized.
+  std::vector<entry_t> entries() const {
+    std::vector<entry_t> out;
+    out.reserve(size());
+    for (const Map& m : shards_) {
+      auto part = m.entries();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Map> shards_;
+  std::shared_ptr<const std::vector<K>> splitters_;
+};
+
+template <typename Map>
+class sharded_map {
+ public:
+  using K = typename Map::K;
+  using V = typename Map::V;
+  using entry_t = typename Map::entry_t;
+  using entry_policy = typename Map::entry_policy;
+  using snapshot_type = sharded_snapshot<Map>;
+
+  // Partition the key space with explicit sorted, duplicate-free splitter
+  // keys: S-1 splitters make S shards, shard s owning
+  // [splitter[s-1], splitter[s]). All shards start empty.
+  explicit sharded_map(std::vector<K> splitters)
+      : splitters_(std::make_shared<const std::vector<K>>(std::move(splitters))),
+        boxes_(make_boxes(splitters_->size() + 1)) {}
+
+  // Partition an initial map into `num_shards` shards of near-equal size:
+  // splitters are taken at the size quantiles of the initial key
+  // distribution. The directory can only be inferred from existing keys —
+  // duplicate quantile keys collapse, so very small or very skewed maps
+  // yield fewer shards than requested, and an *empty* initial map yields a
+  // single shard (no write parallelism). For a fresh or tiny store, supply
+  // explicit splitters instead.
+  sharded_map(Map initial, size_t num_shards)
+      : splitters_(std::make_shared<const std::vector<K>>(
+            quantile_splitters(initial, num_shards))),
+        boxes_(make_boxes(splitters_->size() + 1)) {
+    distribute(std::move(initial));
+  }
+
+  // Explicit splitters plus initial contents, distributed along them.
+  sharded_map(Map initial, std::vector<K> splitters)
+      : splitters_(std::make_shared<const std::vector<K>>(std::move(splitters))),
+        boxes_(make_boxes(splitters_->size() + 1)) {
+    distribute(std::move(initial));
+  }
+
+  size_t num_shards() const { return boxes_.size(); }
+
+  // Index of the shard owning key k.
+  size_t shard_of(const K& k) const {
+    return server_internal::shard_index(*splitters_, k, entry_policy::comp);
+  }
+
+  // ------------------------------------------------------------- writes --
+
+  // Atomically apply f : Map -> Map to one shard. Writers of distinct
+  // shards run concurrently; writers of one shard serialize on its box.
+  template <typename F>
+  void update_shard(size_t s, const F& f) {
+    boxes_[s]->update(f);
+  }
+
+  // Per-op point upsert/erase: one O(log n) committed write to the owning
+  // shard. This is the slow path that write_combiner batches around.
+  void insert(const K& k, const V& v) {
+    boxes_[shard_of(k)]->update([&](Map m) {
+      return Map::insert(std::move(m), k, v);
+    });
+  }
+  void erase(const K& k) {
+    boxes_[shard_of(k)]->update([&](Map m) {
+      return Map::remove(std::move(m), k);
+    });
+  }
+
+  // Bulk upsert: partition the batch by shard in O(m), then merge each
+  // shard's slice on the O(m_s log(n_s/m_s + 1)) bulk path, all shards in
+  // parallel. Duplicate keys in `updates`: the last one wins.
+  void multi_insert(std::vector<entry_t> updates) {
+    auto buckets = partition_entries(std::move(updates));
+    parallel_for(
+        0, boxes_.size(),
+        [&](size_t s) {
+          if (buckets[s].empty()) return;
+          boxes_[s]->update([&](Map m) {
+            return Map::multi_insert(std::move(m), std::move(buckets[s]));
+          });
+        },
+        1);
+  }
+
+  void multi_delete(std::vector<K> keys) {
+    std::vector<std::vector<K>> buckets(boxes_.size());
+    for (K& k : keys) buckets[shard_of(k)].push_back(std::move(k));
+    parallel_for(
+        0, boxes_.size(),
+        [&](size_t s) {
+          if (buckets[s].empty()) return;
+          boxes_[s]->update([&](Map m) {
+            return Map::multi_delete(std::move(m), std::move(buckets[s]));
+          });
+        },
+        1);
+  }
+
+  // -------------------------------------------------------------- reads --
+
+  // O(1) uncoordinated snapshot of one shard.
+  Map snapshot_shard(size_t s) const { return boxes_[s]->snapshot(); }
+
+  // A consistent cut across all shards: lock every shard's snapshot mutex
+  // in index order, peek each root, release. Commits need the same mutexes,
+  // so no write lands between the first lock and the last peek; the cost is
+  // S lock acquisitions plus S refcount bumps (no tree work, no allocation).
+  snapshot_type snapshot_all() const {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(boxes_.size());
+    for (const auto& b : boxes_) locks.push_back(b->lock());
+    std::vector<Map> shards;
+    shards.reserve(boxes_.size());
+    for (const auto& b : boxes_) shards.push_back(b->peek());
+    return snapshot_type(std::move(shards), splitters_);
+  }
+
+  // Per-shard commit counters (same cut discipline as snapshot_all).
+  std::vector<uint64_t> versions() const {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(boxes_.size());
+    for (const auto& b : boxes_) locks.push_back(b->lock());
+    std::vector<uint64_t> out;
+    out.reserve(boxes_.size());
+    for (const auto& b : boxes_) out.push_back(b->peek_version());
+    return out;
+  }
+
+  // Single-key committed read: snapshot only the owning shard.
+  std::optional<V> find(const K& k) const {
+    return boxes_[shard_of(k)]->snapshot().find(k);
+  }
+
+  // Batch lookup against one consistent cut.
+  std::vector<std::optional<V>> multi_find(const std::vector<K>& keys) const {
+    return snapshot_all().multi_find(keys);
+  }
+
+  size_t size() const { return snapshot_all().size(); }
+
+ private:
+  static std::vector<std::unique_ptr<snapshot_box<Map>>> make_boxes(size_t n) {
+    std::vector<std::unique_ptr<snapshot_box<Map>>> boxes(n);
+    for (auto& b : boxes) b = std::make_unique<snapshot_box<Map>>();
+    return boxes;
+  }
+
+  static std::vector<K> quantile_splitters(const Map& m, size_t num_shards) {
+    std::vector<K> sp;
+    if (num_shards < 2 || m.empty()) return sp;
+    size_t n = m.size();
+    for (size_t s = 1; s < num_shards; s++) {
+      auto e = m.select(s * n / num_shards);
+      if (!e.has_value()) break;
+      if (sp.empty() || entry_policy::comp(sp.back(), e->first))
+        sp.push_back(e->first);
+    }
+    return sp;
+  }
+
+  std::vector<std::vector<entry_t>> partition_entries(std::vector<entry_t> v) {
+    std::vector<std::vector<entry_t>> buckets(boxes_.size());
+    for (entry_t& e : v) buckets[shard_of(e.first)].push_back(std::move(e));
+    return buckets;
+  }
+
+  // Split the initial map along the splitters and store each piece. A
+  // splitter key itself belongs to the shard on its right.
+  void distribute(Map initial) {
+    const std::vector<K>& sp = *splitters_;
+    Map rest = std::move(initial);
+    for (size_t s = 0; s < sp.size(); s++) {
+      auto parts = Map::split(std::move(rest), sp[s]);
+      boxes_[s]->store(std::move(parts.left));
+      rest = std::move(parts.right);
+      if (parts.value.has_value())
+        rest = Map::insert(std::move(rest), sp[s], *parts.value);
+    }
+    boxes_[sp.size()]->store(std::move(rest));
+  }
+
+  std::shared_ptr<const std::vector<K>> splitters_;
+  std::vector<std::unique_ptr<snapshot_box<Map>>> boxes_;
+};
+
+}  // namespace pam

@@ -1,0 +1,207 @@
+// write_combiner: a batched ingest queue in front of a sharded_map.
+//
+// The paper's Table 2 makes the case: m point inserts cost O(m log n)
+// committed one at a time, but one multi_insert of the same m keys costs
+// O(m log(n/m + 1)) — and a per-op commit through snapshot_box additionally
+// pays a root copy-path and two lock handshakes per key. The combiner turns
+// the per-op client API (upsert / erase) back into the bulk path: ops are
+// appended to a small per-shard pending buffer, and a buffer is flushed as
+// one multi_insert + multi_delete batch when it reaches `batch_size`, when
+// the background flusher's `flush_interval` tick fires, or on an explicit
+// flush_all().
+//
+// Semantics:
+//   * Per-key last-writer-wins within a batch: before applying, a batch is
+//     coalesced so only the most recent op on each key survives (an upsert
+//     followed by an erase deletes; duplicates fold away). Coalescing is
+//     stable with respect to enqueue order.
+//   * No lost updates: enqueue appends under the shard's buffer lock, and a
+//     per-shard flush lock is held across [swap buffer out → commit], so
+//     batches of one shard commit in enqueue order and a later batch can
+//     never overtake an earlier one.
+//   * Visibility: reads through the sharded_map see committed state only;
+//     flush_all() is the barrier — every op enqueued happens-before a
+//     flush_all() call is committed when it returns.
+//   * The destructor drains: it stops the flusher thread and flushes every
+//     remaining op.
+//
+// Thread safety: upsert / erase / flush_all / stats may be called from any
+// number of threads concurrently.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "server/sharded_map.h"
+
+namespace pam {
+
+template <typename Map>
+class write_combiner {
+ public:
+  using K = typename Map::K;
+  using V = typename Map::V;
+  using entry_t = typename Map::entry_t;
+  using entry_policy = typename Map::entry_policy;
+
+  struct config {
+    // Flush a shard's buffer once it holds this many pending ops.
+    size_t batch_size = 1024;
+    // Background flusher period; zero disables the flusher thread (flushes
+    // then happen only on batch_size overflow and explicit flush_all).
+    std::chrono::milliseconds flush_interval{2};
+  };
+
+  struct stats_snapshot {
+    uint64_t ops_enqueued;    // upserts + erases accepted
+    uint64_t ops_committed;   // ops surviving coalescing, applied to shards
+    uint64_t batches_flushed; // non-empty batch commits
+  };
+
+  explicit write_combiner(sharded_map<Map>& target, config cfg = {})
+      : target_(target), cfg_(cfg), queues_(target.num_shards()) {
+    for (auto& q : queues_) q = std::make_unique<shard_queue>();
+    if (cfg_.flush_interval.count() > 0)
+      flusher_ = std::thread([this] { flusher_loop(); });
+  }
+
+  ~write_combiner() {
+    if (flusher_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(flusher_mu_);
+        stop_ = true;
+      }
+      flusher_cv_.notify_all();
+      flusher_.join();
+    }
+    flush_all();
+  }
+
+  write_combiner(const write_combiner&) = delete;
+  write_combiner& operator=(const write_combiner&) = delete;
+
+  // Enqueue a point upsert; committed by a later flush.
+  void upsert(const K& k, const V& v) { enqueue(k, std::optional<V>(v)); }
+
+  // Enqueue a point delete.
+  void erase(const K& k) { enqueue(k, std::nullopt); }
+
+  // Commit every pending op. On return, all ops enqueued before this call
+  // are visible to sharded_map readers.
+  void flush_all() {
+    for (size_t s = 0; s < queues_.size(); s++) flush_shard(s);
+  }
+
+  stats_snapshot stats() const {
+    return {ops_enqueued_.load(std::memory_order_relaxed),
+            ops_committed_.load(std::memory_order_relaxed),
+            batches_flushed_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  // An op is (key, new value) for upsert or (key, nullopt) for erase.
+  using op_t = std::pair<K, std::optional<V>>;
+
+  struct shard_queue {
+    std::mutex buffer_mu;       // guards pending (held only for a push/swap)
+    std::vector<op_t> pending;
+    std::mutex flush_mu;        // orders [swap → commit] sections per shard
+  };
+
+  void enqueue(const K& k, std::optional<V> v) {
+    size_t s = target_.shard_of(k);
+    shard_queue& q = *queues_[s];
+    bool overflow;
+    {
+      std::lock_guard<std::mutex> lock(q.buffer_mu);
+      q.pending.emplace_back(k, std::move(v));
+      overflow = q.pending.size() >= cfg_.batch_size;
+    }
+    ops_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    if (overflow) flush_shard(s);
+  }
+
+  void flush_shard(size_t s) {
+    shard_queue& q = *queues_[s];
+    // flush_mu spans swap-out and commit: batches of this shard apply in
+    // enqueue order, which is what makes last-writer-wins hold across
+    // batch boundaries (no later batch overtakes an earlier one).
+    std::lock_guard<std::mutex> serialize(q.flush_mu);
+    std::vector<op_t> batch;
+    batch.reserve(cfg_.batch_size);
+    {
+      std::lock_guard<std::mutex> lock(q.buffer_mu);
+      batch.swap(q.pending);
+    }
+    if (batch.empty()) return;
+
+    auto [upserts, deletes] = coalesce(std::move(batch));
+    ops_committed_.fetch_add(upserts.size() + deletes.size(),
+                             std::memory_order_relaxed);
+    batches_flushed_.fetch_add(1, std::memory_order_relaxed);
+    target_.update_shard(s, [&](Map m) {
+      if (!upserts.empty()) m = Map::multi_insert(std::move(m), std::move(upserts));
+      if (!deletes.empty()) m = Map::multi_delete(std::move(m), std::move(deletes));
+      return m;
+    });
+  }
+
+  // Keep only the latest op per key (stable sort by key preserves enqueue
+  // order within equal keys), then split survivors into the multi_insert
+  // and multi_delete arguments. Each key ends up in exactly one of the two,
+  // so the flush may apply them in either order.
+  static std::pair<std::vector<entry_t>, std::vector<K>> coalesce(
+      std::vector<op_t> batch) {
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const op_t& a, const op_t& b) {
+                       return entry_policy::comp(a.first, b.first);
+                     });
+    std::vector<entry_t> upserts;
+    std::vector<K> deletes;
+    for (size_t i = 0; i < batch.size(); i++) {
+      if (i + 1 < batch.size() &&
+          !entry_policy::comp(batch[i].first, batch[i + 1].first))
+        continue;  // a later op on the same key supersedes this one
+      if (batch[i].second.has_value())
+        upserts.emplace_back(std::move(batch[i].first), std::move(*batch[i].second));
+      else
+        deletes.push_back(std::move(batch[i].first));
+    }
+    return {std::move(upserts), std::move(deletes)};
+  }
+
+  void flusher_loop() {
+    std::unique_lock<std::mutex> lock(flusher_mu_);
+    while (!stop_) {
+      flusher_cv_.wait_for(lock, cfg_.flush_interval);
+      if (stop_) break;
+      lock.unlock();
+      flush_all();
+      lock.lock();
+    }
+  }
+
+  sharded_map<Map>& target_;
+  const config cfg_;
+  std::vector<std::unique_ptr<shard_queue>> queues_;
+
+  std::atomic<uint64_t> ops_enqueued_{0};
+  std::atomic<uint64_t> ops_committed_{0};
+  std::atomic<uint64_t> batches_flushed_{0};
+
+  std::thread flusher_;
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pam

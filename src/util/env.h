@@ -6,21 +6,45 @@
 //                    laptop sizes by default and can be grown back with this.
 #pragma once
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
 namespace pam {
 
+namespace internal {
+// A parse consumed the whole value iff the end pointer moved past the last
+// non-whitespace character; "12abc" or "abc" must fall back rather than
+// silently becoming 12 or 0.
+inline bool env_fully_parsed(const char* s, const char* end) {
+  if (end == s) return false;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  return true;
+}
+}  // namespace internal
+
 inline long env_long(const char* name, long fallback) {
   const char* s = std::getenv(name);
   if (s == nullptr || *s == '\0') return fallback;
-  return std::strtol(s, nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s, &end, 10);
+  if (errno == ERANGE || !internal::env_fully_parsed(s, end)) return fallback;
+  return v;
 }
 
 inline double env_double(const char* name, double fallback) {
   const char* s = std::getenv(name);
   if (s == nullptr || *s == '\0') return fallback;
-  return std::strtod(s, nullptr);
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s, &end);
+  if (errno == ERANGE || !internal::env_fully_parsed(s, end)) return fallback;
+  return v;
 }
 
 // Scales a paper-sized workload down to the default local size. `paper_n` is

@@ -4,6 +4,7 @@
 // drives inverted-index posting-list skew.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -30,13 +31,11 @@ class zipf_generator {
 
   size_t operator()() {
     double u = rng_.next_double() * total_;
-    // first index with cdf >= u
-    size_t lo = 0, hi = cdf_.size();
-    while (lo + 1 < hi) {
-      size_t mid = lo + (hi - lo) / 2;
-      if (cdf_[mid - 1] >= u) hi = mid; else lo = mid;
-    }
-    return (cdf_[lo] >= u) ? lo : hi - 1;
+    // First index with cdf >= u; clamp so u == total_ (possible at the edge
+    // of floating-point rounding) still yields a valid rank.
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return idx < cdf_.size() ? idx : cdf_.size() - 1;
   }
 
   size_t universe() const { return cdf_.size(); }

@@ -150,6 +150,44 @@ TYPED_TEST(IteratorTest, ViewContentsMatchEntries) {
   }
 }
 
+TYPED_TEST(IteratorTest, ViewLastMatchesEntries) {
+  auto m = TestFixture::random_map(3000, 41, 2000);
+  auto es = m.entries();
+  pam::random_gen g(43);
+  for (int q = 0; q < 60; q++) {
+    K a = g.next() % 2200, b = g.next() % 2200;
+    K lo = std::min(a, b), hi = std::max(a, b);
+    // Oracle: the greatest entry in [lo, hi] per the materialized entries.
+    std::optional<typename TestFixture::entry_t> expect;
+    for (auto& e : es)
+      if (e.first >= lo && e.first <= hi) expect = e;
+
+    auto got = m.view(lo, hi).last();
+    ASSERT_EQ(got.has_value(), expect.has_value()) << "lo=" << lo << " hi=" << hi;
+    if (expect.has_value()) {
+      EXPECT_EQ(got->first, expect->first);
+      EXPECT_EQ(got->second, expect->second);
+    }
+  }
+
+  // One-sided and full views: last() pairs with first() at the extremes.
+  EXPECT_EQ(m.view_all().last()->first, es.back().first);
+  EXPECT_EQ(m.view_all().first()->first, es.front().first);
+  EXPECT_EQ(m.view_up_to(es.back().first).last()->first, es.back().first);
+  EXPECT_EQ(m.view_down_to(es.back().first).last()->first, es.back().first);
+  // A bound below every key, or an inverted range, has no last entry.
+  EXPECT_FALSE(m.view(2001, 3000).last().has_value());
+  EXPECT_FALSE(m.view(800, 100).last().has_value());
+  // Empty map.
+  typename TestFixture::map_t empty;
+  EXPECT_FALSE(empty.view_all().last().has_value());
+  // Singleton, with bounds exactly on the key.
+  auto one = TestFixture::map_t::singleton(7, 70);
+  EXPECT_EQ(one.view(7, 7).last()->second, 70u);
+  EXPECT_FALSE(one.view(8, 9).last().has_value());
+  EXPECT_FALSE(one.view(1, 6).last().has_value());
+}
+
 TYPED_TEST(IteratorTest, OneSidedAndFullViews) {
   auto m = TestFixture::random_map(1500, 23, 1000);
   auto es = m.entries();

@@ -85,6 +85,34 @@ TEST(Zipf, Deterministic) {
   for (int i = 0; i < 100; i++) EXPECT_EQ(a(), b());
 }
 
+TEST(Zipf, FrequenciesMatchTheDistribution) {
+  // Empirical rank frequencies must track p(r) = (1/(r+1)^s) / H_{n,s}.
+  // With 500k samples the top ranks have tight expected counts; allow 15%
+  // relative slack plus a small absolute floor for sampling noise.
+  const size_t n = 200;
+  const double s = 1.0;
+  const int samples = 500000;
+  pam::zipf_generator z(n, s, 99);
+  std::vector<size_t> freq(n, 0);
+  for (int i = 0; i < samples; i++) {
+    size_t r = z();
+    ASSERT_LT(r, n);
+    freq[r]++;
+  }
+  double harmonic = 0.0;
+  for (size_t r = 0; r < n; r++) harmonic += 1.0 / std::pow(double(r + 1), s);
+  for (size_t r : {size_t{0}, size_t{1}, size_t{2}, size_t{5}, size_t{10},
+                   size_t{50}, size_t{100}}) {
+    double expected = samples * (1.0 / std::pow(double(r + 1), s)) / harmonic;
+    EXPECT_NEAR(freq[r], expected, 0.15 * expected + 50)
+        << "rank " << r;
+  }
+  // The whole distribution sums to the sample count (no out-of-range hits).
+  size_t total = 0;
+  for (size_t f : freq) total += f;
+  EXPECT_EQ(total, size_t(samples));
+}
+
 TEST(Env, ParsesAndDefaults) {
   ::setenv("PAM_TEST_ENV_L", "123", 1);
   EXPECT_EQ(pam::env_long("PAM_TEST_ENV_L", 7), 123);
@@ -93,6 +121,30 @@ TEST(Env, ParsesAndDefaults) {
   EXPECT_DOUBLE_EQ(pam::env_double("PAM_TEST_ENV_D", 1.0), 2.5);
   ::unsetenv("PAM_TEST_ENV_L");
   ::unsetenv("PAM_TEST_ENV_D");
+}
+
+TEST(Env, RejectsGarbageAndOutOfRange) {
+  // Unparseable values must fall back, not silently become 0.
+  ::setenv("PAM_TEST_ENV_BAD", "abc", 1);
+  EXPECT_EQ(pam::env_long("PAM_TEST_ENV_BAD", 7), 7);
+  EXPECT_DOUBLE_EQ(pam::env_double("PAM_TEST_ENV_BAD", 1.5), 1.5);
+  // Trailing garbage after a valid prefix is rejected too.
+  ::setenv("PAM_TEST_ENV_BAD", "12abc", 1);
+  EXPECT_EQ(pam::env_long("PAM_TEST_ENV_BAD", 7), 7);
+  ::setenv("PAM_TEST_ENV_BAD", "2.5x", 1);
+  EXPECT_DOUBLE_EQ(pam::env_double("PAM_TEST_ENV_BAD", 1.5), 1.5);
+  // Surrounding whitespace is fine.
+  ::setenv("PAM_TEST_ENV_BAD", " 42 ", 1);
+  EXPECT_EQ(pam::env_long("PAM_TEST_ENV_BAD", 7), 42);
+  // Out-of-range magnitudes fall back instead of saturating.
+  ::setenv("PAM_TEST_ENV_BAD", "999999999999999999999999999999", 1);
+  EXPECT_EQ(pam::env_long("PAM_TEST_ENV_BAD", 7), 7);
+  ::setenv("PAM_TEST_ENV_BAD", "1e99999", 1);
+  EXPECT_DOUBLE_EQ(pam::env_double("PAM_TEST_ENV_BAD", 1.5), 1.5);
+  // Negatives still parse.
+  ::setenv("PAM_TEST_ENV_BAD", "-3", 1);
+  EXPECT_EQ(pam::env_long("PAM_TEST_ENV_BAD", 7), -3);
+  ::unsetenv("PAM_TEST_ENV_BAD");
 }
 
 TEST(ScaledSize, RespectsScaleEnv) {
