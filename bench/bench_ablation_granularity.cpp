@@ -33,22 +33,54 @@ int main() {
   for (size_t cutoff : {size_t{16}, size_t{64}, size_t{256}, size_t{512},
                         size_t{2048}, size_t{16384}, size_t{1} << 20}) {
     set_par_cutoff(cutoff);
-    double t_union = timed_best(2, [&] {
+    double t_union = timed_median(1, 3, [&] {
       auto u = range_sum_map::map_union(A, B,
                                         [](uint64_t a, uint64_t b) { return a + b; });
     });
-    double t_build = timed_best(2, [&] { range_sum_map m(ea); });
-    double t_filter = timed_best(2, [&] {
+    double t_build = timed_median(1, 3, [&] { range_sum_map m(ea); });
+    double t_filter = timed_median(1, 3, [&] {
       auto f = range_sum_map::filter(A, [](uint64_t k, uint64_t) { return k & 1; });
     });
-    double t_mfind = timed_best(2, [&] { auto r = A.multi_find(qkeys); });
+    double t_mfind = timed_median(1, 3, [&] { auto r = A.multi_find(qkeys); });
     std::printf("%-10zu %14.4f %14.4f %14.4f %14.4f\n", cutoff, t_union, t_build,
                 t_filter, t_mfind);
+    std::string cfg = "cutoff=" + std::to_string(cutoff);
+    bench_json("bench_ablation_granularity", cfg, "union_s", t_union);
+    bench_json("bench_ablation_granularity", cfg, "build_s", t_build);
+    bench_json("bench_ablation_granularity", cfg, "filter_s", t_filter);
+    bench_json("bench_ablation_granularity", cfg, "mfind_s", t_mfind);
   }
   set_par_cutoff(saved);
+
+  // The GC cutoff from the same knob family: subtrees below gc_par_cutoff()
+  // are reference-count-collected sequentially. Build a private version of
+  // the map (path-copied via map_values, so A itself stays alive) and time
+  // its destruction at each cutoff.
+  std::printf("\n%-10s %14s\n", "gc-cutoff", "destroy(n) s");
+  size_t gc_saved = gc_par_cutoff();
+  for (size_t cutoff : {size_t{256}, size_t{1} << 12, size_t{1} << 16,
+                        size_t{1} << 24}) {
+    set_gc_par_cutoff(cutoff);
+    // Each rep rebuilds a private version untimed (path-copied via
+    // map_values, so A stays alive) and times only its destruction — a
+    // full-tree parallel GC at this cutoff.
+    std::vector<double> ts;
+    for (int rep = 0; rep < 4; rep++) {
+      auto dup = range_sum_map::map_values(A, [](uint64_t, uint64_t v) { return v; });
+      ts.push_back(timed([&] { dup = range_sum_map(); }));
+    }
+    std::sort(ts.begin(), ts.end());
+    double t_destroy = ts[ts.size() / 2];
+    std::printf("%-10zu %14.4f\n", cutoff, t_destroy);
+    bench_json("bench_ablation_granularity",
+               "gc_cutoff=" + std::to_string(cutoff), "destroy_s", t_destroy);
+  }
+  set_gc_par_cutoff(gc_saved);
 
   std::printf("\nShape checks:\n");
   std::printf(" * a wide flat basin around the default 512 (work dominates overhead)\n");
   std::printf(" * cutoff >= n degrades toward sequential time (no parallelism)\n");
+  std::printf(" * gc cutoff: sequential collection only hurts once the cutoff\n");
+  std::printf("   approaches the tree size\n");
   return 0;
 }

@@ -71,6 +71,8 @@ int main() {
     double mn = static_cast<double>(n) / 1e6;
     std::printf("%-8d %12.2f %12.2f %12.2f %12.2f\n", p, mn / t_pam, mn / t_sl,
                 mn / t_bt, mn / t_hm);
+    bench_json("bench_fig6a_insert_scaling", "multi_insert_p=" + std::to_string(p),
+               "minserts_per_s", mn / t_pam);
   }
 
   std::printf("\nShape checks vs paper Fig 6(a):\n");

@@ -30,6 +30,8 @@ int main() {
     });
     double t_build = timed_best(m <= 100000 ? 3 : 1, [&] { range_sum_map b(em); });
     std::printf("%-12zu %14.6f %14.6f\n", m, t_union, t_build);
+    bench_json("bench_fig6c_size_sweep", "m=" + std::to_string(m), "union_s", t_union);
+    bench_json("bench_fig6c_size_sweep", "m=" + std::to_string(m), "build_s", t_build);
   }
 
   std::printf("\nShape checks vs paper Fig 6(c):\n");

@@ -50,6 +50,10 @@ int main() {
     double qt = timed(query_once);
     std::printf("%-8d %12.4f %12.2f %12.4f %12.2f\n", p, bt, build_t1 / bt, qt,
                 query_t1 / qt);
+    bench_json("bench_fig6d_interval_speedup", "p=" + std::to_string(p),
+               "build_speedup", build_t1 / bt);
+    bench_json("bench_fig6d_interval_speedup", "p=" + std::to_string(p),
+               "query_speedup", query_t1 / qt);
   }
   set_num_workers(maxp);
 

@@ -42,6 +42,10 @@ int main() {
     double t_static = timed([&] { srt s(sps); });
     double t_pam_par = timed([&] { rt t(ps); });
     std::printf("%-12zu %16.4f %16.4f %16.4f\n", n, t_pam_seq, t_static, t_pam_par);
+    bench_json("bench_fig6e_rangetree_build", "n=" + std::to_string(n), "pam_seq_s",
+               t_pam_seq);
+    bench_json("bench_fig6e_rangetree_build", "n=" + std::to_string(n), "pam_par_s",
+               t_pam_par);
   }
 
   std::printf("\nShape checks vs paper Fig 6(e):\n");

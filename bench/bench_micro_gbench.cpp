@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "common/bench_util.h"
 #include "pam/pam.h"
 #include "util/random.h"
 
@@ -182,4 +183,25 @@ BENCHMARK(BM_range_then_reduce)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but mirrors every result into the shared
+// PAM_BENCH_JSON trajectory file (google-benchmark's own --benchmark_out
+// remains available for its richer native format).
+class json_line_reporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      pam::bench::bench_json("bench_micro_gbench", r.benchmark_name(),
+                             "real_time_ns", r.GetAdjustedRealTime());
+    }
+  }
+};
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  json_line_reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

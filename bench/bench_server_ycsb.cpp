@@ -156,6 +156,12 @@ int main() {
     std::printf("%-12s %-14s %12.0f %12.0f %13.1fx\n", label, "sharded+wc",
                 combined.ops_per_sec, combined.write_ops_per_sec, ratio);
     if (read_pct == 0) gate_ratio = ratio;
+    bench_json("bench_server_ycsb", std::string(label) + "_single_box", "ops_per_s",
+               single.ops_per_sec);
+    bench_json("bench_server_ycsb", std::string(label) + "_sharded_wc", "ops_per_s",
+               combined.ops_per_sec);
+    bench_json("bench_server_ycsb", std::string(label) + "_sharded_wc",
+               "write_speedup", ratio);
 
     auto st = store.ingest_stats();
     std::printf("%-12s %-14s enqueued=%llu committed=%llu batches=%llu "
@@ -168,8 +174,12 @@ int main() {
                                    : 0.0);
   }
 
+  // The acceptance target on dedicated hardware is 5x; PAM_YCSB_GATE lets
+  // shared CI runners enforce a tolerant floor instead of flaking.
+  double gate = env_double("PAM_YCSB_GATE", 5.0);
   std::printf("write-combining speedup at %d client threads (write-only): "
-              "%.1fx  [acceptance target >= 5x]\n",
-              threads, gate_ratio);
-  return gate_ratio >= 5.0 ? 0 : 1;
+              "%.1fx  [acceptance target >= 5x, enforcing >= %.1fx]\n",
+              threads, gate_ratio, gate);
+  bench_json("bench_server_ycsb", "write_only_gate", "write_speedup", gate_ratio);
+  return gate_ratio >= gate ? 0 : 1;
 }

@@ -6,6 +6,13 @@
 //      m = n and ~49% for m = n/1000;
 //  (c) node sharing across the range tree's nested inner trees vs the
 //      no-sharing count n * log2(n) (paper: 13.8% saving).
+//  (d) blocked leaves (PaC-tree layout) vs the classic layout: live bytes
+//      per entry for the same map, both layouts built in-process. The
+//      blocked layout must be >= 2x denser; with PAM_PERF_GATE=1 the gate
+//      is enforced by exit code (the CI perf-smoke job).
+//
+// Sections (b) and (c) pin the unblocked layout: the sharing percentages
+// are properties of one-node-per-entry path copying.
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -31,6 +38,19 @@ void union_sharing(size_t n, size_t m) {
   std::printf("Union  n=%-10zu m=%-10zu theory=%-11lld actual=%-11lld saving=%5.1f%%\n",
               n, m, static_cast<long long>(theory), static_cast<long long>(actual),
               100 * saving);
+  bench_json("bench_table4_space", "union_sharing_m=" + std::to_string(m),
+             "saving_frac", saving);
+}
+
+// Live bytes per entry for one freshly built map under the current layout.
+double bytes_per_entry(const std::vector<std::pair<uint64_t, uint64_t>>& es) {
+  int64_t nodes0 = range_sum_map::used_nodes();
+  int64_t bytes0 = range_sum_map::used_bytes();
+  range_sum_map m(es);
+  double bpe = static_cast<double>(range_sum_map::used_bytes() - bytes0) /
+               static_cast<double>(m.size());
+  (void)nodes0;
+  return bpe;
 }
 }  // namespace
 
@@ -46,6 +66,13 @@ int main() {
                          static_cast<double>(plain_sum_map::node_bytes()) -
                      1.0);
   std::printf("augmentation overhead    %.1f%%  (paper: 20%%, +8B on 40B)\n", overhead);
+  bench_json("bench_table4_space", "node_bytes", "augmented",
+             static_cast<double>(range_sum_map::node_bytes()));
+
+  // Sections (b)/(c): the paper's sharing percentages assume one node per
+  // entry; pin the unblocked layout for them.
+  size_t saved_b = leaf_block_size();
+  set_leaf_block_size(0);
 
   std::printf("\n--- node sharing from persistent UNION (inputs kept alive) ---\n");
   size_t n = scaled_size(2000000);
@@ -79,10 +106,42 @@ int main() {
                 static_cast<long long>(inner_used), 100 * saving);
     std::printf("inner node bytes=%zu outer node bytes=%zu\n",
                 rt::inner_map::node_bytes(), rt::outer_map::node_bytes());
+    bench_json("bench_table4_space", "range_tree_inner", "saving_frac", saving);
   }
+
+  // ------------------------- (d) blocked vs unblocked bytes per entry ----
+  std::printf("\n--- blocked leaves vs classic layout (bytes per live entry) ---\n");
+  double ratio;
+  {
+    size_t sn = scaled_size(2000000);
+    auto es = kv_entries(sn, 21);
+
+    set_leaf_block_size(0);
+    double unblocked_bpe = bytes_per_entry(es);
+
+    size_t b = 32;  // the PAM_LEAF_BLOCK default
+    set_leaf_block_size(b);
+    double blocked_bpe = bytes_per_entry(es);
+
+    ratio = unblocked_bpe / blocked_bpe;
+    std::printf("layout        B    bytes/entry\n");
+    std::printf("classic       -    %10.2f\n", unblocked_bpe);
+    std::printf("blocked       %-4zu %10.2f\n", b, blocked_bpe);
+    std::printf("space ratio (classic / blocked): %.2fx  (gate: >= 2x)\n", ratio);
+    bench_json("bench_table4_space", "unblocked", "bytes_per_entry", unblocked_bpe);
+    bench_json("bench_table4_space", "blocked_B=32", "bytes_per_entry", blocked_bpe);
+    bench_json("bench_table4_space", "blocked_vs_unblocked", "space_ratio", ratio);
+  }
+  set_leaf_block_size(saved_b);
 
   std::printf("\nShape checks vs paper Table 4:\n");
   std::printf(" * union sharing: ~0-5%% for m=n, large (tens of %%) for m<<n\n");
   std::printf(" * range-tree inner sharing ~10-20%%\n");
+  std::printf(" * blocked leaves >= 2x denser than the classic layout\n");
+
+  if (env_long("PAM_PERF_GATE", 0) != 0 && ratio < 2.0) {
+    std::printf("\nFAIL: blocked-leaf space ratio %.2fx below the 2x gate\n", ratio);
+    return 1;
+  }
   return 0;
 }

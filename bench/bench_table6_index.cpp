@@ -33,6 +33,8 @@ int main() {
               " (%6.2f Melts/s)   spd=%5.1f\n",
               words, bt1, static_cast<double>(words) / bt1 / 1e6, btp,
               static_cast<double>(words) / btp / 1e6, bt1 / btp);
+  bench_json("bench_table6_index", "build", "melts_per_s",
+             static_cast<double>(words) / btp / 1e6);
 
   // ------------------------------------------------------------ queries --
   inverted_index idx(c.triples);
@@ -60,6 +62,7 @@ int main() {
               nq, qt1, qtp, qt1 / qtp,
               static_cast<double>(total_docs) / qtp / 1e9,
               static_cast<double>(total_docs) / 1e9);
+  bench_json("bench_table6_index", "queries_and_top10", "speedup", qt1 / qtp);
 
   std::printf("\nShape checks vs paper Table 6:\n");
   std::printf(" * build achieves strong speedup (paper: 82x on 72 cores)\n");

@@ -10,8 +10,10 @@
 //    matching the paper's T1 / T144 columns.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,7 +25,15 @@
 
 namespace pam::bench {
 
+// Name of the running bench binary, registered by print_header so the
+// table-row helpers can tag their JSON lines without threading it through.
+inline std::string& current_bench() {
+  static std::string name = "bench";
+  return name;
+}
+
 inline void print_header(const char* experiment, const char* paper_ref) {
+  current_bench() = experiment;
   std::printf("==================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("reproduces: %s\n", paper_ref);
@@ -53,6 +63,35 @@ double timed_best(int reps, const F& f) {
   return best;
 }
 
+// `warmup` untimed runs, then the median of `reps` timed runs (seconds).
+// The right tool for microsecond-scale regions, where a single-shot `timed`
+// is dominated by cold caches and scheduler jitter.
+template <typename F>
+double timed_median(int warmup, int reps, const F& f) {
+  for (int i = 0; i < warmup; i++) f();
+  std::vector<double> ts(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; i++) ts[static_cast<size_t>(i)] = timed(f);
+  std::sort(ts.begin(), ts.end());
+  return ts[ts.size() / 2];
+}
+
+// ---------------------------------------------- machine-readable results --
+// PAM_BENCH_JSON=<path>: every bench binary appends one JSON line per
+// reported metric, {"bench":…,"config":…,"metric":…,"value":…}, so a sweep
+// accumulates into one file (the CI perf-smoke job uploads it as the perf
+// trajectory artifact). Silent no-op when the variable is unset.
+inline void bench_json(const char* bench, const std::string& config,
+                       const char* metric, double value) {
+  const char* path = std::getenv("PAM_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"config\":\"%s\",\"metric\":\"%s\",\"value\":%.17g}\n",
+               bench, config.c_str(), metric, value);
+  std::fclose(f);
+}
+
 // Run f on 1 worker then on all workers; returns {t1, tp}. Restores the
 // worker count afterwards.
 template <typename F>
@@ -73,11 +112,18 @@ inline void row(const char* name, size_t n, size_t m, double t1, double tp) {
     std::printf("%-28s n=%-11zu m=%-11zu T1=%9.4fs  Tp=      -    spd=    -\n",
                 name, n, m, t1);
   }
+  std::string cfg = std::string(name) + "_n=" + std::to_string(n) + "_m=" +
+                    std::to_string(m);
+  bench_json(current_bench().c_str(), cfg, "t1_s", t1);
+  if (tp > 0) bench_json(current_bench().c_str(), cfg, "tp_s", tp);
 }
 
 inline void row_seq(const char* name, size_t n, size_t m, double t1) {
   std::printf("%-28s n=%-11zu m=%-11zu T1=%9.4fs  (sequential baseline)\n", name,
               n, m, t1);
+  bench_json(current_bench().c_str(),
+             std::string(name) + "_n=" + std::to_string(n) + "_m=" + std::to_string(m),
+             "t1_s", t1);
 }
 
 // Thread counts for scaling sweeps: 1, 2, 4, ... up to the hardware limit.

@@ -91,15 +91,19 @@ class interval_map {
   static interval upper_key(P p) { return {p, std::numeric_limits<P>::max()}; }
 
   // Pruned stabbing traversal: t.aug() < p prunes the whole subtree (no
-  // interval in it reaches p); a node with left endpoint > p excludes
-  // itself and its right subtree (keys there start even later). Calls
-  // visit(interval) for every interval containing p, in key order.
+  // interval in it reaches p); an entry with left endpoint > p excludes
+  // itself, the entries after it, and the right subtree (keys there start
+  // even later). A subtree root carries 1..B entries (a whole leaf block in
+  // the blocked layout), scanned flat. Calls visit(interval) for every
+  // interval containing p, in key order.
   template <typename Visit>
   static void stab_visit(cursor t, P p, const Visit& visit) {
     if (t.empty() || t.aug() < p) return;
     stab_visit(t.left(), p, visit);
-    if (t.key().first > p) return;
-    if (t.value() >= p) visit(t.key());
+    for (size_t i = 0; i < t.entry_count(); i++) {
+      if (t.key(i).first > p) return;
+      if (t.value(i) >= p) visit(t.key(i));
+    }
     stab_visit(t.right(), p, visit);
   }
 

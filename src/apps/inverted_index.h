@@ -149,8 +149,13 @@ class inverted_index {
         out.emplace_back(it.doc, it.doc_w);
         continue;
       }
+      // Expand: settle every entry stored at the subtree root (one for a
+      // plain node, the whole block for a blocked leaf) and re-queue the
+      // children under their cached maxima.
       cursor t = it.subtree;
-      pq.push({t.value(), cursor(), t.key(), t.value()});
+      for (size_t i = 0; i < t.entry_count(); i++) {
+        pq.push({t.value(i), cursor(), t.key(i), t.value(i)});
+      }
       if (cursor l = t.left()) pq.push({l.aug(), l, 0, 0});
       if (cursor r = t.right()) pq.push({r.aug(), r, 0, 0});
     }

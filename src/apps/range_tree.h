@@ -127,38 +127,55 @@ class range_tree {
   static xy ylo_key(Coord y) { return {y, std::numeric_limits<Coord>::lowest()}; }
   static xy yhi_key(Coord y) { return {y, std::numeric_limits<Coord>::max()}; }
 
+  // Report an entry of the cursor node if its y lies in [ylo, yhi].
+  void report_entry(const ocursor& t, size_t i, Coord ylo, Coord yhi,
+                    std::vector<point>& out) const {
+    if (t.key(i).second >= ylo && t.key(i).second <= yhi)
+      out.push_back({t.key(i).first, t.key(i).second, t.value(i)});
+  }
+
   // Standard range-tree reporting: decompose the x-range into canonical
   // subtrees (via read-only cursors), query each subtree's inner map by y.
+  // A subtree root carries 1..B sorted entries (a whole leaf block in the
+  // blocked layout); the left subtree sits below the first of them, the
+  // right above the last, so the classical three-way case analysis applies
+  // to the entry *run* instead of a single key.
   void collect(ocursor t, const xy& lo, const xy& hi, Coord ylo, Coord yhi,
                std::vector<point>& out) const {
     if (t.empty()) return;
-    if (xless(t.key(), lo)) {
+    size_t c = t.entry_count();
+    if (xless(t.key(c - 1), lo)) {  // run (and left subtree) below the range
       collect(t.right(), lo, hi, ylo, yhi, out);
       return;
     }
-    if (xless(hi, t.key())) {
+    if (xless(hi, t.key(0))) {  // run (and right subtree) above the range
       collect(t.left(), lo, hi, ylo, yhi, out);
       return;
     }
-    // t's key inside the x-range: left subtree is bounded above by hi, right
-    // below by lo, so each needs only one-sided x filtering.
-    collect_geq(t.left(), lo, ylo, yhi, out);
-    if (t.key().second >= ylo && t.key().second <= yhi)
-      out.push_back({t.key().first, t.key().second, t.value()});
-    collect_leq(t.right(), hi, ylo, yhi, out);
+    // The run straddles the x-range: each side needs only one-sided x
+    // filtering, and a side whose nearest run key is already outside the
+    // range cannot contain a hit at all.
+    if (!xless(t.key(0), lo)) collect_geq(t.left(), lo, ylo, yhi, out);
+    for (size_t i = 0; i < c; i++) {
+      if (xless(t.key(i), lo) || xless(hi, t.key(i))) continue;
+      report_entry(t, i, ylo, yhi, out);
+    }
+    if (!xless(hi, t.key(c - 1))) collect_leq(t.right(), hi, ylo, yhi, out);
   }
 
   // Report points with x-key >= lo (whole right subtrees are canonical).
   void collect_geq(ocursor t, const xy& lo, Coord ylo, Coord yhi,
                    std::vector<point>& out) const {
     if (t.empty()) return;
-    if (xless(t.key(), lo)) {
+    size_t c = t.entry_count();
+    if (xless(t.key(c - 1), lo)) {
       collect_geq(t.right(), lo, ylo, yhi, out);
       return;
     }
-    collect_geq(t.left(), lo, ylo, yhi, out);
-    if (t.key().second >= ylo && t.key().second <= yhi)
-      out.push_back({t.key().first, t.key().second, t.value()});
+    if (!xless(t.key(0), lo)) collect_geq(t.left(), lo, ylo, yhi, out);
+    for (size_t i = 0; i < c; i++) {
+      if (!xless(t.key(i), lo)) report_entry(t, i, ylo, yhi, out);
+    }
     report_inner(t.right(), ylo, yhi, out);
   }
 
@@ -166,14 +183,16 @@ class range_tree {
   void collect_leq(ocursor t, const xy& hi, Coord ylo, Coord yhi,
                    std::vector<point>& out) const {
     if (t.empty()) return;
-    if (xless(hi, t.key())) {
+    size_t c = t.entry_count();
+    if (xless(hi, t.key(0))) {
       collect_leq(t.left(), hi, ylo, yhi, out);
       return;
     }
     report_inner(t.left(), ylo, yhi, out);
-    if (t.key().second >= ylo && t.key().second <= yhi)
-      out.push_back({t.key().first, t.key().second, t.value()});
-    collect_leq(t.right(), hi, ylo, yhi, out);
+    for (size_t i = 0; i < c; i++) {
+      if (!xless(hi, t.key(i))) report_entry(t, i, ylo, yhi, out);
+    }
+    if (!xless(hi, t.key(c - 1))) collect_leq(t.right(), hi, ylo, yhi, out);
   }
 
   // Query one canonical subtree's inner map by y and append the hits. A

@@ -2,6 +2,11 @@
 // paper's Figure 1): constant-time whole-map sums, logarithmic prefix and
 // range sums, pruned filtering, and projected range sums. These are the
 // functions whose efficiency the augmentation exists for (paper Table 2).
+//
+// Blocked leaves: a chunk node contributes its block's cached augmented
+// value when the whole block is inside the query; only the (at most two)
+// boundary blocks are partially folded entry-by-entry, so the O(log n)
+// bounds become O(log n + B) with a tiny constant.
 #pragma once
 
 #include <cstddef>
@@ -17,13 +22,18 @@ struct aug_ops : map_ops<Entry, Balance> {
   using K = typename MO::K;
   using A = typename MO::A;
   using traits = typename MO::traits;
+  using entry_t = typename MO::entry_t;
 
   using MO::aug_of;
   using MO::dec;
   using MO::expose_own;
+  using MO::is_chunk;
+  using MO::is_chunk_leaf;
   using MO::join;
   using MO::join2;
   using MO::less;
+  using MO::lower_idx;
+  using MO::upper_idx;
 
   static_assert(true, "instantiating any member requires an augmented Entry");
 
@@ -31,10 +41,29 @@ struct aug_ops : map_ops<Entry, Balance> {
   // is cached at the root.
   static A aug_val(const node* t) { return aug_of(t); }
 
+  // Fold g over es[a, b) (the partial-block boundary case).
+  static A fold_entries(const entry_t* es, size_t a, size_t b) {
+    A acc = traits::identity();
+    for (size_t i = a; i < b; i++) {
+      acc = traits::combine(acc, traits::base(es[i].first, es[i].second));
+    }
+    return acc;
+  }
+
   // AUGLEFT(t, k): augmented value of all entries with key <= k
   // (paper Figure 2; its code includes the boundary key). O(log n).
   static A aug_left(const node* t, const K& k) {
     if (t == nullptr) return traits::identity();
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(k, es[0].first)) return aug_left(t->left, k);
+      size_t pos = upper_idx(es, c, k);  // entries [0, pos) are <= k
+      A own = pos == c ? t->blk->aug : fold_entries(es, 0, pos);
+      A acc = traits::combine(aug_of(t->left), own);
+      if (pos == c) acc = traits::combine(acc, aug_left(t->right, k));
+      return acc;
+    }
     if (less(k, t->key)) return aug_left(t->left, k);
     return traits::combine(
         aug_of(t->left),
@@ -44,6 +73,16 @@ struct aug_ops : map_ops<Entry, Balance> {
   // Augmented value of all entries with key >= k. O(log n).
   static A aug_right(const node* t, const K& k) {
     if (t == nullptr) return traits::identity();
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(es[c - 1].first, k)) return aug_right(t->right, k);
+      size_t pos = lower_idx(es, c, k);  // entries [pos, c) are >= k
+      A own = pos == 0 ? t->blk->aug : fold_entries(es, pos, c);
+      A acc = traits::combine(own, aug_of(t->right));
+      if (pos == 0) acc = traits::combine(aug_right(t->left, k), acc);
+      return acc;
+    }
     if (less(t->key, k)) return aug_right(t->right, k);
     return traits::combine(
         aug_right(t->left, k),
@@ -54,6 +93,18 @@ struct aug_ops : map_ops<Entry, Balance> {
   // equivalent to aug_val(range(t, lo, hi)) but O(log n) and allocation-free.
   static A aug_range(const node* t, const K& lo, const K& hi) {
     if (t == nullptr) return traits::identity();
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(es[c - 1].first, lo)) return aug_range(t->right, lo, hi);
+      if (less(hi, es[0].first)) return aug_range(t->left, lo, hi);
+      size_t i = lower_idx(es, c, lo);
+      size_t j = upper_idx(es, c, hi);
+      A mid = (i == 0 && j == c) ? t->blk->aug : fold_entries(es, i, j);
+      A acc = i == 0 ? traits::combine(aug_right(t->left, lo), mid) : mid;
+      if (j == c) acc = traits::combine(acc, aug_left(t->right, hi));
+      return acc;
+    }
     if (less(t->key, lo)) return aug_range(t->right, lo, hi);
     if (less(hi, t->key)) return aug_range(t->left, lo, hi);
     return traits::combine(
@@ -71,6 +122,16 @@ struct aug_ops : map_ops<Entry, Balance> {
     if (!h(t->aug)) {
       dec(t);
       return nullptr;
+    }
+    if (is_chunk_leaf(t)) {
+      const entry_t* es = t->blk->entries();
+      std::vector<entry_t> keep;
+      for (uint32_t i = 0; i < t->blk->count; i++) {
+        if (h(traits::base(es[i].first, es[i].second))) keep.push_back(es[i]);
+      }
+      node* r = MO::build_sorted_seq(keep.data(), keep.size());
+      dec(t);
+      return r;
     }
     size_t n = t->size;
     node *l, *m, *r;
@@ -94,6 +155,18 @@ struct aug_ops : map_ops<Entry, Balance> {
   static B aug_project(const node* t, const G2& g2, const F2& f2, const B& id,
                        const K& lo, const K& hi) {
     if (t == nullptr) return id;
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(es[c - 1].first, lo)) return aug_project(t->right, g2, f2, id, lo, hi);
+      if (less(hi, es[0].first)) return aug_project(t->left, g2, f2, id, lo, hi);
+      size_t i = lower_idx(es, c, lo);
+      size_t j = upper_idx(es, c, hi);
+      B left = i == 0 ? project_right(t->left, g2, f2, id, lo) : id;
+      B mid = fold_projected(es, i, j, g2, f2, id);
+      B right = j == c ? project_left(t->right, g2, f2, id, hi) : id;
+      return f2(f2(left, mid), right);
+    }
     if (less(t->key, lo)) return aug_project(t->right, g2, f2, id, lo, hi);
     if (less(hi, t->key)) return aug_project(t->left, g2, f2, id, lo, hi);
     B left = project_right(t->left, g2, f2, id, lo);
@@ -103,11 +176,31 @@ struct aug_ops : map_ops<Entry, Balance> {
   }
 
  private:
+  template <typename G2, typename F2, typename B>
+  static B fold_projected(const entry_t* es, size_t a, size_t b, const G2& g2,
+                          const F2& f2, const B& id) {
+    B acc = id;
+    for (size_t i = a; i < b; i++) {
+      acc = f2(acc, g2(traits::base(es[i].first, es[i].second)));
+    }
+    return acc;
+  }
+
   // g2-projected sum over keys >= k.
   template <typename G2, typename F2, typename B>
   static B project_right(const node* t, const G2& g2, const F2& f2, const B& id,
                          const K& k) {
     if (t == nullptr) return id;
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(es[c - 1].first, k)) return project_right(t->right, g2, f2, id, k);
+      size_t pos = lower_idx(es, c, k);
+      B left = pos == 0 ? project_right(t->left, g2, f2, id, k) : id;
+      B mid = fold_projected(es, pos, c, g2, f2, id);
+      B right = t->right == nullptr ? id : g2(t->right->aug);
+      return f2(f2(left, mid), right);
+    }
     if (less(t->key, k)) return project_right(t->right, g2, f2, id, k);
     B left = project_right(t->left, g2, f2, id, k);
     B mid = g2(traits::base(t->key, t->value));
@@ -120,6 +213,16 @@ struct aug_ops : map_ops<Entry, Balance> {
   static B project_left(const node* t, const G2& g2, const F2& f2, const B& id,
                         const K& k) {
     if (t == nullptr) return id;
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(k, es[0].first)) return project_left(t->left, g2, f2, id, k);
+      size_t pos = upper_idx(es, c, k);  // entries [0, pos) are <= k
+      B left = t->left == nullptr ? id : g2(t->left->aug);
+      B mid = fold_projected(es, 0, pos, g2, f2, id);
+      B right = pos == c ? project_left(t->right, g2, f2, id, k) : id;
+      return f2(f2(left, mid), right);
+    }
     if (less(k, t->key)) return project_left(t->left, g2, f2, id, k);
     B left = t->left == nullptr ? id : g2(t->left->aug);
     B mid = g2(traits::base(t->key, t->value));

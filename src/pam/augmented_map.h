@@ -121,26 +121,24 @@ class aug_map {
   bool empty() const { return root_ == nullptr; }
 
   std::optional<V> find(const K& k) const { return ops::find(root_, k); }
-  bool contains(const K& k) const { return ops::find_node(root_, k) != nullptr; }
+  bool contains(const K& k) const { return ops::contains(root_, k); }
 
-  std::optional<entry_t> first() const { return to_entry(ops::first_node(root_)); }
-  std::optional<entry_t> last() const { return to_entry(ops::last_node(root_)); }
+  std::optional<entry_t> first() const { return ops::first_entry(root_); }
+  std::optional<entry_t> last() const { return ops::last_entry(root_); }
 
   // Greatest entry with key strictly less than k.
   std::optional<entry_t> previous(const K& k) const {
-    return to_entry(ops::previous_node(root_, k));
+    return ops::previous_entry(root_, k);
   }
   // Least entry with key strictly greater than k.
   std::optional<entry_t> next(const K& k) const {
-    return to_entry(ops::next_node(root_, k));
+    return ops::next_entry(root_, k);
   }
 
   // Number of entries with key < k.
   size_t rank(const K& k) const { return ops::rank(root_, k); }
   // The i-th entry in key order (0-based).
-  std::optional<entry_t> select(size_t i) const {
-    return to_entry(ops::select(root_, i));
-  }
+  std::optional<entry_t> select(size_t i) const { return ops::select(root_, i); }
 
   // -------------------------------------- persistent functional updates ----
 
@@ -386,6 +384,15 @@ class aug_map {
 
   // Live node count across all maps of this type (paper Table 4).
   static int64_t used_nodes() { return ops::used_nodes(); }
+  // Live leaf-block count / bytes for this Entry type (shared by every
+  // balance scheme instantiated over it; zero in the unblocked layout).
+  static int64_t used_leaf_blocks() { return ops::used_leaf_blocks(); }
+  static int64_t used_leaf_bytes() { return ops::used_leaf_bytes(); }
+  // Total live heap bytes across all maps of this type: tree nodes plus
+  // leaf-block storage. The space experiments report this per entry.
+  static int64_t used_bytes() {
+    return used_nodes() * static_cast<int64_t>(sizeof(node)) + used_leaf_bytes();
+  }
   static constexpr size_t node_bytes() { return sizeof(node); }
   static const char* balance_name() { return Balance::name; }
 
@@ -396,11 +403,6 @@ class aug_map {
     node* t = root_;
     root_ = nullptr;
     return t;
-  }
-
-  static std::optional<entry_t> to_entry(const node* n) {
-    if (n == nullptr) return std::nullopt;
-    return entry_t(n->key, n->value);
   }
 
   node* root_ = nullptr;

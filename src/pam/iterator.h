@@ -10,6 +10,10 @@
 //
 //           for (auto [k, v] : m) ...
 //
+//       With blocked leaves the stack holds (node, in-block index) frames,
+//       so stepping through a leaf block is one index bump over a flat
+//       array — the fast path the blocked layout exists for.
+//
 //   range_view<Entry, Balance>     a lazy sub-range [lo, hi] of a map (or
 //       the whole map). Holds its own reference to the tree root, so it
 //       stays valid — a consistent snapshot — even if the map handle it
@@ -19,7 +23,9 @@
 //       aug_map::range, which path-copies O(log n) nodes).
 //
 //   tree_cursor<Entry, Balance>    a read-only cursor over tree structure:
-//       key/value/aug of the current subtree root plus navigation to
+//       the entries stored at the current subtree root (one for a plain
+//       node, a whole block for a chunk node — see entry_count()/key(i)/
+//       value(i)), the subtree's cached augmented value, and navigation to
 //       left/right children. This replaces the old internal_root() raw-node
 //       escape hatch: applications that need structural traversal (e.g.
 //       best-first search over augmented values, range-tree canonical
@@ -51,8 +57,8 @@ class map_iterator {
   using K = typename Entry::key_t;
   using V = typename Entry::val_t;
 
-  // The reference proxy: two references into the tree node, destructurable
-  // as `auto [k, v]` and convertible to a materialized std::pair.
+  // The reference proxy: two references into the tree (node or leaf block),
+  // destructurable as `auto [k, v]` and convertible to a materialized pair.
   struct entry_ref {
     const K& key;
     const V& value;
@@ -96,10 +102,23 @@ class map_iterator {
       push_left(t);
     } else {
       while (t != nullptr) {
-        if (ops::less(t->key, *lo)) {
+        if (ops::is_chunk(t)) {
+          const auto* es = t->blk->entries();
+          size_t c = t->blk->count;
+          size_t pos = ops::lower_idx(es, c, *lo);  // first entry >= *lo
+          if (pos == c) {
+            t = t->right;  // whole block (and left subtree) below the range
+          } else if (pos == 0) {
+            path_.push_back({t, 0});
+            t = t->left;  // left subtree may still hold keys >= *lo
+          } else {
+            path_.push_back({t, static_cast<uint32_t>(pos)});
+            break;  // entries before pos are < *lo, so the left side is too
+          }
+        } else if (ops::less(t->key, *lo)) {
           t = t->right;  // everything here is below the range
         } else {
-          path_.push_back(t);
+          path_.push_back({t, 0});
           t = t->left;
         }
       }
@@ -115,35 +134,62 @@ class map_iterator {
   map_iterator(const node* t, const K* lo, const K* hi, seek_last_t) : hi_(hi) {
     path_.reserve(kTypicalHeight);
     const node* best = nullptr;
+    uint32_t best_idx = 0;
     size_t best_depth = 0;
     while (t != nullptr) {
-      if (hi != nullptr && ops::less(*hi, t->key)) {
-        path_.push_back(t);  // a future in-order successor of the result
+      if (ops::is_chunk(t)) {
+        const auto* es = t->blk->entries();
+        size_t c = t->blk->count;
+        size_t pos = hi != nullptr ? ops::upper_idx(es, c, *hi) : c;  // first > *hi
+        if (pos == 0) {
+          path_.push_back({t, 0});  // block entries are future successors
+          t = t->left;
+        } else {
+          best = t;
+          best_idx = static_cast<uint32_t>(pos - 1);
+          best_depth = path_.size();
+          if (pos < c) break;  // the right subtree is > *hi as well
+          t = t->right;
+        }
+      } else if (hi != nullptr && ops::less(*hi, t->key)) {
+        path_.push_back({t, 0});  // a future in-order successor of the result
         t = t->left;
       } else {
         best = t;
+        best_idx = 0;
         best_depth = path_.size();
         t = t->right;
       }
     }
-    if (best == nullptr || (lo != nullptr && ops::less(best->key, *lo))) {
+    if (best == nullptr ||
+        (lo != nullptr && ops::less(entry_key(best, best_idx), *lo))) {
       path_.clear();  // range is empty
       return;
     }
-    // Nodes pushed while exploring best->right are > *hi and sit above the
-    // result in in-order; drop them so best is the current node.
+    // Nodes pushed while exploring best's right side are > *hi and sit above
+    // the result in in-order; drop them so best is the current node.
     path_.resize(best_depth);
-    path_.push_back(best);
+    path_.push_back({best, best_idx});
   }
 
   entry_ref operator*() const {
-    const node* t = path_.back();
-    return {t->key, t->value};
+    const frame& f = path_.back();
+    if (ops::is_chunk(f.n)) {
+      const auto& e = f.n->blk->entries()[f.idx];
+      return {e.first, e.second};
+    }
+    return {f.n->key, f.n->value};
   }
   arrow_proxy operator->() const { return {**this}; }
 
   map_iterator& operator++() {
-    const node* t = path_.back();
+    frame& f = path_.back();
+    if (ops::is_chunk(f.n) && f.idx + 1 < f.n->blk->count) {
+      f.idx++;  // step within the flat block: the hot path
+      clamp();
+      return *this;
+    }
+    const node* t = f.n;
     path_.pop_back();
     push_left(t->right);
     clamp();
@@ -155,25 +201,36 @@ class map_iterator {
     return old;
   }
 
-  // Iterators over the same tree are equal iff they sit on the same node;
+  // Iterators over the same tree are equal iff they sit on the same entry;
   // all exhausted iterators (including the default) are equal.
   friend bool operator==(const map_iterator& a, const map_iterator& b) {
-    return a.current() == b.current();
+    if (a.path_.empty() || b.path_.empty()) return a.path_.empty() == b.path_.empty();
+    return a.path_.back().n == b.path_.back().n &&
+           a.path_.back().idx == b.path_.back().idx;
   }
   friend bool operator!=(const map_iterator& a, const map_iterator& b) {
     return !(a == b);
   }
 
  private:
+  // Ancestor stack frame: a node plus (for chunk nodes) the index of the
+  // current/next-to-visit entry inside its block.
+  struct frame {
+    const node* n;
+    uint32_t idx;
+  };
+
   // Deep enough for every balanced scheme at the 2^32-entry size cap; the
   // stack grows past it only for degenerate treap draws.
   static constexpr size_t kTypicalHeight = 64;
 
-  const node* current() const { return path_.empty() ? nullptr : path_.back(); }
+  static const K& entry_key(const node* t, uint32_t idx) {
+    return ops::is_chunk(t) ? t->blk->entries()[idx].first : t->key;
+  }
 
   void push_left(const node* t) {
     while (t != nullptr) {
-      path_.push_back(t);
+      path_.push_back({t, 0});
       t = t->left;
     }
   }
@@ -181,23 +238,30 @@ class map_iterator {
   // Enforce the inclusive upper bound: once the next in-order key exceeds
   // *hi_, the iterator becomes end().
   void clamp() {
-    if (hi_ != nullptr && !path_.empty() && ops::less(*hi_, path_.back()->key)) {
-      path_.clear();
+    if (hi_ != nullptr && !path_.empty()) {
+      const frame& f = path_.back();
+      if (ops::less(*hi_, entry_key(f.n, f.idx))) path_.clear();
     }
   }
 
-  // Ancestor stack: back() is the current node; the nodes below it are the
-  // ancestors whose entries (and right subtrees) are still to be visited.
-  std::vector<const node*> path_;
+  // Ancestor stack: back() is the current frame; the frames below it are the
+  // ancestors whose remaining entries (and right subtrees) are still to be
+  // visited.
+  std::vector<frame> path_;
   const K* hi_ = nullptr;
 };
 
 // ------------------------------------------------------------ tree cursor --
 
-// A read-only view of a subtree: the entry and augmented value cached at
-// its root, and navigation to the child subtrees. Borrows the tree — no
-// refcount traffic, so it is as cheap as a raw pointer but cannot violate
-// the persistence invariants. An empty cursor tests false.
+// A read-only view of a subtree: the entries and augmented value cached at
+// its root, and navigation to the child subtrees. With blocked leaves a
+// subtree root may carry a whole run of entries: entry_count() gives the
+// run length and key(i)/value(i) index into it (keys sorted; the left
+// subtree is below key(0), the right above key(entry_count()-1)). key() and
+// value() are the first entry, which keeps single-entry callers working.
+// Borrows the tree — no refcount traffic, so it is as cheap as a raw
+// pointer but cannot violate the persistence invariants. An empty cursor
+// tests false.
 template <typename Entry, typename Balance>
 class tree_cursor {
  public:
@@ -214,9 +278,21 @@ class tree_cursor {
   bool empty() const { return t_ == nullptr; }
   explicit operator bool() const { return t_ != nullptr; }
 
-  // Entry stored at the subtree root.
-  const K& key() const { return t_->key; }
-  const V& value() const { return t_->value; }
+  // Number of entries stored at the subtree root itself (1 for a plain
+  // node, the block length for a chunk node).
+  size_t entry_count() const { return ops::cnt(t_); }
+
+  // The i-th entry stored at the root, in key order. i < entry_count().
+  const K& key(size_t i) const {
+    return ops::is_chunk(t_) ? t_->blk->entries()[i].first : t_->key;
+  }
+  const V& value(size_t i) const {
+    return ops::is_chunk(t_) ? t_->blk->entries()[i].second : t_->value;
+  }
+
+  // First entry stored at the subtree root.
+  const K& key() const { return key(0); }
+  const V& value() const { return value(0); }
   // Cached augmented value of the whole subtree (identity for plain maps).
   const A& aug() const { return t_->aug; }
   // Number of entries in the subtree. O(1).
@@ -332,7 +408,8 @@ class range_view {
   const_iterator end() const { return const_iterator(); }
 
   // Sequential in-order visit of the range: f(key, value).
-  // O(k + log n) for k entries, no allocation.
+  // O(k + log n) for k entries, no allocation; whole leaf blocks stream as
+  // flat array scans.
   template <typename F>
   void for_each(const F& f) const {
     foreach_bounded(root_, lo_.has_value() ? &*lo_ : nullptr,
@@ -354,6 +431,20 @@ class range_view {
   template <typename F>
   static void foreach_bounded(const node* t, const K* lo, const K* hi, const F& f) {
     if (t == nullptr) return;
+    if (ops::is_chunk(t)) {
+      const auto* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (lo != nullptr && ops::less(es[c - 1].first, *lo))
+        return foreach_bounded(t->right, lo, hi, f);
+      if (hi != nullptr && ops::less(*hi, es[0].first))
+        return foreach_bounded(t->left, lo, hi, f);
+      size_t i0 = lo != nullptr ? ops::lower_idx(es, c, *lo) : 0;
+      size_t i1 = hi != nullptr ? ops::upper_idx(es, c, *hi) : c;
+      if (i0 == 0) foreach_bounded(t->left, lo, nullptr, f);
+      for (size_t i = i0; i < i1; i++) f(es[i].first, es[i].second);
+      if (i1 == c) foreach_bounded(t->right, nullptr, hi, f);
+      return;
+    }
     if (lo != nullptr && ops::less(t->key, *lo))
       return foreach_bounded(t->right, lo, hi, f);
     if (hi != nullptr && ops::less(*hi, t->key))

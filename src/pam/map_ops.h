@@ -3,6 +3,14 @@
 // conversion. These are the operations the paper parallelizes with
 // fork-join over the tree structure (Figure 2); the work/span bounds are
 // those of Table 2.
+//
+// With blocked leaves enabled the bulk operations work block-at-a-time:
+// when a recursion bottoms out at two flat leaf blocks the result is a
+// plain sorted-array merge into fresh blocks, and the traversal/projection
+// passes stream whole blocks instead of chasing per-entry pointers.
+//
+// The fork-join granularity knob (par_cutoff) lives in parallel/parallel.h
+// with the rest of the runtime knob family.
 #pragma once
 
 #include <algorithm>
@@ -19,28 +27,22 @@
 
 namespace pam {
 
-// Sequential-cutoff (granularity) knob for all bulk tree recursions: trees
-// smaller than this run sequentially (the paper: "parallelism is not used
-// on very small trees"). Runtime-tunable for the granularity ablation
-// (bench_ablation_granularity); the read is one relaxed load, negligible
-// against the subtree work it gates.
-inline std::atomic<size_t>& par_cutoff_knob() {
-  static std::atomic<size_t> cutoff{512};
-  return cutoff;
-}
-inline size_t par_cutoff() { return par_cutoff_knob().load(std::memory_order_relaxed); }
-inline void set_par_cutoff(size_t c) { par_cutoff_knob().store(c); }
-
 template <typename Entry, typename Balance>
 struct map_ops : tree_ops<Entry, Balance> {
   using TO = tree_ops<Entry, Balance>;
+  using NM = typename TO::NM;
   using node = typename TO::node;
   using K = typename TO::K;
   using V = typename TO::V;
   using entry_t = typename TO::entry_t;
+  using lblock = typename TO::lblock;
+  using lstore = typename TO::lstore;
 
+  using TO::cnt;
   using TO::dec;
   using TO::expose_own;
+  using TO::is_chunk;
+  using TO::is_chunk_leaf;
   using TO::join;
   using TO::join2;
   using TO::less;
@@ -56,6 +58,7 @@ struct map_ops : tree_ops<Entry, Balance> {
   static node* union_(node* a, node* b, const Comb& comb) {
     if (a == nullptr) return b;
     if (b == nullptr) return a;
+    if (is_chunk_leaf(a) && is_chunk_leaf(b)) return union_blocks(a, b, comb);
     size_t total = size(a) + size(b);
     node *l2, *m2, *r2;
     expose_own(b, l2, m2, r2);
@@ -77,6 +80,52 @@ struct map_ops : tree_ops<Entry, Balance> {
     return union_(a, b, [](const V&, const V& vb) { return vb; });
   }
 
+  // One two-pointer merge over sorted unique runs, shared by every
+  // block-at-a-time base case: `a` is a run of entries, `b` a run of any
+  // sorted type keyed by key_of_b; each element lands in exactly one of
+  // on_a (key only in a), on_b (key only in b), on_both (key in both).
+  template <typename BT, typename KeyOfB, typename OnA, typename OnB,
+            typename OnBoth>
+  static void merge_runs(const entry_t* a, size_t na, const BT* b, size_t nb,
+                         const KeyOfB& key_of_b, const OnA& on_a, const OnB& on_b,
+                         const OnBoth& on_both) {
+    size_t i = 0, j = 0;
+    while (i < na && j < nb) {
+      if (less(a[i].first, key_of_b(b[j]))) {
+        on_a(a[i++]);
+      } else if (less(key_of_b(b[j]), a[i].first)) {
+        on_b(b[j++]);
+      } else {
+        on_both(a[i], b[j]);
+        i++;
+        j++;
+      }
+    }
+    for (; i < na; i++) on_a(a[i]);
+    for (; j < nb; j++) on_b(b[j]);
+  }
+
+  static const K& entry_key(const entry_t& e) { return e.first; }
+
+  // Block-at-a-time union base case: one sorted-array merge, then a
+  // balanced rebuild into fresh blocks.
+  template <typename Comb>
+  static node* union_blocks(node* a, node* b, const Comb& comb) {
+    std::vector<entry_t> out;
+    out.reserve(a->blk->count + b->blk->count);
+    merge_runs(
+        a->blk->entries(), a->blk->count, b->blk->entries(), b->blk->count,
+        entry_key, [&](const entry_t& e) { out.push_back(e); },
+        [&](const entry_t& e) { out.push_back(e); },
+        [&](const entry_t& ea, const entry_t& eb) {
+          out.emplace_back(ea.first, comb(ea.second, eb.second));
+        });
+    node* r = TO::build_sorted_seq(out.data(), out.size());
+    dec(a);
+    dec(b);
+    return r;
+  }
+
   // INTERSECT(a, b, comb): keys in both maps, values combined by comb.
   template <typename Comb>
   static node* intersect(node* a, node* b, const Comb& comb) {
@@ -85,6 +134,7 @@ struct map_ops : tree_ops<Entry, Balance> {
       dec(b);
       return nullptr;
     }
+    if (is_chunk_leaf(a) && is_chunk_leaf(b)) return intersect_blocks(a, b, comb);
     size_t total = size(a) + size(b);
     node *l2, *m2, *r2;
     expose_own(b, l2, m2, r2);
@@ -103,6 +153,21 @@ struct map_ops : tree_ops<Entry, Balance> {
     return join2(l, r);
   }
 
+  template <typename Comb>
+  static node* intersect_blocks(node* a, node* b, const Comb& comb) {
+    std::vector<entry_t> out;
+    merge_runs(
+        a->blk->entries(), a->blk->count, b->blk->entries(), b->blk->count,
+        entry_key, [](const entry_t&) {}, [](const entry_t&) {},
+        [&](const entry_t& ea, const entry_t& eb) {
+          out.emplace_back(ea.first, comb(ea.second, eb.second));
+        });
+    node* r = TO::build_sorted_seq(out.data(), out.size());
+    dec(a);
+    dec(b);
+    return r;
+  }
+
   // DIFFERENCE(a, b): entries of a whose key is not in b.
   static node* difference(node* a, node* b) {
     if (a == nullptr) {
@@ -110,6 +175,7 @@ struct map_ops : tree_ops<Entry, Balance> {
       return nullptr;
     }
     if (b == nullptr) return a;
+    if (is_chunk_leaf(a) && is_chunk_leaf(b)) return difference_blocks(a, b);
     size_t total = size(a) + size(b);
     node *l2, *m2, *r2;
     expose_own(b, l2, m2, r2);
@@ -124,6 +190,19 @@ struct map_ops : tree_ops<Entry, Balance> {
     return join2(l, r);
   }
 
+  static node* difference_blocks(node* a, node* b) {
+    std::vector<entry_t> out;
+    out.reserve(a->blk->count);
+    merge_runs(
+        a->blk->entries(), a->blk->count, b->blk->entries(), b->blk->count,
+        entry_key, [&](const entry_t& e) { out.push_back(e); },
+        [](const entry_t&) {}, [](const entry_t&, const entry_t&) {});
+    node* r = TO::build_sorted_seq(out.data(), out.size());
+    dec(a);
+    dec(b);
+    return r;
+  }
+
   // -------------------------------------------------------------- filter --
 
   // FILTER(t, pred): entries satisfying pred(k, v). Consumes t.
@@ -131,6 +210,16 @@ struct map_ops : tree_ops<Entry, Balance> {
   template <typename Pred>
   static node* filter(node* t, const Pred& pred) {
     if (t == nullptr) return nullptr;
+    if (is_chunk_leaf(t)) {
+      const entry_t* es = t->blk->entries();
+      std::vector<entry_t> keep;
+      for (uint32_t i = 0; i < t->blk->count; i++) {
+        if (pred(es[i].first, es[i].second)) keep.push_back(es[i]);
+      }
+      node* r = TO::build_sorted_seq(keep.data(), keep.size());
+      dec(t);
+      return r;
+    }
     size_t n = t->size;
     node *l, *m, *r;
     expose_own(t, l, m, r);
@@ -147,10 +236,13 @@ struct map_ops : tree_ops<Entry, Balance> {
   // --------------------------------------------------------------- build --
 
   // Balanced divide-and-conquer construction from sorted, duplicate-free
-  // entries (paper Figure 2, BUILD'). O(n) work after sorting.
+  // entries (paper Figure 2, BUILD'). O(n) work after sorting. Bottoms out
+  // in whole leaf blocks when blocking is enabled.
   static node* from_sorted_unique(const entry_t* a, size_t n) {
     if (n == 0) return nullptr;
-    size_t mid = n / 2;
+    size_t B = leaf_block_size();
+    if (B >= 1 && n <= B) return TO::make_chunk_leaf(a, n);
+    size_t mid = TO::build_pivot(n, B);
     node* m = make_single(a[mid].first, a[mid].second);
     node* l = nullptr;
     node* r = nullptr;
@@ -180,12 +272,27 @@ struct map_ops : tree_ops<Entry, Balance> {
 
   // MULTIINSERT over a sorted duplicate-free update array: split the array
   // around the root key and recurse on both sides in parallel.
-  // Work O(m log(n/m + 1)) like union.
+  // Work O(m log(n/m + 1)) like union. A leaf block absorbs its updates in
+  // one array merge.
   template <typename Comb>
   static node* multi_insert_sorted(node* t, const entry_t* a, size_t n,
                                    const Comb& comb) {
     if (n == 0) return t;
     if (t == nullptr) return from_sorted_unique(a, n);
+    if (is_chunk_leaf(t)) {
+      std::vector<entry_t> out;
+      out.reserve(t->blk->count + n);
+      merge_runs(
+          t->blk->entries(), t->blk->count, a, n, entry_key,
+          [&](const entry_t& e) { out.push_back(e); },
+          [&](const entry_t& e) { out.push_back(e); },
+          [&](const entry_t& old, const entry_t& upd) {
+            out.emplace_back(old.first, comb(old.second, upd.second));
+          });
+      node* r = from_sorted_unique(out.data(), out.size());
+      dec(t);
+      return r;
+    }
     node *l, *m, *r;
     expose_own(t, l, m, r);
     size_t idx = std::lower_bound(a, a + n, m->key,
@@ -223,6 +330,18 @@ struct map_ops : tree_ops<Entry, Balance> {
 
   static node* multi_delete_sorted(node* t, const K* keys, size_t n) {
     if (n == 0 || t == nullptr) return t;
+    if (is_chunk_leaf(t)) {
+      std::vector<entry_t> out;
+      out.reserve(t->blk->count);
+      merge_runs(
+          t->blk->entries(), t->blk->count, keys, n,
+          [](const K& k) -> const K& { return k; },
+          [&](const entry_t& e) { out.push_back(e); }, [](const K&) {},
+          [](const entry_t&, const K&) {});  // key present in both: deleted
+      node* r = TO::build_sorted_seq(out.data(), out.size());
+      dec(t);
+      return r;
+    }
     node *l, *m, *r;
     expose_own(t, l, m, r);
     size_t idx = std::lower_bound(keys, keys + n, m->key,
@@ -257,19 +376,22 @@ struct map_ops : tree_ops<Entry, Balance> {
 
   // MAPREDUCE(t, g', f', id): fold g'(k, v) over all entries with the
   // associative f', in parallel over the tree structure (paper Figure 2).
+  // Leaf blocks fold with a tight sequential scan.
   template <typename M, typename R, typename B>
   static B map_reduce(const node* t, const M& g2, const R& f2, const B& id) {
     if (t == nullptr) return id;
     if (t->size < par_cutoff()) {
       B lv = map_reduce(t->left, g2, f2, id);
+      lv = fold_own(t, g2, f2, std::move(lv));
       B rv = map_reduce(t->right, g2, f2, id);
-      return f2(f2(lv, g2(t->key, t->value)), rv);
+      return f2(lv, rv);
     }
     B lv = id;
     B rv = id;
     par_do([&] { lv = map_reduce(t->left, g2, f2, id); },
            [&] { rv = map_reduce(t->right, g2, f2, id); });
-    return f2(f2(lv, g2(t->key, t->value)), rv);
+    lv = fold_own(t, g2, f2, std::move(lv));
+    return f2(lv, rv);
   }
 
   // Batch lookup: out[i] = value at keys[i] (or nullopt), all lookups in
@@ -283,7 +405,8 @@ struct map_ops : tree_ops<Entry, Balance> {
 
   // Same-shape value transform (the paper's `map`): a new tree with
   // identical keys and structure, value' = f(k, v), augmented values
-  // recomputed bottom-up. Borrows t; O(n) work, O(log n) span.
+  // recomputed bottom-up. Borrows t; O(n) work, O(log n) span. Chunk nodes
+  // map onto fresh blocks of the same count.
   template <typename F>
   static node* map_values(const node* t, const F& f) {
     if (t == nullptr) return nullptr;
@@ -292,11 +415,24 @@ struct map_ops : tree_ops<Entry, Balance> {
     par_do_if(
         t->size >= par_cutoff(), [&] { l = map_values(t->left, f); },
         [&] { r = map_values(t->right, f); });
-    node* m = TO::make_single(t->key, f(t->key, t->value));
+    node* m;
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      uint32_t c = t->blk->count;
+      lblock* nb = lstore::allocate(c);
+      entry_t* out = nb->entries();
+      for (uint32_t i = 0; i < c; i++) {
+        new (&out[i]) entry_t(es[i].first, f(es[i].first, es[i].second));
+      }
+      lstore::seal(nb);
+      m = NM::make_chunk(nb);
+    } else {
+      m = make_single(t->key, f(t->key, t->value));
+    }
     m->bal = t->bal;  // identical shape => identical balance metadata
     m->left = l;
     m->right = r;
-    TO::NM::update(m);
+    NM::update(m);
     return m;
   }
 
@@ -307,26 +443,53 @@ struct map_ops : tree_ops<Entry, Balance> {
   static void foreach_inorder(const node* t, const F& f) {
     if (t == nullptr) return;
     foreach_inorder(t->left, f);
-    f(t->key, t->value);
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      for (uint32_t i = 0; i < t->blk->count; i++) f(es[i].first, es[i].second);
+    } else {
+      f(t->key, t->value);
+    }
     foreach_inorder(t->right, f);
   }
 
   // Parallel in-order projection into out[0, size(t)): out[i] = f(k_i, v_i)
-  // for the i-th entry in key order. One pass, no intermediate entry array.
+  // for the i-th entry in key order. One pass, no intermediate entry array;
+  // leaf blocks stream straight into the output.
   template <typename Out, typename F>
   static void project_to_array(const node* t, Out* out, const F& f) {
     if (t == nullptr) return;
     size_t ls = size(t->left);
+    size_t c = cnt(t);
     par_do_if(
         t->size >= par_cutoff(), [&] { project_to_array(t->left, out, f); },
-        [&] { project_to_array(t->right, out + ls + 1, f); });
-    out[ls] = f(t->key, t->value);
+        [&] { project_to_array(t->right, out + ls + c, f); });
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      for (size_t i = 0; i < c; i++) out[ls + i] = f(es[i].first, es[i].second);
+    } else {
+      out[ls] = f(t->key, t->value);
+    }
   }
 
   // Parallel in-order materialization into out[0, size(t)).
   static void to_array(const node* t, entry_t* out) {
     project_to_array(t, out,
                      [](const K& k, const V& v) { return entry_t(k, v); });
+  }
+
+ private:
+  // Fold t's own entries (1 for a plain node, the whole block for a chunk)
+  // into acc with f2(acc, g2(k, v)).
+  template <typename M, typename R, typename B>
+  static B fold_own(const node* t, const M& g2, const R& f2, B acc) {
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      for (uint32_t i = 0; i < t->blk->count; i++) {
+        acc = f2(acc, g2(es[i].first, es[i].second));
+      }
+      return acc;
+    }
+    return f2(acc, g2(t->key, t->value));
   }
 };
 

@@ -1,6 +1,6 @@
-// Tree nodes, reference-counting garbage collection, and the node-level
-// helpers (copy-on-share, rotations) that every balancing scheme and every
-// algorithm is built from.
+// Tree nodes, blocked leaves, reference-counting garbage collection, and the
+// node-level helpers (copy-on-share, rotations) that every balancing scheme
+// and every algorithm is built from.
 //
 // PAM's trees are purely functional: operations never mutate a node that any
 // other tree can reach. Concretely, a node may be mutated if and only if its
@@ -9,6 +9,20 @@
 // the paper's "reuse optimization") or make a fresh copy that shares the
 // children. Old versions of a map therefore remain valid forever — this is
 // what gives PAM persistence and snapshot-style concurrency for free.
+//
+// Blocked leaves (the PaC-tree layout of Dhulipala & Blelloch 2022): a node
+// may carry, instead of one inline entry, a pointer to a refcounted *leaf
+// block* — a flat sorted array of up to `leaf_block_size()` entries with a
+// precomputed augmented value. Such a "chunk" node still has ordinary
+// left/right child pointers (its block's keys sit between the two subtrees
+// in key order), `size` still counts every entry below it, and its balance
+// metadata describes it as a single node — so the four balancing schemes
+// operate on chunk nodes without knowing they exist. Rotations inside a
+// scheme's join may hand a chunk node interior children; that is fine: every
+// algorithm in tree_ops/map_ops/aug_ops treats "node" as "1..B sorted
+// entries plus two subtrees". Blocks are immutable once sealed and shared
+// whole (their own refcount), so copy_node on a chunk is O(1) and snapshots
+// keep sharing storage across re-packs.
 //
 // Ownership protocol (used consistently across tree_ops/map_ops/aug_ops):
 //   * a `node*` argument passed to a *consuming* function transfers one
@@ -23,8 +37,10 @@
 #include <type_traits>
 #include <utility>
 
+#include "alloc/leaf_pool.h"
 #include "alloc/type_allocator.h"
 #include "parallel/parallel.h"
+#include "util/env.h"
 
 namespace pam {
 
@@ -74,9 +90,180 @@ inline std::atomic<bool>& reuse_flag() {
 inline bool reuse_enabled() { return reuse_flag().load(std::memory_order_relaxed); }
 inline void set_reuse_enabled(bool on) { reuse_flag().store(on); }
 
-// A tree node. With 64-bit keys/values/augmentation and the (empty)
-// weight-balanced metadata this is exactly 48 bytes, matching the node size
-// the paper reports in Table 4 (40 bytes un-augmented + 8 for the sum).
+// ------------------------------------------------------- leaf block knob --
+
+// Maximum entries per leaf block. 0 selects the classic one-entry-per-node
+// layout; >= 1 packs subtrees of up to this many entries into flat blocks.
+// Both layouts coexist in one process (existing blocks stay valid when the
+// knob changes), so benchmarks can ablate blocked vs. unblocked at runtime.
+inline constexpr size_t kMaxLeafBlock = 2048;
+
+inline std::atomic<uint32_t>& leaf_block_knob() {
+  static std::atomic<uint32_t> knob{[] {
+    long v = env_long("PAM_LEAF_BLOCK", 32);
+    if (v < 0) v = 0;
+    if (v > static_cast<long>(kMaxLeafBlock)) v = static_cast<long>(kMaxLeafBlock);
+    return static_cast<uint32_t>(v);
+  }()};
+  return knob;
+}
+inline size_t leaf_block_size() {
+  return leaf_block_knob().load(std::memory_order_relaxed);
+}
+inline void set_leaf_block_size(size_t b) {
+  if (b > kMaxLeafBlock) b = kMaxLeafBlock;
+  leaf_block_knob().store(static_cast<uint32_t>(b));
+}
+
+// ------------------------------------------------------------ leaf blocks --
+
+// A refcounted flat run of sorted entries with its augmented value cached.
+// Immutable once sealed: re-packs build new blocks, so any number of tree
+// versions may share one block. The entry array lives in the same pool slot
+// right after the header; `capacity` (a power of two) names the slot class.
+template <typename Entry>
+struct leaf_block {
+  using K = typename Entry::key_t;
+  using V = typename Entry::val_t;
+  using A = typename entry_traits<Entry>::aug_t;
+  using entry_t = std::pair<K, V>;
+
+  std::atomic<uint32_t> ref_cnt;
+  uint32_t count;
+  uint32_t capacity;
+  [[no_unique_address]] A aug;
+
+  static constexpr size_t entries_offset() {
+    size_t a = alignof(entry_t);
+    return (sizeof(leaf_block) + a - 1) / a * a;
+  }
+  static constexpr size_t slot_bytes(size_t cap) {
+    return entries_offset() + cap * sizeof(entry_t);
+  }
+  static constexpr size_t slot_align() {
+    return alignof(leaf_block) > alignof(entry_t) ? alignof(leaf_block)
+                                                  : alignof(entry_t);
+  }
+
+  entry_t* entries() {
+    return reinterpret_cast<entry_t*>(reinterpret_cast<char*>(this) +
+                                      entries_offset());
+  }
+  const entry_t* entries() const {
+    return reinterpret_cast<const entry_t*>(reinterpret_cast<const char*>(this) +
+                                            entries_offset());
+  }
+};
+
+// Leaf-block storage for one Entry type: a raw_pool per power-of-two
+// capacity class, plus live accounting for the space experiments. Shared by
+// every balancing scheme instantiated over the Entry.
+template <typename Entry>
+struct leaf_store {
+  using block = leaf_block<Entry>;
+  using entry_t = typename block::entry_t;
+  using A = typename block::A;
+  using traits = entry_traits<Entry>;
+
+  static constexpr int kClasses = 12;  // capacities 1, 2, 4, ..., 2048
+
+  static int class_of(size_t cap) {
+    int c = 0;
+    while ((size_t{1} << c) < cap) c++;
+    return c;
+  }
+
+  // Storage for `count` entries (1 <= count <= kMaxLeafBlock). The header is
+  // initialized; entries are raw and the augmented value is unconstructed —
+  // placement-new the entries in key order, then call seal().
+  static block* allocate(uint32_t count) {
+    int cls = class_of(count);
+    block* b = static_cast<block*>(pool(cls).allocate());
+    new (&b->ref_cnt) std::atomic<uint32_t>(1);
+    b->count = count;
+    b->capacity = static_cast<uint32_t>(size_t{1} << cls);
+    return b;
+  }
+
+  // Compute and cache the block's augmented value from its entries.
+  static void seal(block* b) {
+    if constexpr (traits::has_aug) {
+      const entry_t* e = b->entries();
+      A acc = traits::base(e[0].first, e[0].second);
+      for (uint32_t i = 1; i < b->count; i++) {
+        acc = traits::combine(acc, traits::base(e[i].first, e[i].second));
+      }
+      new (&b->aug) A(std::move(acc));
+    } else {
+      new (&b->aug) A();
+    }
+  }
+
+  static block* retain(block* b) {
+    b->ref_cnt.fetch_add(1, std::memory_order_relaxed);
+    return b;
+  }
+
+  static void release(block* b) {
+    if (b->ref_cnt.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    entry_t* e = b->entries();
+    for (uint32_t i = 0; i < b->count; i++) e[i].~entry_t();
+    b->aug.~A();
+    pool(class_of(b->capacity)).deallocate(b);
+  }
+
+  // Live blocks / bytes across all maps of this Entry type (Table 4).
+  static int64_t used_blocks() {
+    int64_t total = 0;
+    for (int c = 0; c < kClasses; c++) {
+      raw_pool* p = table().pools[c].load(std::memory_order_acquire);
+      if (p != nullptr) total += p->used();
+    }
+    return total;
+  }
+
+  static int64_t used_bytes() {
+    int64_t total = 0;
+    for (int c = 0; c < kClasses; c++) {
+      raw_pool* p = table().pools[c].load(std::memory_order_acquire);
+      if (p != nullptr) total += p->used() * static_cast<int64_t>(p->slot_bytes());
+    }
+    return total;
+  }
+
+ private:
+  struct pool_table {
+    std::mutex mu;
+    std::array<std::atomic<raw_pool*>, kClasses> pools{};
+  };
+
+  static pool_table& table() {
+    static pool_table* t = new pool_table();  // immortal
+    return *t;
+  }
+
+  static raw_pool& pool(int cls) {
+    pool_table& t = table();
+    raw_pool* p = t.pools[cls].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      std::lock_guard<std::mutex> lock(t.mu);
+      p = t.pools[cls].load(std::memory_order_relaxed);
+      if (p == nullptr) {
+        p = new raw_pool(block::slot_bytes(size_t{1} << cls), block::slot_align());
+        t.pools[cls].store(p, std::memory_order_release);
+      }
+    }
+    return *p;
+  }
+};
+
+// ------------------------------------------------------------- tree node --
+
+// A tree node: either one inline entry (blk == nullptr) or a leaf block of
+// blk->count entries (key/value then mirror the block's first entry so
+// key-based heuristics like treap priorities stay well-defined). With 64-bit
+// keys/values/augmentation this is 56 bytes — 8 more than the paper's Table 4
+// node for the block pointer; the blocked layout wins it back ~20x over.
 template <typename Entry, typename BalData>
 struct tree_node {
   using K = typename Entry::key_t;
@@ -87,6 +274,7 @@ struct tree_node {
   uint32_t size;  // subtree entry count (bounds maps to 2^32-1 entries)
   tree_node* left;
   tree_node* right;
+  leaf_block<Entry>* blk;  // non-null => this node carries a leaf block
   K key;
   [[no_unique_address]] V value;
   [[no_unique_address]] A aug;
@@ -102,14 +290,29 @@ struct node_manager {
   using A = typename traits::aug_t;
   using node = tree_node<Entry, typename Balance::data>;
   using allocator = type_allocator<node>;
-
-  // Subtrees smaller than this are collected sequentially.
-  static constexpr size_t kParallelGcCutoff = size_t{1} << 12;
+  using lblock = leaf_block<Entry>;
+  using lstore = leaf_store<Entry>;
+  using entry_t = std::pair<K, V>;
 
   static bool less(const K& a, const K& b) { return Entry::comp(a, b); }
   static bool keys_equal(const K& a, const K& b) { return !less(a, b) && !less(b, a); }
   static size_t size(const node* t) { return t == nullptr ? 0 : t->size; }
   static A aug_of(const node* t) { return t == nullptr ? traits::identity() : t->aug; }
+
+  // Is t a chunk node (carries a leaf block instead of one inline entry)?
+  static bool is_chunk(const node* t) { return t != nullptr && t->blk != nullptr; }
+
+  // Entries stored at t itself (not counting subtrees).
+  static uint32_t cnt(const node* t) { return t->blk != nullptr ? t->blk->count : 1; }
+
+  // Augmented value of t's own entries (cached in the block for chunks).
+  static A own_aug(const node* t) {
+    if constexpr (traits::has_aug) {
+      return t->blk != nullptr ? t->blk->aug : traits::base(t->key, t->value);
+    } else {
+      return A{};
+    }
+  }
 
   // ------------------------------------------------- reference counting --
 
@@ -123,7 +326,8 @@ struct node_manager {
   }
 
   // Release one reference; frees the node (and recursively its subtrees, in
-  // parallel when large) when the count reaches zero.
+  // parallel when large — the cutoff follows the runtime gc_par_cutoff()
+  // knob) when the count reaches zero.
   static void dec(node* t) {
     while (t != nullptr) {
       if (t->ref_cnt.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
@@ -131,7 +335,7 @@ struct node_manager {
       node* r = t->right;
       destroy_node(t);
       if (l != nullptr && r != nullptr &&
-          l->size + r->size >= kParallelGcCutoff) {
+          l->size + r->size >= gc_par_cutoff()) {
         par_do([l] { dec(l); }, [r] { dec(r); });
         return;
       }
@@ -147,11 +351,10 @@ struct node_manager {
   // balance scheme's own bookkeeping. Called whenever children change, which
   // keeps every algorithm except the aug_* family oblivious of augmentation.
   static void update(node* t) {
-    t->size = static_cast<uint32_t>(1 + size(t->left) + size(t->right));
+    t->size = static_cast<uint32_t>(cnt(t) + size(t->left) + size(t->right));
     if constexpr (traits::has_aug) {
-      t->aug = traits::combine(
-          aug_of(t->left),
-          traits::combine(traits::base(t->key, t->value), aug_of(t->right)));
+      t->aug = traits::combine(aug_of(t->left),
+                               traits::combine(own_aug(t), aug_of(t->right)));
     }
     Balance::template update_data<node_manager>(t);
   }
@@ -161,6 +364,7 @@ struct node_manager {
     new (&t->ref_cnt) std::atomic<uint32_t>(1);
     t->left = nullptr;
     t->right = nullptr;
+    t->blk = nullptr;
     new (&t->key) K(k);
     new (&t->value) V(v);
     if constexpr (traits::has_aug) {
@@ -173,7 +377,25 @@ struct node_manager {
     return t;
   }
 
+  // Wrap a sealed leaf block (ownership transfers) into a fresh leaf-chunk
+  // node. key/value mirror the first entry.
+  static node* make_chunk(lblock* b) {
+    const entry_t* e = b->entries();
+    node* t = allocator::allocate();
+    new (&t->ref_cnt) std::atomic<uint32_t>(1);
+    t->left = nullptr;
+    t->right = nullptr;
+    t->blk = b;
+    new (&t->key) K(e[0].first);
+    new (&t->value) V(e[0].second);
+    new (&t->aug) A(b->aug);
+    new (&t->bal) typename Balance::data();
+    update(t);
+    return t;
+  }
+
   static void destroy_node(node* t) {
+    if (t->blk != nullptr) lstore::release(t->blk);
     t->key.~K();
     t->value.~V();
     t->aug.~A();
@@ -182,14 +404,15 @@ struct node_manager {
     allocator::deallocate(t);
   }
 
-  // A fresh refcount-1 copy of t sharing t's children (whose counts are
-  // bumped). Borrow-style: t's own count is untouched.
+  // A fresh refcount-1 copy of t sharing t's children and leaf block (whose
+  // counts are bumped). Borrow-style: t's own count is untouched.
   static node* copy_node(const node* t) {
     node* c = allocator::allocate();
     new (&c->ref_cnt) std::atomic<uint32_t>(1);
     c->size = t->size;
     c->left = inc(t->left);
     c->right = inc(t->right);
+    c->blk = t->blk != nullptr ? lstore::retain(t->blk) : nullptr;
     new (&c->key) K(t->key);
     new (&c->value) V(t->value);
     new (&c->aug) A(t->aug);
@@ -207,10 +430,9 @@ struct node_manager {
     return c;
   }
 
-  // Decompose an owned tree into (left child, singleton middle, right
-  // child), transferring ownership of all three to the caller. The middle
-  // node carries t's entry and has null children; it is what the join-based
-  // algorithms thread back into JOIN.
+  // Decompose an owned single-entry tree into (left child, singleton middle,
+  // right child), transferring ownership of all three to the caller. Chunk
+  // nodes are decomposed by tree_ops::expose_own, which shadows this.
   static void expose_own(node* t, node*& l, node*& m, node*& r) {
     if (reuse_enabled() && ref_count(t) == 1) {
       l = t->left;
@@ -239,8 +461,20 @@ struct node_manager {
 
   // Standard rotations on owned nodes. The child being promoted is made
   // unique first, so rotations are persistence-safe. Colors/priorities move
-  // with their nodes; per-scheme metadata is refreshed by update().
+  // with their nodes; per-scheme metadata is refreshed by update(). A chunk
+  // node may be promoted to an interior position here — its block's keys
+  // stay between its (new) subtrees, so in-order semantics are unchanged.
+  //
+  // A weight-driven scheme can ask for a rotation whose promoted child does
+  // not exist: a chunk node weighs its whole block, so a "heavy" subtree may
+  // be a single shapeless leaf. Such a rotation is an order-preserving no-op
+  // (the weight is irreducible); the local weight-balance slack this leaves
+  // behind is bounded by the block size.
   static node* rotate_left(node* x) {
+    if (x->right == nullptr) {
+      update(x);
+      return x;
+    }
     node* y = ensure_owned(x->right);
     x->right = y->left;
     y->left = x;
@@ -250,6 +484,10 @@ struct node_manager {
   }
 
   static node* rotate_right(node* x) {
+    if (x->left == nullptr) {
+      update(x);
+      return x;
+    }
     node* y = ensure_owned(x->left);
     x->left = y->right;
     y->right = x;
@@ -260,6 +498,9 @@ struct node_manager {
 
   // Live node count across all maps of this instantiated type (Table 4).
   static int64_t used_nodes() { return allocator::used(); }
+  // Live leaf-block storage for this Entry type (shared across schemes).
+  static int64_t used_leaf_blocks() { return lstore::used_blocks(); }
+  static int64_t used_leaf_bytes() { return lstore::used_bytes(); }
 };
 
 }  // namespace pam

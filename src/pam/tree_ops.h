@@ -2,11 +2,20 @@
 // delete, search, order statistics, and range extraction. Everything here is
 // expressed purely in terms of JOIN (paper §4), so it works unchanged for
 // all four balancing schemes.
+//
+// This layer is also the seam where the blocked-leaf layout (node.h) is
+// integrated: JOIN re-packs results of up to leaf_block_size() entries into
+// one flat chunk, and split/expose/insert/delete materialize chunk contents
+// back into trees at the boundary they touch. The balance schemes above
+// never see a block: a chunk node is an ordinary node to them. Every
+// algorithm below treats a node as "1..B sorted entries plus two subtrees",
+// which is exactly the generalized invariant chunk nodes satisfy.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "pam/node.h"
 
@@ -22,19 +31,165 @@ struct tree_ops : node_manager<Entry, Balance> {
   using A = typename NM::A;
   using traits = typename NM::traits;
   using entry_t = std::pair<K, V>;
+  using lblock = typename NM::lblock;
+  using lstore = typename NM::lstore;
 
   using NM::attach;
   using NM::aug_of;
+  using NM::cnt;
   using NM::dec;
-  using NM::expose_own;
   using NM::inc;
+  using NM::is_chunk;
   using NM::less;
   using NM::make_single;
   using NM::size;
 
+  // First index in es[0, n) whose key is >= k (all keys before it are < k).
+  static size_t lower_idx(const entry_t* es, size_t n, const K& k) {
+    size_t lo = 0, hi = n;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (less(es[mid].first, k)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // First index in es[0, n) whose key is > k.
+  static size_t upper_idx(const entry_t* es, size_t n, const K& k) {
+    size_t lo = 0, hi = n;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (less(k, es[mid].first)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  // Is t a leaf chunk (block with no subtrees) — the fast-path shape?
+  static bool is_chunk_leaf(const node* t) {
+    return is_chunk(t) && t->left == nullptr && t->right == nullptr;
+  }
+
+  // --------------------------------------------------- chunk construction --
+
+  // In-order copy of every entry under t (borrowed) into out via placement
+  // new, advancing i. Used to fill freshly allocated leaf blocks.
+  static void write_entries(const node* t, entry_t* out, size_t& i) {
+    if (t == nullptr) return;
+    write_entries(t->left, out, i);
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      for (uint32_t j = 0; j < t->blk->count; j++) new (&out[i++]) entry_t(es[j]);
+    } else {
+      new (&out[i++]) entry_t(t->key, t->value);
+    }
+    write_entries(t->right, out, i);
+  }
+
+  // A fresh leaf-chunk node over es[0, n), 1 <= n <= kMaxLeafBlock.
+  static node* make_chunk_leaf(const entry_t* es, size_t n) {
+    lblock* b = lstore::allocate(static_cast<uint32_t>(n));
+    entry_t* out = b->entries();
+    for (size_t i = 0; i < n; i++) new (&out[i]) entry_t(es[i]);
+    lstore::seal(b);
+    return NM::make_chunk(b);
+  }
+
+  // Sequential balanced build from sorted unique entries. With blocking on,
+  // leaves are chunks and the left recursion takes whole blocks so most
+  // blocks come out full (the space experiments depend on this density).
+  static node* build_sorted_seq(const entry_t* es, size_t n) {
+    if (n == 0) return nullptr;
+    size_t B = leaf_block_size();
+    if (B >= 1 && n <= B) return make_chunk_leaf(es, n);
+    size_t mid = build_pivot(n, B);
+    node* m = make_single(es[mid].first, es[mid].second);
+    node* l = build_sorted_seq(es, mid);
+    node* r = build_sorted_seq(es + mid + 1, n - mid - 1);
+    return join(l, m, r);
+  }
+
+  // Pivot index for balanced construction: plain halving unblocked; with
+  // blocking, the left side gets a whole number of full blocks.
+  static size_t build_pivot(size_t n, size_t B) {
+    if (B < 1) return n / 2;
+    size_t nb = (n + B - 1) / B;
+    size_t mid = (nb / 2) * B;
+    if (mid == 0 || mid >= n) mid = n / 2;
+    return mid;
+  }
+
+  // Reassemble l ++ es[a, b) ++ r into one owned tree (consumes l and r,
+  // borrows es). The workhorse of every "open up a chunk" path.
+  static node* rebuild(node* l, const entry_t* es, size_t a, size_t b, node* r) {
+    node* mid = b > a ? build_sorted_seq(es + a, b - a) : nullptr;
+    return join2(join2(l, mid), r);
+  }
+
+  // An O(1) leaf node sharing t's (sealed, immutable) block — used when a
+  // range bound covers the whole block, so extraction shares storage with
+  // the source exactly like copy_node does.
+  static node* share_block(const node* t) {
+    return NM::make_chunk(lstore::retain(t->blk));
+  }
+
   // JOIN(l, m, r): the single balancing primitive everything is built from.
-  // Consumes all three owned references; max(l) < m->key < min(r).
-  static node* join(node* l, node* m, node* r) { return BO::node_join(l, m, r); }
+  // Consumes all three owned references; max(l) < m->key < min(r); m is a
+  // singleton. Results of at most leaf_block_size() entries are re-packed
+  // into one flat chunk — this is where blocks are (re)formed.
+  static node* join(node* l, node* m, node* r) {
+    size_t B = leaf_block_size();
+    if (B >= 1) {
+      size_t total = size(l) + 1 + size(r);
+      if (total <= B) return pack_chunk(l, m, r);
+    }
+    return BO::node_join(l, m, r);
+  }
+
+  // Flatten l ++ m ++ r (all owned, m singleton) into one leaf chunk.
+  static node* pack_chunk(node* l, node* m, node* r) {
+    uint32_t total = static_cast<uint32_t>(size(l) + 1 + size(r));
+    lblock* b = lstore::allocate(total);
+    entry_t* out = b->entries();
+    size_t i = 0;
+    write_entries(l, out, i);
+    new (&out[i++]) entry_t(m->key, m->value);
+    write_entries(r, out, i);
+    lstore::seal(b);
+    node* c = NM::make_chunk(b);
+    dec(l);
+    dec(m);
+    dec(r);
+    return c;
+  }
+
+  // Decompose an owned tree into (left, singleton middle, right). For chunk
+  // nodes the block is opened around its middle entry; the halves re-pack
+  // into smaller blocks via join. Generic algorithms (union, filter, ...)
+  // rely on this to stay oblivious of the leaf layout.
+  static void expose_own(node* t, node*& l, node*& m, node*& r) {
+    if (!is_chunk(t)) {
+      NM::expose_own(t, l, m, r);
+      return;
+    }
+    const lblock* b = t->blk;
+    const entry_t* es = b->entries();
+    size_t c = b->count;
+    size_t j = c / 2;
+    node* cl = inc(t->left);
+    node* cr = inc(t->right);
+    m = make_single(es[j].first, es[j].second);
+    l = rebuild(cl, es, 0, j, nullptr);
+    r = rebuild(nullptr, es, j + 1, c, cr);
+    dec(t);  // after the copies: es points into t's block
+  }
 
   // ------------------------------------------------------ split / join2 --
 
@@ -45,11 +200,12 @@ struct tree_ops : node_manager<Entry, Balance> {
   };
 
   // SPLIT(t, k): partition into keys < k, the entry at k (if present, as an
-  // owned singleton), and keys > k. Consumes t. O(log n).
+  // owned singleton), and keys > k. Consumes t. O(log n + B).
   static split_t split(node* t, const K& k) {
     if (t == nullptr) return {};
+    if (is_chunk(t)) return split_chunk(t, k);
     node *l, *m, *r;
-    expose_own(t, l, m, r);
+    NM::expose_own(t, l, m, r);
     if (less(k, m->key)) {
       split_t s = split(l, k);
       s.right = join(s.right, m, r);
@@ -63,10 +219,59 @@ struct tree_ops : node_manager<Entry, Balance> {
     return {l, m, r};
   }
 
+  static split_t split_chunk(node* t, const K& k) {
+    const lblock* b = t->blk;
+    const entry_t* es = b->entries();
+    size_t c = b->count;
+    node* cl = inc(t->left);
+    node* cr = inc(t->right);
+    split_t s;
+    if (less(k, es[0].first)) {
+      split_t sub = split(cl, k);
+      s.left = sub.left;
+      s.mid = sub.mid;
+      s.right = rebuild(sub.right, es, 0, c, cr);
+    } else if (less(es[c - 1].first, k)) {
+      split_t sub = split(cr, k);
+      s.right = sub.right;
+      s.mid = sub.mid;
+      s.left = rebuild(cl, es, 0, c, sub.left);
+    } else {
+      size_t pos = lower_idx(es, c, k);
+      bool hit = pos < c && !less(k, es[pos].first);
+      s.left = rebuild(cl, es, 0, pos, nullptr);
+      if (hit) {
+        s.mid = make_single(es[pos].first, es[pos].second);
+        s.right = rebuild(nullptr, es, pos + 1, c, cr);
+      } else {
+        s.right = rebuild(nullptr, es, pos, c, cr);
+      }
+    }
+    dec(t);
+    return s;
+  }
+
   // Remove and return the last (maximum) entry: (rest, last-as-singleton).
   static std::pair<node*, node*> split_last(node* t) {
+    if (is_chunk(t)) {
+      const lblock* b = t->blk;
+      const entry_t* es = b->entries();
+      size_t c = b->count;
+      node* cl = inc(t->left);
+      node* cr = inc(t->right);
+      if (cr != nullptr) {
+        auto [rest, last] = split_last(cr);
+        node* whole = rebuild(cl, es, 0, c, rest);
+        dec(t);
+        return {whole, last};
+      }
+      node* last = make_single(es[c - 1].first, es[c - 1].second);
+      node* rest = rebuild(cl, es, 0, c - 1, nullptr);
+      dec(t);
+      return {rest, last};
+    }
     node *l, *m, *r;
-    expose_own(t, l, m, r);
+    NM::expose_own(t, l, m, r);
     if (r == nullptr) return {l, m};
     auto [rest, last] = split_last(r);
     return {join(l, m, rest), last};
@@ -83,10 +288,17 @@ struct tree_ops : node_manager<Entry, Balance> {
   // --------------------------------------------------- insert / delete --
 
   // INSERT with a combine function: if k is already present the stored
-  // value becomes comb(old, v). Consumes t. O(log n).
+  // value becomes comb(old, v). Consumes t. O(log n + B).
   template <typename Comb>
   static node* insert(node* t, const K& k, const V& v, const Comb& comb) {
-    if (t == nullptr) return make_single(k, v);
+    if (t == nullptr) {
+      if (leaf_block_size() >= 1) {
+        entry_t e(k, v);
+        return make_chunk_leaf(&e, 1);
+      }
+      return make_single(k, v);
+    }
+    if (is_chunk_leaf(t)) return chunk_leaf_insert(t, k, v, comb);
     node *l, *m, *r;
     expose_own(t, l, m, r);
     if (less(k, m->key)) return join(insert(l, k, v, comb), m, r);
@@ -100,8 +312,82 @@ struct tree_ops : node_manager<Entry, Balance> {
     return insert(t, k, v, [](const V&, const V& nv) { return nv; });
   }
 
+  template <typename Comb>
+  static node* chunk_leaf_insert(node* t, const K& k, const V& v, const Comb& comb) {
+    const lblock* b = t->blk;
+    const entry_t* es = b->entries();
+    size_t c = b->count;
+    size_t pos = lower_idx(es, c, k);
+    bool hit = pos < c && !less(k, es[pos].first);
+    size_t nc = hit ? c : c + 1;
+    size_t B = leaf_block_size();
+    if (B >= 1 && nc <= B) {
+      // Block-at-a-time rebuild: one new block, no tree surgery.
+      lblock* nb = lstore::allocate(static_cast<uint32_t>(nc));
+      entry_t* out = nb->entries();
+      size_t i = 0;
+      for (; i < pos; i++) new (&out[i]) entry_t(es[i]);
+      if (hit) {
+        new (&out[i++]) entry_t(k, comb(es[pos].second, v));
+      } else {
+        new (&out[i++]) entry_t(k, v);
+      }
+      for (size_t j = pos + (hit ? 1 : 0); j < c; j++) new (&out[i++]) entry_t(es[j]);
+      lstore::seal(nb);
+      node* nn = NM::make_chunk(nb);
+      dec(t);
+      return nn;
+    }
+    // Overflow (or blocking now disabled): materialize and rebuild, which
+    // splits into correctly sized blocks (or plain nodes) as needed.
+    std::vector<entry_t> tmp;
+    tmp.reserve(nc);
+    for (size_t i = 0; i < pos; i++) tmp.push_back(es[i]);
+    if (hit) {
+      tmp.emplace_back(k, comb(es[pos].second, v));
+    } else {
+      tmp.emplace_back(k, v);
+    }
+    for (size_t j = pos + (hit ? 1 : 0); j < c; j++) tmp.push_back(es[j]);
+    node* nn = build_sorted_seq(tmp.data(), tmp.size());
+    dec(t);
+    return nn;
+  }
+
   static node* remove(node* t, const K& k) {
     if (t == nullptr) return nullptr;
+    if (is_chunk_leaf(t)) {
+      const lblock* b = t->blk;
+      const entry_t* es = b->entries();
+      size_t c = b->count;
+      size_t pos = lower_idx(es, c, k);
+      if (pos == c || less(k, es[pos].first)) return t;  // absent: unchanged
+      if (c == 1) {
+        dec(t);
+        return nullptr;
+      }
+      size_t B = leaf_block_size();
+      node* nn;
+      if (B >= 1 && c - 1 <= B) {
+        lblock* nb = lstore::allocate(static_cast<uint32_t>(c - 1));
+        entry_t* out = nb->entries();
+        size_t i = 0;
+        for (size_t j = 0; j < c; j++) {
+          if (j != pos) new (&out[i++]) entry_t(es[j]);
+        }
+        lstore::seal(nb);
+        nn = NM::make_chunk(nb);
+      } else {
+        std::vector<entry_t> tmp;
+        tmp.reserve(c - 1);
+        for (size_t j = 0; j < c; j++) {
+          if (j != pos) tmp.push_back(es[j]);
+        }
+        nn = build_sorted_seq(tmp.data(), tmp.size());
+      }
+      dec(t);
+      return nn;
+    }
     node *l, *m, *r;
     expose_own(t, l, m, r);
     if (less(k, m->key)) return join(remove(l, k), m, r);
@@ -112,43 +398,69 @@ struct tree_ops : node_manager<Entry, Balance> {
 
   // ------------------------------------------------------------ search --
 
-  static const node* find_node(const node* t, const K& k) {
+  static std::optional<V> find(const node* t, const K& k) {
     while (t != nullptr) {
+      if (is_chunk(t)) {
+        const entry_t* es = t->blk->entries();
+        size_t c = t->blk->count;
+        if (less(k, es[0].first)) {
+          t = t->left;
+          continue;
+        }
+        if (less(es[c - 1].first, k)) {
+          t = t->right;
+          continue;
+        }
+        size_t pos = lower_idx(es, c, k);
+        if (pos < c && !less(k, es[pos].first)) return es[pos].second;
+        return std::nullopt;
+      }
       if (less(k, t->key)) {
         t = t->left;
       } else if (less(t->key, k)) {
         t = t->right;
       } else {
-        return t;
+        return t->value;
       }
     }
-    return nullptr;
+    return std::nullopt;
   }
 
-  static std::optional<V> find(const node* t, const K& k) {
-    const node* n = find_node(t, k);
-    if (n == nullptr) return std::nullopt;
-    return n->value;
-  }
+  static bool contains(const node* t, const K& k) { return find(t, k).has_value(); }
 
-  static const node* first_node(const node* t) {
-    if (t == nullptr) return nullptr;
+  static std::optional<entry_t> first_entry(const node* t) {
+    if (t == nullptr) return std::nullopt;
     while (t->left != nullptr) t = t->left;
-    return t;
+    if (is_chunk(t)) return t->blk->entries()[0];
+    return entry_t(t->key, t->value);
   }
 
-  static const node* last_node(const node* t) {
-    if (t == nullptr) return nullptr;
+  static std::optional<entry_t> last_entry(const node* t) {
+    if (t == nullptr) return std::nullopt;
     while (t->right != nullptr) t = t->right;
-    return t;
+    if (is_chunk(t)) return t->blk->entries()[t->blk->count - 1];
+    return entry_t(t->key, t->value);
   }
 
   // Greatest entry with key < k (the paper's `previous`).
-  static const node* previous_node(const node* t, const K& k) {
-    const node* best = nullptr;
+  static std::optional<entry_t> previous_entry(const node* t, const K& k) {
+    std::optional<entry_t> best;
     while (t != nullptr) {
+      if (is_chunk(t)) {
+        const entry_t* es = t->blk->entries();
+        size_t c = t->blk->count;
+        size_t pos = lower_idx(es, c, k);  // entries [0, pos) are < k
+        if (pos == 0) {
+          t = t->left;
+          continue;
+        }
+        best = es[pos - 1];
+        if (pos < c) return best;  // everything further right is >= k
+        t = t->right;
+        continue;
+      }
       if (less(t->key, k)) {
-        best = t;
+        best = entry_t(t->key, t->value);
         t = t->right;
       } else {
         t = t->left;
@@ -158,11 +470,24 @@ struct tree_ops : node_manager<Entry, Balance> {
   }
 
   // Least entry with key > k (the paper's `next`).
-  static const node* next_node(const node* t, const K& k) {
-    const node* best = nullptr;
+  static std::optional<entry_t> next_entry(const node* t, const K& k) {
+    std::optional<entry_t> best;
     while (t != nullptr) {
+      if (is_chunk(t)) {
+        const entry_t* es = t->blk->entries();
+        size_t c = t->blk->count;
+        size_t pos = upper_idx(es, c, k);  // entries [pos, c) are > k
+        if (pos == c) {
+          t = t->right;
+          continue;
+        }
+        best = es[pos];
+        if (pos > 0) return best;  // everything further left is <= k
+        t = t->left;
+        continue;
+      }
       if (less(k, t->key)) {
-        best = t;
+        best = entry_t(t->key, t->value);
         t = t->left;
       } else {
         t = t->right;
@@ -177,6 +502,19 @@ struct tree_ops : node_manager<Entry, Balance> {
   static size_t rank(const node* t, const K& k) {
     size_t acc = 0;
     while (t != nullptr) {
+      if (is_chunk(t)) {
+        const entry_t* es = t->blk->entries();
+        size_t c = t->blk->count;
+        size_t pos = lower_idx(es, c, k);
+        if (pos == 0) {
+          t = t->left;
+          continue;
+        }
+        acc += size(t->left) + pos;
+        if (pos < c) return acc;
+        t = t->right;
+        continue;
+      }
       if (less(t->key, k)) {
         acc += size(t->left) + 1;
         t = t->right;
@@ -191,6 +529,19 @@ struct tree_ops : node_manager<Entry, Balance> {
   static size_t rank_leq(const node* t, const K& k) {
     size_t acc = 0;
     while (t != nullptr) {
+      if (is_chunk(t)) {
+        const entry_t* es = t->blk->entries();
+        size_t c = t->blk->count;
+        size_t pos = upper_idx(es, c, k);
+        if (pos == 0) {
+          t = t->left;
+          continue;
+        }
+        acc += size(t->left) + pos;
+        if (pos < c) return acc;
+        t = t->right;
+        continue;
+      }
       if (!less(k, t->key)) {
         acc += size(t->left) + 1;
         t = t->right;
@@ -210,42 +561,80 @@ struct tree_ops : node_manager<Entry, Balance> {
     return upto_hi > below_lo ? upto_hi - below_lo : 0;
   }
 
-  // The i-th entry in key order (0-based); null if i >= size.
-  static const node* select(const node* t, size_t i) {
+  // The i-th entry in key order (0-based); nullopt if i >= size.
+  static std::optional<entry_t> select(const node* t, size_t i) {
     while (t != nullptr) {
       size_t ls = size(t->left);
+      size_t c = cnt(t);
       if (i < ls) {
         t = t->left;
-      } else if (i == ls) {
-        return t;
+      } else if (i < ls + c) {
+        if (is_chunk(t)) return t->blk->entries()[i - ls];
+        return entry_t(t->key, t->value);
       } else {
-        i -= ls + 1;
+        i -= ls + c;
         t = t->right;
       }
     }
-    return nullptr;
+    return std::nullopt;
   }
 
   // --------------------------------------------------- range extraction --
 
   // All entries with key <= k (the paper's upTo). Borrows t, returns an
-  // owned tree that shares whole subtrees with t — O(log n) new nodes.
+  // owned tree that shares whole subtrees with t — O(log n) new nodes plus
+  // at most one re-packed boundary block.
   static node* take_leq(const node* t, const K& k) {
     if (t == nullptr) return nullptr;
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(k, es[0].first)) return take_leq(t->left, k);
+      size_t pos = upper_idx(es, c, k);  // entries [0, pos) are <= k
+      if (pos == c) {
+        return join2(join2(inc(t->left), share_block(t)), take_leq(t->right, k));
+      }
+      return rebuild(inc(t->left), es, 0, pos, nullptr);
+    }
     if (less(k, t->key)) return take_leq(t->left, k);
-    return join(inc(t->left), make_single(t->key, t->value), take_leq(t->right, k));
+    return join(inc(t->left), make_single(t->key, t->value),
+                take_leq(t->right, k));
   }
 
   // All entries with key >= k (the paper's downTo).
   static node* take_geq(const node* t, const K& k) {
     if (t == nullptr) return nullptr;
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(es[c - 1].first, k)) return take_geq(t->right, k);
+      size_t pos = lower_idx(es, c, k);  // entries [pos, c) are >= k
+      if (pos == 0) {
+        return join2(join2(take_geq(t->left, k), share_block(t)), inc(t->right));
+      }
+      return rebuild(nullptr, es, pos, c, inc(t->right));
+    }
     if (less(t->key, k)) return take_geq(t->right, k);
-    return join(take_geq(t->left, k), make_single(t->key, t->value), inc(t->right));
+    return join(take_geq(t->left, k), make_single(t->key, t->value),
+                inc(t->right));
   }
 
   // All entries with lo <= key <= hi. Borrows t.
   static node* range_copy(const node* t, const K& lo, const K& hi) {
     if (t == nullptr) return nullptr;
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      size_t c = t->blk->count;
+      if (less(es[c - 1].first, lo)) return range_copy(t->right, lo, hi);
+      if (less(hi, es[0].first)) return range_copy(t->left, lo, hi);
+      size_t i = lower_idx(es, c, lo);
+      size_t j = upper_idx(es, c, hi);
+      if (j < i) return nullptr;  // lo > hi can straddle a block: empty range
+      node* l = i == 0 ? take_geq(t->left, lo) : nullptr;
+      node* r = j == c ? take_leq(t->right, hi) : nullptr;
+      if (i == 0 && j == c) return join2(join2(l, share_block(t)), r);
+      return rebuild(l, es, i, j, r);
+    }
     if (less(t->key, lo)) return range_copy(t->right, lo, hi);
     if (less(hi, t->key)) return range_copy(t->left, lo, hi);
     return join(take_geq(t->left, lo), make_single(t->key, t->value),
@@ -254,10 +643,15 @@ struct tree_ops : node_manager<Entry, Balance> {
 
   // ---------------------------------------------------------- validation --
 
-  // Full structural validation: balance-scheme invariant, size fields, key
-  // ordering, and (when A is equality-comparable) cached augmented values.
+  // Full structural validation: size fields, key ordering, chunk-node
+  // integrity, cached augmented values (when A is equality-comparable), and
+  // — for trees with no chunk nodes — the balance-scheme invariant. The
+  // scheme invariants are defined for unit-weight nodes; a chunk node
+  // weighs its whole block, so a blocked tree checks the generalized
+  // structure instead (joins still keep depth logarithmic in the number of
+  // blocks; the differential fuzz sweeps verify semantics at every B).
   static bool check_valid(const node* t) {
-    if (!BO::check(t)) return false;
+    if (!check_chunks(t)) return false;
     if (!check_sizes(t)) return false;
     const K* prev = nullptr;
     if (!check_order(t, prev)) return false;
@@ -266,29 +660,64 @@ struct tree_ops : node_manager<Entry, Balance> {
                   }) {
       if (!check_aug(t)) return false;
     }
+    if (!contains_chunk(t) && !BO::check(t)) return false;
     return true;
   }
 
+  static bool contains_chunk(const node* t) {
+    if (t == nullptr) return false;
+    if (is_chunk(t)) return true;
+    return contains_chunk(t->left) || contains_chunk(t->right);
+  }
+
  private:
+  static bool check_chunks(const node* t) {
+    if (t == nullptr) return true;
+    if (is_chunk(t)) {
+      const lblock* b = t->blk;
+      if (b->count == 0 || b->count > b->capacity) return false;
+      if (b->ref_cnt.load(std::memory_order_relaxed) == 0) return false;
+      // The node's inline key/value mirror the first block entry.
+      if (!NM::keys_equal(t->key, b->entries()[0].first)) return false;
+    }
+    return check_chunks(t->left) && check_chunks(t->right);
+  }
+
   static bool check_sizes(const node* t) {
     if (t == nullptr) return true;
-    if (t->size != 1 + size(t->left) + size(t->right)) return false;
+    if (t->size != cnt(t) + size(t->left) + size(t->right)) return false;
     return check_sizes(t->left) && check_sizes(t->right);
   }
 
   static bool check_order(const node* t, const K*& prev) {
     if (t == nullptr) return true;
     if (!check_order(t->left, prev)) return false;
-    if (prev != nullptr && !less(*prev, t->key)) return false;
-    prev = &t->key;
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      for (uint32_t i = 0; i < t->blk->count; i++) {
+        if (prev != nullptr && !less(*prev, es[i].first)) return false;
+        prev = &es[i].first;
+      }
+    } else {
+      if (prev != nullptr && !less(*prev, t->key)) return false;
+      prev = &t->key;
+    }
     return check_order(t->right, prev);
   }
 
   static bool check_aug(const node* t) {
     if (t == nullptr) return true;
-    A expect = traits::combine(
-        aug_of(t->left),
-        traits::combine(traits::base(t->key, t->value), aug_of(t->right)));
+    if (is_chunk(t)) {
+      const entry_t* es = t->blk->entries();
+      A block_expect = traits::base(es[0].first, es[0].second);
+      for (uint32_t i = 1; i < t->blk->count; i++) {
+        block_expect =
+            traits::combine(block_expect, traits::base(es[i].first, es[i].second));
+      }
+      if (!(t->blk->aug == block_expect)) return false;
+    }
+    A expect = traits::combine(aug_of(t->left),
+                               traits::combine(NM::own_aug(t), aug_of(t->right)));
     if (!(t->aug == expect)) return false;
     return check_aug(t->left) && check_aug(t->right);
   }

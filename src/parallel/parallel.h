@@ -4,12 +4,40 @@
 // uses, mirroring how PAM uses only cilk_spawn/cilk_sync and cilk_for.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <utility>
 
 #include "parallel/scheduler.h"
 
 namespace pam {
+
+// ------------------------------------------------- granularity knob family --
+// Runtime-tunable sequential cutoffs, grouped here so every layer (the bulk
+// tree recursions in map_ops, the reference-counting GC in node.h) draws
+// from one knob family and the granularity ablation can sweep them all.
+
+// Bulk tree recursions (union, build, filter, multi_*): trees smaller than
+// this run sequentially (the paper: "parallelism is not used on very small
+// trees"). The read is one relaxed load, negligible against the subtree
+// work it gates.
+inline std::atomic<size_t>& par_cutoff_knob() {
+  static std::atomic<size_t> cutoff{512};
+  return cutoff;
+}
+inline size_t par_cutoff() { return par_cutoff_knob().load(std::memory_order_relaxed); }
+inline void set_par_cutoff(size_t c) { par_cutoff_knob().store(c); }
+
+// Reference-counting GC (node.h::dec): subtrees smaller than this are
+// collected sequentially instead of forking.
+inline std::atomic<size_t>& gc_par_cutoff_knob() {
+  static std::atomic<size_t> cutoff{size_t{1} << 12};
+  return cutoff;
+}
+inline size_t gc_par_cutoff() {
+  return gc_par_cutoff_knob().load(std::memory_order_relaxed);
+}
+inline void set_gc_par_cutoff(size_t c) { gc_par_cutoff_knob().store(c); }
 
 // Number of scheduler workers (= the paper's "threads").
 inline int num_workers() { return internal::scheduler::get().num_workers(); }

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "alloc/leaf_pool.h"
 #include "alloc/type_allocator.h"
 #include "parallel/parallel.h"
 
@@ -108,6 +109,52 @@ TEST(Allocator, IndependentPoolsPerType) {
   auto* p = pam::type_allocator<other>::allocate();
   EXPECT_EQ(alloc48::used(), used48);  // other type's pool does not affect ours
   pam::type_allocator<other>::deallocate(p);
+}
+
+// ---------------------------------------------------------- raw_pool ----
+// The runtime-sized pool behind leaf-block storage (src/alloc/leaf_pool.h).
+
+TEST(RawPool, DistinctAlignedSlotsAndCounters) {
+  static pam::raw_pool pool(200, 16);  // odd size, explicit alignment
+  // The stride is rounded up so every slot in a chunk is aligned.
+  EXPECT_GE(pool.slot_bytes(), 200u);
+  EXPECT_EQ(pool.slot_bytes() % 16, 0u);
+  int64_t base = pool.used();
+  std::vector<void*> ps;
+  std::set<void*> seen;
+  for (int i = 0; i < 5000; i++) {
+    void* p = pool.allocate();
+    ASSERT_NE(p, nullptr);
+    ASSERT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+    ASSERT_TRUE(seen.insert(p).second) << "duplicate slot";
+    ps.push_back(p);
+  }
+  EXPECT_EQ(pool.used(), base + 5000);
+  for (void* p : ps) pool.deallocate(p);
+  EXPECT_EQ(pool.used(), base);
+  EXPECT_GE(pool.reserved(), 5000);
+}
+
+TEST(RawPool, SlotsAreRecycled) {
+  static pam::raw_pool pool(64, 8);
+  void* a = pool.allocate();
+  pool.deallocate(a);
+  // The thread-local cache hands the same slot straight back.
+  void* b = pool.allocate();
+  EXPECT_EQ(a, b);
+  pool.deallocate(b);
+}
+
+TEST(RawPool, ParallelAllocFreeStress) {
+  static pam::raw_pool pool(96, 8);
+  int64_t base = pool.used();
+  pam::parallel_for(0, 2000, [&](size_t i) {
+    std::vector<void*> mine;
+    for (size_t j = 0; j < 1 + i % 17; j++) mine.push_back(pool.allocate());
+    for (void* p : mine) *static_cast<char*>(p) = 1;
+    for (void* p : mine) pool.deallocate(p);
+  }, 1);
+  EXPECT_EQ(pool.used(), base);
 }
 
 }  // namespace

@@ -25,6 +25,7 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
   constexpr uint64_t kKeyRange = 1 << 14;
 
   int64_t node_base = map_t::used_nodes();
+  int64_t leaf_base = map_t::used_leaf_blocks();
   {
     pam::random_gen g(seed);
     map_t m;
@@ -164,8 +165,10 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
       }
     }
   }
-  // Everything destroyed: the allocator must be back to baseline.
+  // Everything destroyed: both allocators must be back to baseline.
   ASSERT_EQ(map_t::used_nodes(), node_base) << "leak with seed " << seed;
+  ASSERT_EQ(map_t::used_leaf_blocks(), leaf_base)
+      << "leaf-block leak with seed " << seed;
 }
 
 class FuzzSeeds : public ::testing::TestWithParam<uint64_t> {};
@@ -179,6 +182,24 @@ TEST_P(FuzzSeeds, RedBlack) { fuzz_run<pam::red_black>(GetParam(), 5, 400); }
 TEST_P(FuzzSeeds, Avl) { fuzz_run<pam::avl_tree>(GetParam(), 3, 300); }
 
 TEST_P(FuzzSeeds, Treap) { fuzz_run<pam::treap>(GetParam(), 3, 300); }
+
+// The blocked-leaf sweep: the same randomized mixed-operation run against
+// the oracle at every leaf block size (1 and 2 exercise the block-edge
+// cases, 32 the default, 256 multi-class pooling), across all four balance
+// schemes. check_valid() at every phase boundary covers block integrity
+// (sorted entries, counts, cached block augs) and the leak accounting
+// covers the leaf pools.
+TEST_P(FuzzSeeds, BlockSizeSweepAllSchemes) {
+  size_t saved_b = pam::leaf_block_size();
+  for (size_t b : {size_t{1}, size_t{2}, size_t{32}, size_t{256}}) {
+    pam::set_leaf_block_size(b);
+    fuzz_run<pam::weight_balanced>(GetParam() * 31 + b, 2, 150);
+    fuzz_run<pam::avl_tree>(GetParam() * 37 + b, 2, 150);
+    fuzz_run<pam::red_black>(GetParam() * 41 + b, 2, 150);
+    fuzz_run<pam::treap>(GetParam() * 43 + b, 2, 150);
+  }
+  pam::set_leaf_block_size(saved_b);
+}
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
                          ::testing::Values(1, 7, 13, 99, 123456, 0xdeadbeef));

@@ -282,7 +282,11 @@ TYPED_TEST(IteratorTest, CursorTraversal) {
   auto walk = [&](auto&& self, cursor t) -> void {
     if (t.empty()) return;
     self(self, t.left());
-    walked.emplace_back(t.key(), t.value());
+    // A subtree root carries 1..B entries (a whole leaf block when the
+    // blocked layout is active), all between the two subtrees in key order.
+    for (size_t i = 0; i < t.entry_count(); i++) {
+      walked.emplace_back(t.key(i), t.value(i));
+    }
     self(self, t.right());
   };
   walk(walk, m.root_cursor());
@@ -302,6 +306,92 @@ TYPED_TEST(IteratorTest, KeysValuesProjection) {
     EXPECT_EQ(ks[i], es[i].first);
     EXPECT_EQ(vs[i], es[i].second);
   }
+}
+
+TYPED_TEST(IteratorTest, LockstepWalkAcrossBlockSizes) {
+  // The blocked-leaf sweep of the lockstep walk: for every leaf block size
+  // the iterator, the bounded view (contents, size, aug_val, last) and the
+  // structural validator must agree with a std::map oracle.
+  size_t saved_b = pam::leaf_block_size();
+  for (size_t b : {size_t{1}, size_t{2}, size_t{32}, size_t{256}}) {
+    pam::set_leaf_block_size(b);
+    pam::random_gen g(1000 + b);
+    auto m = TestFixture::random_map(3000, 500 + b, 6000);
+    std::map<K, V> oracle;
+    for (auto [k, v] : m.entries()) oracle[k] = v;
+    ASSERT_TRUE(m.check_valid()) << "B=" << b;
+
+    auto it = m.begin();
+    for (auto& [k, v] : oracle) {
+      ASSERT_TRUE(it != m.end()) << "B=" << b;
+      ASSERT_EQ(it->key, k);
+      ASSERT_EQ(it->value, v);
+      ++it;
+    }
+    EXPECT_TRUE(it == m.end());
+
+    for (int round = 0; round < 20; round++) {
+      K a = g.next() % 6000, c = g.next() % 6000;
+      K lo = std::min(a, c), hi = std::max(a, c);
+      auto view = m.view(lo, hi);
+      auto oit = oracle.lower_bound(lo);
+      size_t count = 0;
+      uint64_t sum = 0;
+      for (auto [k, v] : view) {
+        ASSERT_TRUE(oit != oracle.end() && oit->first <= hi) << "B=" << b;
+        ASSERT_EQ(k, oit->first);
+        ASSERT_EQ(v, oit->second);
+        ++oit;
+        count++;
+        sum += v;
+      }
+      ASSERT_TRUE(oit == oracle.end() || oit->first > hi);
+      EXPECT_EQ(view.size(), count);
+      EXPECT_EQ(view.aug_val(), sum);
+      auto last = view.last();
+      EXPECT_EQ(last.has_value(), count > 0);
+      if (count > 0) EXPECT_EQ(last->first, std::prev(oit)->first);
+    }
+  }
+  pam::set_leaf_block_size(saved_b);
+}
+
+TYPED_TEST(IteratorTest, PersistenceUnderBlockRepack) {
+  // Iterate a snapshot while the live map churns through block re-packs
+  // (multi_insert/multi_delete rebuild whole leaf blocks): the snapshot's
+  // blocks are shared, not mutated, so the walk must see the old contents.
+  using map_t = typename TestFixture::map_t;
+  size_t saved_b = pam::leaf_block_size();
+  for (size_t b : {size_t{2}, size_t{32}}) {
+    pam::set_leaf_block_size(b);
+    auto m = TestFixture::random_map(2500, 900 + b, 5000);
+    auto snapshot = m;  // O(1) copy: shares every node and leaf block
+    auto expect = snapshot.entries();
+    pam::random_gen g(41 + b);
+    auto it = snapshot.begin();
+    size_t i = 0;
+    for (int round = 0; round < 50; round++) {
+      std::vector<typename TestFixture::entry_t> batch(40);
+      for (auto& e : batch) e = {g.next() % 5000, g.next() % 1000};
+      m = map_t::multi_insert(std::move(m), std::move(batch));
+      std::vector<K> dels(20);
+      for (auto& k : dels) k = g.next() % 5000;
+      m = map_t::multi_delete(std::move(m), std::move(dels));
+      ASSERT_TRUE(it != snapshot.end());
+      ASSERT_EQ(it->key, expect[i].first);
+      ASSERT_EQ(it->value, expect[i].second);
+      ++it;
+      i++;
+    }
+    for (; it != snapshot.end(); ++it, ++i) {
+      ASSERT_EQ(it->key, expect[i].first);
+      ASSERT_EQ(it->value, expect[i].second);
+    }
+    EXPECT_EQ(i, expect.size());
+    EXPECT_TRUE(snapshot.check_valid());
+    EXPECT_TRUE(m.check_valid());
+  }
+  pam::set_leaf_block_size(saved_b);
 }
 
 TEST(IteratorSetTest, PamSetIsARange) {

@@ -1,0 +1,272 @@
+// Blocked-leaf layer tests: the PAM_LEAF_BLOCK knob, block sharing across
+// snapshots and re-packs, layout switching mid-life (blocked trees keep
+// working after the knob changes), space accounting for the leaf pools,
+// and the applications under small block sizes (which maximize the number
+// of block boundaries every query crosses).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "apps/interval_map.h"
+#include "apps/range_tree.h"
+#include "pam/pam.h"
+#include "util/random.h"
+
+namespace {
+
+using K = uint64_t;
+using V = uint64_t;
+using map_t = pam::aug_map<pam::sum_entry<K, V>>;
+using entry_t = map_t::entry_t;
+
+std::vector<entry_t> sorted_entries(size_t n, uint64_t stride = 3) {
+  std::vector<entry_t> es(n);
+  for (size_t i = 0; i < n; i++) es[i] = {i * stride, i};
+  return es;
+}
+
+// RAII guard: every test leaves the global layout knob as it found it.
+struct block_size_guard {
+  size_t saved = pam::leaf_block_size();
+  ~block_size_guard() { pam::set_leaf_block_size(saved); }
+};
+
+TEST(LeafBlocks, KnobClampsAndRoundTrips) {
+  block_size_guard guard;
+  pam::set_leaf_block_size(0);
+  EXPECT_EQ(pam::leaf_block_size(), 0u);
+  pam::set_leaf_block_size(32);
+  EXPECT_EQ(pam::leaf_block_size(), 32u);
+  pam::set_leaf_block_size(1 << 20);  // clamped to the supported maximum
+  EXPECT_EQ(pam::leaf_block_size(), pam::kMaxLeafBlock);
+}
+
+TEST(LeafBlocks, BlockedLayoutUsesFarFewerNodes) {
+  block_size_guard guard;
+  const size_t n = 20000;
+  auto es = sorted_entries(n);
+
+  pam::set_leaf_block_size(0);
+  int64_t nodes0 = map_t::used_nodes();
+  int64_t bytes0 = map_t::used_bytes();
+  {
+    map_t plain = map_t::from_sorted(es);
+    int64_t plain_nodes = map_t::used_nodes() - nodes0;
+    int64_t plain_bytes = map_t::used_bytes() - bytes0;
+    EXPECT_GE(plain_nodes, static_cast<int64_t>(n));
+
+    pam::set_leaf_block_size(32);
+    map_t blocked = map_t::from_sorted(es);
+    int64_t blocked_nodes = map_t::used_nodes() - nodes0 - plain_nodes;
+    int64_t blocked_bytes = map_t::used_bytes() - bytes0 - plain_bytes;
+    // ~2 nodes per 32-entry block instead of 32.
+    EXPECT_LT(blocked_nodes, static_cast<int64_t>(n / 8));
+    EXPECT_GT(map_t::used_leaf_blocks(), 0);
+    // The headline space win: >= 2x fewer bytes per entry.
+    EXPECT_LT(2 * blocked_bytes, plain_bytes);
+    EXPECT_TRUE(blocked.check_valid());
+    EXPECT_EQ(blocked.entries(), plain.entries());
+  }
+  EXPECT_EQ(map_t::used_nodes(), nodes0);
+  EXPECT_EQ(map_t::used_bytes(), bytes0);
+}
+
+TEST(LeafBlocks, SnapshotsShareBlocksAcrossRepacks) {
+  block_size_guard guard;
+  pam::set_leaf_block_size(32);
+  int64_t base_blocks = map_t::used_leaf_blocks();
+  {
+    map_t m(sorted_entries(10000));
+    int64_t built = map_t::used_leaf_blocks() - base_blocks;
+    EXPECT_GT(built, 0);
+
+    // An O(1) snapshot shares every node and block: no new storage at all.
+    map_t snap = m;
+    EXPECT_EQ(map_t::used_leaf_blocks() - base_blocks, built);
+
+    // A point insert re-packs exactly the one block on its path; the other
+    // blocks stay shared between the snapshot and the new version.
+    map_t v2 = map_t::insert(m, 1, 999);
+    int64_t after_insert = map_t::used_leaf_blocks() - base_blocks;
+    EXPECT_GT(after_insert, built);
+    EXPECT_LT(after_insert, built + 8);
+
+    // A bulk update re-packs many blocks, but far fewer than a full copy.
+    std::vector<entry_t> batch;
+    for (size_t i = 0; i < 500; i++) batch.push_back({i * 7 + 1, i});
+    map_t v3 = map_t::multi_insert(m, std::move(batch));
+    int64_t after_bulk = map_t::used_leaf_blocks() - base_blocks;
+    EXPECT_LT(after_bulk, 2 * built + 64);
+
+    // All versions stay intact.
+    EXPECT_TRUE(snap.check_valid());
+    EXPECT_TRUE(v2.check_valid());
+    EXPECT_TRUE(v3.check_valid());
+    EXPECT_EQ(snap.size(), 10000u);
+    EXPECT_EQ(*v2.find(1), 999u);
+    EXPECT_FALSE(snap.find(1).has_value());
+  }
+  EXPECT_EQ(map_t::used_leaf_blocks(), base_blocks);
+}
+
+TEST(LeafBlocks, LayoutSwitchMidLifeKeepsTreesValid) {
+  // Trees built under one layout must stay fully operational after the knob
+  // changes: blocks are structural, the knob only governs new packing.
+  block_size_guard guard;
+  pam::set_leaf_block_size(64);
+  map_t m(sorted_entries(5000));
+  std::map<K, V> oracle;
+  for (auto [k, v] : m.entries()) oracle[k] = v;
+
+  for (size_t next_b : {size_t{0}, size_t{4}, size_t{256}, size_t{1}}) {
+    pam::set_leaf_block_size(next_b);
+    pam::random_gen g(next_b + 7);
+    for (int i = 0; i < 300; i++) {
+      K k = g.next() % 20000;
+      V v = g.next() % 1000;
+      m = map_t::insert(std::move(m), k, v);
+      oracle[k] = v;
+      K d = g.next() % 20000;
+      m = map_t::remove(std::move(m), d);
+      oracle.erase(d);
+    }
+    ASSERT_TRUE(m.check_valid()) << "B=" << next_b;
+    ASSERT_EQ(m.size(), oracle.size());
+    auto it = m.begin();
+    for (auto& [k, v] : oracle) {
+      ASSERT_EQ(it->key, k);
+      ASSERT_EQ(it->value, v);
+      ++it;
+    }
+    uint64_t sum = 0;
+    for (auto& [k, v] : oracle) sum += v;
+    ASSERT_EQ(m.aug_val(), sum);
+  }
+}
+
+TEST(LeafBlocks, OrderStatisticsAcrossBlockBoundaries) {
+  block_size_guard guard;
+  for (size_t b : {size_t{1}, size_t{2}, size_t{7}, size_t{32}}) {
+    pam::set_leaf_block_size(b);
+    const size_t n = 1000;
+    map_t m = map_t::from_sorted(sorted_entries(n));  // keys 0, 3, 6, ...
+    for (size_t i = 0; i < n; i += 17) {
+      auto e = m.select(i);
+      ASSERT_TRUE(e.has_value());
+      EXPECT_EQ(e->first, i * 3);
+      EXPECT_EQ(m.rank(i * 3), i);
+      EXPECT_EQ(m.rank(i * 3 + 1), i + 1);
+    }
+    EXPECT_FALSE(m.select(n).has_value());
+    // previous/next across block boundaries (keys are multiples of 3).
+    for (K k : {K{1}, K{299}, K{300}, K{2997}}) {
+      auto prev = m.previous(k);
+      auto next = m.next(k);
+      ASSERT_TRUE(prev.has_value());
+      EXPECT_EQ(prev->first, (k - 1) / 3 * 3);
+      if (next.has_value()) EXPECT_EQ(next->first, k / 3 * 3 + 3);
+    }
+    EXPECT_FALSE(m.previous(0).has_value());
+    EXPECT_FALSE(m.next(3 * (n - 1)).has_value());
+  }
+}
+
+TEST(LeafBlocks, AppsUnderSmallBlocks) {
+  // Interval stabbing and 2D range queries at B=3: every traversal crosses
+  // many block boundaries, covering the cursor entry-run protocol.
+  block_size_guard guard;
+  pam::set_leaf_block_size(3);
+
+  pam::interval_map<double> im;
+  std::vector<std::pair<double, double>> iv;
+  for (int i = 0; i < 200; i++) iv.push_back({i * 0.5, i * 0.5 + 3.0});
+  im = pam::interval_map<double>(iv);
+  for (double p : {0.25, 10.0, 50.0, 99.9}) {
+    size_t brute = 0;
+    for (auto& [l, r] : iv) {
+      if (l <= p && p <= r) brute++;
+    }
+    EXPECT_EQ(im.count_stab(p), brute) << "p=" << p;
+    EXPECT_EQ(im.report_all(p).size(), brute);
+    EXPECT_EQ(im.stab(p), brute > 0);
+  }
+
+  using rt = pam::range_tree<double, int64_t>;
+  std::vector<rt::point> pts;
+  pam::random_gen g(5);
+  for (int i = 0; i < 400; i++) {
+    pts.push_back({static_cast<double>(g.next() % 1000),
+                   static_cast<double>(g.next() % 1000),
+                   static_cast<int64_t>(g.next() % 50)});
+  }
+  rt tree(pts);
+  ASSERT_TRUE(tree.check_valid());
+  for (int q = 0; q < 25; q++) {
+    double xlo = static_cast<double>(g.next() % 1000), xhi = xlo + 200;
+    double ylo = static_cast<double>(g.next() % 1000), yhi = ylo + 200;
+    int64_t brute = 0;
+    size_t brute_n = 0;
+    for (auto& p : pts) {
+      if (p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi) {
+        brute += p.w;
+        brute_n++;
+      }
+    }
+    EXPECT_EQ(tree.query_sum(xlo, xhi, ylo, yhi), brute);
+    EXPECT_EQ(tree.query_count(xlo, xhi, ylo, yhi), brute_n);
+    EXPECT_EQ(tree.query_points(xlo, xhi, ylo, yhi).size(), brute_n);
+  }
+}
+
+TEST(LeafBlocks, SetAlgebraAtEveryBlockSize) {
+  block_size_guard guard;
+  for (size_t b : {size_t{0}, size_t{1}, size_t{2}, size_t{32}, size_t{256}}) {
+    pam::set_leaf_block_size(b);
+    pam::random_gen g(b * 11 + 1);
+    std::map<K, V> oa, ob;
+    std::vector<entry_t> ea, eb;
+    for (int i = 0; i < 800; i++) {
+      K k = g.next() % 2000;
+      V v = g.next() % 100;
+      oa[k] = v;
+      ea.push_back({k, v});
+      k = g.next() % 2000;
+      v = g.next() % 100;
+      ob[k] = v;
+      eb.push_back({k, v});
+    }
+    map_t ma(ea), mb(eb);
+    auto u = map_t::map_union(ma, mb, [](V x, V y) { return x + y; });
+    auto in = map_t::map_intersect(ma, mb, [](V x, V y) { return x + y; });
+    auto d = map_t::map_difference(ma, mb);
+    std::map<K, V> ou = oa, oi, od = oa;
+    for (auto& [k, v] : ob) {
+      if (oa.count(k)) {
+        ou[k] = oa[k] + v;
+        oi[k] = oa[k] + v;
+      } else {
+        ou[k] = v;
+      }
+      od.erase(k);
+    }
+    ASSERT_EQ(u.size(), ou.size()) << "B=" << b;
+    ASSERT_EQ(in.size(), oi.size()) << "B=" << b;
+    ASSERT_EQ(d.size(), od.size()) << "B=" << b;
+    auto check = [&](const map_t& m, const std::map<K, V>& o) {
+      auto it = m.begin();
+      for (auto& [k, v] : o) {
+        ASSERT_EQ(it->key, k);
+        ASSERT_EQ(it->value, v);
+        ++it;
+      }
+      ASSERT_TRUE(m.check_valid());
+    };
+    check(u, ou);
+    check(in, oi);
+    check(d, od);
+  }
+}
+
+}  // namespace

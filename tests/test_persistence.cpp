@@ -30,11 +30,19 @@ std::vector<entry_t> random_entries(size_t n, uint64_t seed, uint64_t range) {
 
 TEST(GarbageCollection, NodesFreedWhenMapsDie) {
   int64_t base = map_t::used_nodes();
+  int64_t blk_base = map_t::used_leaf_blocks();
   {
     map_t m(random_entries(50000, 1, 1u << 30));
-    EXPECT_GE(map_t::used_nodes(), base + 49000);  // ~n minus rare dup keys
+    if (pam::leaf_block_size() >= 2) {
+      // Blocked layout: ~n/B blocks hold the entries; far fewer nodes.
+      EXPECT_GE(map_t::used_leaf_blocks(), blk_base + 1);
+      EXPECT_LT(map_t::used_nodes() - base, 50000);
+    } else {
+      EXPECT_GE(map_t::used_nodes(), base + 49000);  // ~n minus rare dup keys
+    }
   }
   EXPECT_EQ(map_t::used_nodes(), base);
+  EXPECT_EQ(map_t::used_leaf_blocks(), blk_base);
 }
 
 TEST(GarbageCollection, SharedSubtreesFreedOnce) {
@@ -54,11 +62,15 @@ TEST(GarbageCollection, SharedSubtreesFreedOnce) {
 TEST(GarbageCollection, LargeParallelCollection) {
   // Destroying a large tree triggers the parallel GC path.
   int64_t base = map_t::used_nodes();
+  int64_t byte_base = map_t::used_leaf_bytes();
   {
     map_t m(random_entries(1 << 20, 3, ~0ull));
-    EXPECT_GT(map_t::used_nodes(), base + (1 << 19));
+    size_t b = pam::leaf_block_size();
+    int64_t floor = b >= 2 ? (1 << 20) / static_cast<int64_t>(b) : (1 << 19);
+    EXPECT_GT(map_t::used_nodes(), base + floor);
   }
   EXPECT_EQ(map_t::used_nodes(), base);
+  EXPECT_EQ(map_t::used_leaf_bytes(), byte_base);
 }
 
 TEST(GarbageCollection, BulkOpsDoNotLeak) {

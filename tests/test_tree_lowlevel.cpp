@@ -194,9 +194,13 @@ TEST(RedBlackShape, HeightBoundAfterUnions) {
   ops::dec(acc);
 }
 
-// Treap specifics: structure is a pure function of the key set.
+// Treap specifics: structure is a pure function of the key set. This is a
+// property of the one-entry-per-node layout: leaf-block boundaries depend on
+// insertion history, so the check pins the unblocked layout for its duration.
 TEST(TreapShape, DeterministicShapeForKeySet) {
   using ops = pam::aug_ops<entry, pam::treap>;
+  size_t saved_b = pam::leaf_block_size();
+  pam::set_leaf_block_size(0);
   auto build_in_order = [](const std::vector<uint64_t>& keys) {
     ops::node* t = nullptr;
     for (auto k : keys) t = ops::insert(t, k, k, [](uint64_t, uint64_t b) { return b; });
@@ -221,6 +225,7 @@ TEST(TreapShape, DeterministicShapeForKeySet) {
   EXPECT_EQ(pa, pb);
   ops::dec(a);
   ops::dec(b);
+  pam::set_leaf_block_size(saved_b);
 }
 
 }  // namespace
