@@ -1,0 +1,214 @@
+// Incremental view maintenance via snapshot diff vs full recomputation.
+//
+// Workload: a sharded store of N keys (default 10M, scaled by
+// PAM_BENCH_SCALE) retained in a version_store; one churn round touches
+// CHURN = 1% of N keys (90% upserts over existing key space, 10% deletes).
+// Measured per refresh strategy, at the same post-churn version:
+//
+//   * diff kernel     the stitched change stream between the two retained
+//                     versions (version_store::diff), against the brute
+//                     force baseline (materialize both versions' entries +
+//                     two-pointer merge) — the O(d log(n/d+1)) vs O(n) gap;
+//   * sum aggregate   group_aggregate_policy refresh vs rebuild;
+//   * value index     value_index_policy (top-k secondary index) refresh vs
+//                     rebuild — the expensive O(n log n) recompute the diff
+//                     turns into O(d log n).
+//
+// Acceptance gate (ISSUE 4): incremental refresh of the value-index view
+// must be >= 5x faster than its full rebuild at 1% churn. PAM_PERF_GATE=1
+// enforces it by exit code; PAM_DIFF_GATE overrides the floor for noisy
+// shared runners.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/range_sum.h"
+#include "common/bench_util.h"
+#include "pam/pam.h"
+#include "server/materialized_view.h"
+#include "server/version_store.h"
+
+namespace {
+using namespace pam;
+using namespace pam::bench;
+
+using K = uint64_t;
+using V = uint64_t;
+using map_t = aug_map<sum_entry<K, V>>;
+using entry_t = map_t::entry_t;
+using change_t = map_change<map_t>;
+
+// Brute-force change stream: materialize both versions, two-pointer merge.
+size_t brute_force_diff(const sharded_snapshot<map_t>& a,
+                        const sharded_snapshot<map_t>& b) {
+  auto ea = a.entries();
+  auto eb = b.entries();
+  size_t changes = 0, i = 0, j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].first < eb[j].first) {
+      changes++;
+      i++;
+    } else if (eb[j].first < ea[i].first) {
+      changes++;
+      j++;
+    } else {
+      if (ea[i].second != eb[j].second) changes++;
+      i++;
+      j++;
+    }
+  }
+  changes += (ea.size() - i) + (eb.size() - j);
+  return changes;
+}
+
+}  // namespace
+
+int main() {
+  print_header("bench_diff_incremental",
+               "version-history subsystem: diff + incremental views (ISSUE 4)");
+  double scale = env_double("PAM_BENCH_SCALE", 1.0);
+  const size_t n = static_cast<size_t>(10'000'000 * scale);
+  const size_t churn = std::max<size_t>(n / 100, 1);  // 1%
+  const uint64_t universe = 2 * n;
+  std::printf("n=%zu  churn=%zu (1%%)  shards=16\n\n", n, churn);
+
+  // Preload and retain version A.
+  sharded_map<map_t> sm(map_t(kv_entries(n, 1, universe)), 16);
+  version_store<map_t> vs(sm, {.max_versions = 8});
+  uint64_t va = vs.capture();
+
+  // Views built at version A.
+  auto sum_policy = make_group_aggregate<map_t, uint64_t>(
+      [](K, V v) { return v; }, [](uint64_t a, uint64_t b) { return a + b; },
+      [](uint64_t a, uint64_t b) { return a - b; }, uint64_t{0});
+  materialized_view<map_t, decltype(sum_policy)> sum_view(vs, sum_policy);
+  materialized_view<map_t, value_index_policy<map_t>> index_view(vs);
+  sum_view.rebuild();
+  index_view.rebuild();
+
+  // ------------------------------------------------------- diff kernel --
+  // First churn round: compare the pruned diff against brute force.
+  {
+    auto upserts = kv_entries(churn * 9 / 10, 2, universe);
+    std::vector<K> deletes = keys_only(churn / 10, 1, universe);
+    sm.multi_insert(std::move(upserts));
+    sm.multi_delete(std::move(deletes));
+  }
+  uint64_t vb = vs.capture();
+  auto snap_b = *vs.snapshot_at(vb);
+  std::vector<change_t> stream;
+  double t_diff = timed_median(1, 5, [&] {
+    stream = *vs.diff(va, vb);
+  });
+  size_t brute_changes = 0;
+  double t_brute = timed_median(0, 3, [&] {
+    brute_changes = brute_force_diff(*vs.snapshot_at(va), snap_b);
+  });
+  if (stream.size() != brute_changes) {
+    std::printf("ERROR: diff stream %zu != brute-force %zu\n", stream.size(),
+                brute_changes);
+    return 2;
+  }
+  double diff_ratio = t_diff > 0 ? t_brute / t_diff : 0.0;
+  std::printf("%-26s %10.4fs   (%zu changes)\n", "diff (pruned, parallel)",
+              t_diff, stream.size());
+  std::printf("%-26s %10.4fs   speedup %.1fx\n\n", "diff (brute force)",
+              t_brute, diff_ratio);
+  bench_json("bench_diff_incremental", "diff_n=" + std::to_string(n), "t_s",
+             t_diff);
+  bench_json("bench_diff_incremental", "diff_brute_n=" + std::to_string(n),
+             "t_s", t_brute);
+  bench_json("bench_diff_incremental", "diff_n=" + std::to_string(n),
+             "speedup_vs_brute", diff_ratio);
+
+  // --------------------------------------------- steady-state refreshes --
+  // What a live deployment pays per churn round: refresh() drains the
+  // round's delta (diff + one bulk multi_delete/multi_insert, with the
+  // refcount-1 in-place reuse a view that owns its state gets) vs
+  // recomputing the view from the latest snapshot. Medians over rounds.
+  sum_view.refresh();
+  index_view.refresh();
+  const int kRounds = 5;
+  std::vector<double> sum_rebuilds, sum_refreshes, idx_rebuilds, idx_refreshes;
+  for (int r = 0; r < kRounds; r++) {
+    {
+      auto upserts = kv_entries(churn * 9 / 10, 100 + r, universe);
+      std::vector<K> deletes = keys_only(churn / 10, 200 + r, universe);
+      sm.multi_insert(std::move(upserts));
+      sm.multi_delete(std::move(deletes));
+    }
+    uint64_t v_prev = vs.latest_version();
+    uint64_t v = vs.capture();
+    auto snap = *vs.snapshot_at(v);
+    auto snap_prev = *vs.snapshot_at(v_prev);
+
+    idx_rebuilds.push_back(timed([&] { (void)index_view.policy().build(snap); }));
+    idx_refreshes.push_back(timed([&] { index_view.refresh(); }));
+    if (index_view.version() != v ||
+        index_view.state().size() != snap.size()) {
+      std::printf("ERROR: refreshed index view out of sync at round %d\n", r);
+      return 2;
+    }
+
+    sum_rebuilds.push_back(timed([&] { (void)sum_policy.build(snap); }));
+    // The group aggregate's leanest incremental form skips even the change
+    // stream: diff_fold (apps/range_sum.h::sum_delta) folds the sum monoid
+    // over only the changed regions, allocation-free.
+    uint64_t incr_total = 0;
+    sum_refreshes.push_back(timed([&] {
+      uint64_t total = sum_view.state();
+      for (size_t s = 0; s < snap.num_shards(); s++) {
+        auto [gone, came] = sum_delta(snap_prev.shard(s), snap.shard(s));
+        total = total - gone + came;
+      }
+      incr_total = total;
+    }));
+    sum_view.refresh();  // keep the driven view in lockstep
+    if (incr_total != sum_view.state()) {
+      std::printf("ERROR: diff_fold sum disagrees with refresh at round %d\n", r);
+      return 2;
+    }
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  double t_sum_rebuild = median(sum_rebuilds);
+  double t_sum_refresh = median(sum_refreshes);
+  double sum_ratio = t_sum_refresh > 0 ? t_sum_rebuild / t_sum_refresh : 0.0;
+  double t_idx_rebuild = median(idx_rebuilds);
+  double t_idx_refresh = median(idx_refreshes);
+  double idx_ratio = t_idx_refresh > 0 ? t_idx_rebuild / t_idx_refresh : 0.0;
+  std::printf("%-26s %10.4fs\n", "sum view: full rebuild", t_sum_rebuild);
+  std::printf("%-26s %10.4fs   speedup %.1fx   (diff_fold, allocation-free)\n",
+              "sum view: incremental", t_sum_refresh, sum_ratio);
+  std::printf("%-26s %10.4fs\n", "index view: full rebuild", t_idx_rebuild);
+  std::printf("%-26s %10.4fs   speedup %.1fx   (refresh: diff + bulk apply)\n\n",
+              "index view: incremental", t_idx_refresh, idx_ratio);
+  bench_json("bench_diff_incremental", "sum_view_n=" + std::to_string(n),
+             "rebuild_t_s", t_sum_rebuild);
+  bench_json("bench_diff_incremental", "sum_view_n=" + std::to_string(n),
+             "incremental_t_s", t_sum_refresh);
+  bench_json("bench_diff_incremental", "sum_view_n=" + std::to_string(n),
+             "refresh_speedup", sum_ratio);
+  bench_json("bench_diff_incremental", "index_view_n=" + std::to_string(n),
+             "rebuild_t_s", t_idx_rebuild);
+  bench_json("bench_diff_incremental", "index_view_n=" + std::to_string(n),
+             "incremental_t_s", t_idx_refresh);
+  bench_json("bench_diff_incremental", "index_view_n=" + std::to_string(n),
+             "refresh_speedup", idx_ratio);
+
+  // The acceptance target is 5x on dedicated hardware; PAM_DIFF_GATE lets
+  // shared CI runners enforce a tolerant floor instead of flaking.
+  double gate = env_double("PAM_DIFF_GATE", 5.0);
+  std::printf("incremental refresh speedup at 1%% churn: %.1fx (index view)  "
+              "[acceptance target >= 5x, enforcing >= %.1fx]\n",
+              idx_ratio, gate);
+  bench_json("bench_diff_incremental", "gate", "refresh_speedup", idx_ratio);
+  if (env_long("PAM_PERF_GATE", 0) != 0 && idx_ratio < gate) {
+    std::printf("PERF GATE FAILED: %.2fx < %.2fx\n", idx_ratio, gate);
+    return 1;
+  }
+  return 0;
+}

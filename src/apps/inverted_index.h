@@ -51,8 +51,16 @@ class inverted_index {
     using key_t = std::string;
     using val_t = posting_map;
     static bool comp(const std::string& a, const std::string& b) { return a < b; }
+    // Posting maps are immutable snapshots: two values denote the same
+    // postings iff they share a root. This is the val_equal hook pam/diff.h
+    // dispatches to, so diffing two index versions prunes every untouched
+    // term in O(1) instead of descending into its posting map.
+    static bool val_equal(const posting_map& a, const posting_map& b) {
+      return a.same_root(b);
+    }
   };
   using index_map = pam_map<index_entry>;
+  using index_diff = map_diff<index_map>;
 
   inverted_index() = default;
 
@@ -167,6 +175,31 @@ class inverted_index {
   static posting_map filter_above(posting_map m, weight threshold) {
     return posting_map::aug_filter(std::move(m),
                                    [=](weight w) { return w > threshold; });
+  }
+
+  // ------------------------------------------------- incremental updates --
+
+  // A new index version with `additions` merged in (duplicate (term, doc)
+  // pairs keep the max weight, matching the builder). Posting maps of
+  // untouched terms are shared by root pointer with this version — which is
+  // exactly what makes changed_terms() between the two versions cheap.
+  inverted_index updated(std::vector<posting> additions) const {
+    inverted_index delta(std::move(additions));
+    inverted_index out;
+    out.index_ = index_map::map_union(
+        index_, delta.index_, [](const posting_map& a, const posting_map& b) {
+          return posting_map::map_union(
+              a, b, [](weight x, weight y) { return x > y ? x : y; });
+        });
+    return out;
+  }
+
+  // The terms whose posting maps changed between two index versions, in
+  // term order, with before/after posting maps. O(changed terms) thanks to
+  // the root-identity val_equal prune.
+  static std::vector<map_change<index_map>> changed_terms(
+      const inverted_index& from, const inverted_index& to) {
+    return index_map::diff_changes(from.index_, to.index_);
   }
 
   const index_map& index() const { return index_; }

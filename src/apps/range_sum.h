@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "pam/pam.h"
 
@@ -19,5 +20,17 @@ using range_sum_map = aug_map<sum_entry<uint64_t, uint64_t>>;
 // The same map without augmentation, used to measure the overhead of
 // maintaining augmented values (Table 3, "Non-augmented PAM").
 using plain_sum_map = pam_map<map_entry<uint64_t, uint64_t>>;
+
+// The sum monoid folded over only the regions that changed between two
+// versions (pam/diff.h): {sum of removed/overwritten old values, sum of
+// added/new values}, in O(d log(n/d + 1)) for d changes. An aggregate
+// maintained as new_total = old_total - first + second never rescans the
+// map — the incremental form of the Equation 1 augmentation.
+inline std::pair<uint64_t, uint64_t> sum_delta(const range_sum_map& from,
+                                               const range_sum_map& to) {
+  return range_sum_map::diff_fold(
+      from, to, [](uint64_t, uint64_t v) { return v; },
+      [](uint64_t a, uint64_t b) { return a + b; }, uint64_t{0});
+}
 
 }  // namespace pam

@@ -45,6 +45,7 @@
 
 #include "pam/aug_ops.h"
 #include "pam/balance/weight_balanced.h"
+#include "pam/diff.h"
 #include "pam/iterator.h"
 
 namespace pam {
@@ -228,6 +229,51 @@ class aug_map {
   static aug_map concat(aug_map a, aug_map b) {
     return aug_map(ops::join2(a.release(), b.release()));
   }
+
+  // ------------------------------------------------------ version diffing --
+  // Structural diff between two versions (pam/diff.h): pointer-shared
+  // subtrees and shared leaf blocks prune in O(1), so the cost is
+  // O(d log(n/d + 1)) for d changed entries when `from` and `to` descend
+  // from one another by path-copying updates.
+
+  using diff_ops_t = diff_ops<Entry, Balance>;
+  using diff_type = map_diff<aug_map>;
+  using change_t = map_change<aug_map>;
+
+  // Partition the difference: `before` = entries of `from` removed or
+  // overwritten in `to` (old values); `after` = entries of `to` added or
+  // changed (new values). Non-consuming; results share subtrees with the
+  // inputs wherever a whole region is one-sided.
+  static diff_type diff(const aug_map& from, const aug_map& to) {
+    auto r = diff_ops_t::diff(ops::inc(from.root_), ops::inc(to.root_));
+    diff_type d;
+    d.before = aug_map(r.before);
+    d.after = aug_map(r.after);
+    return d;
+  }
+
+  // Fold an arbitrary monoid (g2(k, v) per entry, associative f2, identity
+  // id) over exactly the changed regions, without materializing the diff:
+  // returns {fold of the before-side, fold of the after-side}. For a
+  // group-like aggregate this is the whole incremental-maintenance story:
+  // new_total = old_total - fold(before) + fold(after), in O(d log(n/d+1)).
+  template <typename B, typename G2, typename F2>
+  static std::pair<B, B> diff_fold(const aug_map& from, const aug_map& to,
+                                   const G2& g2, const F2& f2, const B& id) {
+    return diff_ops_t::diff_fold(ops::inc(from.root_), ops::inc(to.root_), g2,
+                                 f2, id);
+  }
+
+  // The merged, key-ordered change stream between two versions.
+  static std::vector<change_t> diff_changes(const aug_map& from,
+                                            const aug_map& to) {
+    return diff(from, to).changes();
+  }
+
+  // Do two handles denote the same tree? O(1). Two versions with equal
+  // roots are identical; map-valued Entry policies use this as `val_equal`
+  // so outer-map diffs prune unchanged inner maps without descending.
+  bool same_root(const aug_map& o) const { return root_ == o.root_; }
 
   // ----------------------------------------------------- range extraction --
 

@@ -18,6 +18,7 @@
 
 #include "pam/augmented_map.h"
 #include "pam/balance/avl.h"
+#include "pam/diff.h"
 #include "pam/balance/red_black.h"
 #include "pam/balance/treap.h"
 #include "pam/balance/weight_balanced.h"

@@ -25,7 +25,8 @@ template <typename Map>
 class snapshot_box {
  public:
   snapshot_box() = default;
-  explicit snapshot_box(Map initial) : current_(std::move(initial)) {}
+  explicit snapshot_box(Map initial)
+      : current_(std::move(initial)), size_(current_.size()) {}
 
   // An O(1) atomic snapshot; the caller owns an immutable version that no
   // concurrent update can perturb.
@@ -47,10 +48,18 @@ class snapshot_box {
     return version_;
   }
 
+  // Entry count of the current instance, maintained at commit time so a
+  // size query is one counter read — no snapshot copy, no refcount traffic.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
   // Replace the shared instance.
   void store(Map m) {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = std::move(m);
+    size_ = current_.size();
     ++version_;
   }
 
@@ -67,9 +76,11 @@ class snapshot_box {
       working = current_;
     }
     Map next = f(std::move(working));
+    size_t next_size = next.size();
     {
       std::lock_guard<std::mutex> lock(mu_);
       current_ = std::move(next);
+      size_ = next_size;
       ++version_;
     }
   }
@@ -85,11 +96,13 @@ class snapshot_box {
   }
   const Map& peek() const { return current_; }
   uint64_t peek_version() const { return version_; }
+  size_t peek_size() const { return size_; }
 
  private:
-  mutable std::mutex mu_;  // guards current_ (held only for O(1) copies)
+  mutable std::mutex mu_;  // guards current_/size_/version_ (O(1) sections)
   std::mutex writer_mu_;   // serializes whole read-modify-write updates
   Map current_;
+  size_t size_ = 0;        // current_.size(), maintained at commit
   uint64_t version_ = 0;
 };
 

@@ -77,6 +77,19 @@ struct tree_ops : node_manager<Entry, Balance> {
     return is_chunk(t) && t->left == nullptr && t->right == nullptr;
   }
 
+  // Do a and b denote byte-identical trees by construction? True for the
+  // same node (path copying shares whole subtrees across versions by
+  // pointer) and for two leaf chunks over one sealed block (re-packs share
+  // blocks even when the wrapping nodes differ). O(1); this is the pruning
+  // test the structural diff (pam/diff.h) descends by, which is what makes
+  // diffing two versions cost O(changes), not O(size).
+  static bool shares_storage(const node* a, const node* b) {
+    if (a == b) return true;
+    if (a == nullptr || b == nullptr) return false;
+    return a->blk != nullptr && a->blk == b->blk && is_chunk_leaf(a) &&
+           is_chunk_leaf(b);
+  }
+
   // --------------------------------------------------- chunk construction --
 
   // In-order copy of every entry under t (borrowed) into out via placement

@@ -13,6 +13,11 @@
 //     auto snap = store.snapshot();          // consistent cut, O(S)
 //     snap.for_each_range(lo, hi, f);        // stitched in-order walk
 //
+// With options::retain_versions > 0 the store also keeps a version chain
+// (server/version_store.h): checkpoint() flushes and retains the cut,
+// history() answers time-travel reads and version diffs, and feed() hands
+// out pull-based change subscriptions.
+//
 // Writes are eventually visible (bounded by batch_size / flush_interval);
 // flush() is the barrier when read-your-writes is needed. All members are
 // safe to call from any thread.
@@ -20,10 +25,13 @@
 
 #include <cstddef>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "server/change_feed.h"
 #include "server/sharded_map.h"
+#include "server/version_store.h"
 #include "server/write_combiner.h"
 
 namespace pam {
@@ -47,6 +55,11 @@ class kv_store {
     // num_shards (S-1 splitters make S shards).
     std::vector<K> splitters{};
     typename write_combiner<Map>::config combiner{};
+    // Version history: when retain_versions > 0 the store keeps a
+    // version_store ring of that capacity — checkpoint() retains versions,
+    // history() exposes time-travel reads / diffs / change feeds.
+    size_t retain_versions = 0;
+    typename version_store<Map>::config history{};
   };
 
   explicit kv_store(Map initial = Map{}, options opt = {})
@@ -54,7 +67,14 @@ class kv_store {
                     ? sharded_map<Map>(std::move(initial), opt.num_shards)
                     : sharded_map<Map>(std::move(initial),
                                        std::move(opt.splitters))),
-        combiner_(shards_, opt.combiner) {}
+        combiner_(shards_, opt.combiner) {
+    if (opt.retain_versions > 0) {
+      auto hcfg = opt.history;
+      hcfg.max_versions = opt.retain_versions;
+      history_.emplace(shards_, hcfg);
+      history_->capture();  // version 1: the initial contents
+    }
+  }
 
   // ------------------------------------------------------------- writes --
 
@@ -89,6 +109,28 @@ class kv_store {
 
   size_t size() const { return shards_.size(); }
 
+  // ---------------------------------------------------- version history --
+  // Available when options::retain_versions > 0; calling any of these on a
+  // store constructed without history throws std::logic_error.
+
+  bool has_history() const { return history_.has_value(); }
+
+  // Flush pending writes and retain the resulting consistent cut as a new
+  // version; returns its id. The durable checkpoint primitive: everything
+  // put() before this call is inside the captured version.
+  uint64_t checkpoint() {
+    combiner_.flush_all();
+    return require_history().capture();
+  }
+
+  // The retained version chain: snapshot_at / diff / trimming.
+  version_store<Map>& history() { return require_history(); }
+  const version_store<Map>& history() const { return require_history(); }
+
+  // A pull-based feed over the version chain; subscribers drain ordered
+  // entry deltas between checkpoints.
+  change_feed<Map> feed() { return change_feed<Map>(require_history()); }
+
   // ------------------------------------------------------ introspection --
 
   sharded_map<Map>& shards() { return shards_; }
@@ -98,8 +140,24 @@ class kv_store {
   }
 
  private:
+  version_store<Map>& require_history() {
+    check_history();
+    return *history_;
+  }
+  const version_store<Map>& require_history() const {
+    check_history();
+    return *history_;
+  }
+  void check_history() const {
+    if (!history_.has_value())
+      throw std::logic_error(
+          "kv_store: version history disabled — construct with "
+          "options::retain_versions > 0");
+  }
+
   sharded_map<Map> shards_;
-  write_combiner<Map> combiner_;
+  write_combiner<Map> combiner_;  // declared after shards_: drains first
+  std::optional<version_store<Map>> history_;
 };
 
 }  // namespace pam

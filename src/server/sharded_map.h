@@ -295,6 +295,31 @@ class sharded_map {
     return snapshot_type(std::move(shards), splitters_);
   }
 
+  // A consistent cut together with the per-shard commit counters it
+  // corresponds to, taken under one set of locks — the capture primitive of
+  // the version store: two cuts are ordered by componentwise comparison of
+  // their version vectors, and an unchanged counter means the shard's root
+  // is the identical tree (so retaining it costs nothing beyond a bump).
+  struct versioned_snapshot {
+    snapshot_type snapshot;
+    std::vector<uint64_t> versions;
+  };
+
+  versioned_snapshot snapshot_all_versioned() const {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(boxes_.size());
+    for (const auto& b : boxes_) locks.push_back(b->lock());
+    std::vector<Map> shards;
+    std::vector<uint64_t> versions;
+    shards.reserve(boxes_.size());
+    versions.reserve(boxes_.size());
+    for (const auto& b : boxes_) {
+      shards.push_back(b->peek());
+      versions.push_back(b->peek_version());
+    }
+    return {snapshot_type(std::move(shards), splitters_), std::move(versions)};
+  }
+
   // Per-shard commit counters (same cut discipline as snapshot_all).
   std::vector<uint64_t> versions() const {
     std::vector<std::unique_lock<std::mutex>> locks;
@@ -316,7 +341,18 @@ class sharded_map {
     return snapshot_all().multi_find(keys);
   }
 
-  size_t size() const { return snapshot_all().size(); }
+  // Total entry count from the per-shard size counters snapshot_box
+  // maintains at commit time, read under the same all-locks cut discipline
+  // as snapshot_all — but with no root copies, no refcount traffic, and no
+  // tree teardown afterwards: S lock acquisitions plus S counter reads.
+  size_t size() const {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(boxes_.size());
+    for (const auto& b : boxes_) locks.push_back(b->lock());
+    size_t total = 0;
+    for (const auto& b : boxes_) total += b->peek_size();
+    return total;
+  }
 
  private:
   static std::vector<std::unique_ptr<snapshot_box<Map>>> make_boxes(size_t n) {

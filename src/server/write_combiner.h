@@ -22,11 +22,23 @@
 //   * Visibility: reads through the sharded_map see committed state only;
 //     flush_all() is the barrier — every op enqueued happens-before a
 //     flush_all() call is committed when it returns.
-//   * The destructor drains: it stops the flusher thread and flushes every
-//     remaining op.
+//   * Shutdown drains: shutdown() (also run by the destructor) stops the
+//     flusher thread and then flushes every remaining op, so the final
+//     drain is guaranteed to land in the target sharded_map before the
+//     combiner — and therefore before any sharded_map constructed earlier
+//     than it — is torn down. An op enqueued concurrently with shutdown is
+//     never stranded: it either lands in a buffer before the closed flag is
+//     set (the final flush_all commits it) or observes the flag and commits
+//     directly to the target. shutdown() is idempotent; after it returns,
+//     every later upsert/erase bypasses the (now permanently drained)
+//     buffers and commits as a point write.
 //
-// Thread safety: upsert / erase / flush_all / stats may be called from any
-// number of threads concurrently.
+// Thread safety: upsert / erase / flush_all / shutdown / stats may be
+// called from any number of threads concurrently. Only the destructor
+// itself must be externally synchronized with other member calls (standard
+// C++ object lifetime), which is why kv_store declares the combiner after
+// its sharded_map: members destroy in reverse order, so the drain always
+// precedes the target's destruction.
 #pragma once
 
 #include <algorithm>
@@ -74,14 +86,22 @@ class write_combiner {
       flusher_ = std::thread([this] { flusher_loop(); });
   }
 
-  ~write_combiner() {
-    if (flusher_.joinable()) {
-      {
-        std::lock_guard<std::mutex> lock(flusher_mu_);
-        stop_ = true;
+  ~write_combiner() { shutdown(); }
+
+  // Stop the background flusher and drain every queued batch into the
+  // target. Safe to call repeatedly and from any thread; the first call
+  // closes the buffers (subsequent enqueues commit directly), every call
+  // acts as a flush_all() barrier for ops already enqueued.
+  void shutdown() {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      if (flusher_.joinable()) {
+        {
+          std::lock_guard<std::mutex> lock(flusher_mu_);
+          stop_ = true;
+        }
+        flusher_cv_.notify_all();
+        flusher_.join();
       }
-      flusher_cv_.notify_all();
-      flusher_.join();
     }
     flush_all();
   }
@@ -120,30 +140,45 @@ class write_combiner {
   void enqueue(const K& k, std::optional<V> v) {
     size_t s = target_.shard_of(k);
     shard_queue& q = *queues_[s];
-    bool overflow;
+    bool buffered = false;
+    bool overflow = false;
     {
       std::lock_guard<std::mutex> lock(q.buffer_mu);
-      q.pending.emplace_back(k, std::move(v));
-      overflow = q.pending.size() >= cfg_.batch_size;
+      // The closed check is under the buffer lock: an op either lands in
+      // the buffer before shutdown() closes (its final flush_all takes this
+      // same lock and drains it) or sees closed and takes the direct path
+      // below — no op can be stranded in a dead buffer.
+      if (!closed_.load(std::memory_order_acquire)) {
+        q.pending.emplace_back(k, std::move(v));
+        overflow = q.pending.size() >= cfg_.batch_size;
+        buffered = true;
+      }
     }
     ops_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    if (!buffered) {
+      // Post-shutdown: drain whatever is still pending for this shard and
+      // commit this op behind it, all under the flush lock — an older
+      // buffered write can never overtake it.
+      std::lock_guard<std::mutex> serialize(q.flush_mu);
+      std::vector<op_t> batch = swap_out(q);
+      batch.emplace_back(k, std::move(v));
+      commit_batch(s, std::move(batch));
+      return;
+    }
     if (overflow) flush_shard(s);
   }
 
-  void flush_shard(size_t s) {
-    shard_queue& q = *queues_[s];
-    // flush_mu spans swap-out and commit: batches of this shard apply in
-    // enqueue order, which is what makes last-writer-wins hold across
-    // batch boundaries (no later batch overtakes an earlier one).
-    std::lock_guard<std::mutex> serialize(q.flush_mu);
+  std::vector<op_t> swap_out(shard_queue& q) {
     std::vector<op_t> batch;
     batch.reserve(cfg_.batch_size);
-    {
-      std::lock_guard<std::mutex> lock(q.buffer_mu);
-      batch.swap(q.pending);
-    }
-    if (batch.empty()) return;
+    std::lock_guard<std::mutex> lock(q.buffer_mu);
+    batch.swap(q.pending);
+    return batch;
+  }
 
+  // Coalesce and apply one batch to shard s. Caller holds q.flush_mu.
+  void commit_batch(size_t s, std::vector<op_t> batch) {
+    if (batch.empty()) return;
     auto [upserts, deletes] = coalesce(std::move(batch));
     ops_committed_.fetch_add(upserts.size() + deletes.size(),
                              std::memory_order_relaxed);
@@ -153,6 +188,15 @@ class write_combiner {
       if (!deletes.empty()) m = Map::multi_delete(std::move(m), std::move(deletes));
       return m;
     });
+  }
+
+  void flush_shard(size_t s) {
+    shard_queue& q = *queues_[s];
+    // flush_mu spans swap-out and commit: batches of this shard apply in
+    // enqueue order, which is what makes last-writer-wins hold across
+    // batch boundaries (no later batch overtakes an earlier one).
+    std::lock_guard<std::mutex> serialize(q.flush_mu);
+    commit_batch(s, swap_out(q));
   }
 
   // Keep only the latest op per key (stable sort by key preserves enqueue
@@ -202,6 +246,9 @@ class write_combiner {
   std::mutex flusher_mu_;
   std::condition_variable flusher_cv_;
   bool stop_ = false;
+  // Set (once) by shutdown() before its final drain; read by enqueue under
+  // the buffer lock to route post-shutdown ops onto the direct path.
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace pam

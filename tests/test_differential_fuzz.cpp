@@ -163,6 +163,61 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
         for (auto& [k, v] : retained_oracle[r]) expect += v;
         ASSERT_EQ(retained[r].aug_val(), expect) << "version " << r;
       }
+      if (!retained.empty()) {
+        // Structural diff of the live map against a random retained version
+        // vs the brute-force symmetric difference of their oracles: exact
+        // key/kind/value agreement, plus diff_fold consistency. Shared
+        // subtrees between the versions exercise the pruning paths at every
+        // balance scheme and leaf block size this harness sweeps.
+        size_t r = g.next() % retained.size();
+        auto d = map_t::diff(retained[r], m);
+        ASSERT_TRUE(d.before.check_valid());
+        ASSERT_TRUE(d.after.check_valid());
+        auto changes = d.changes();
+        size_t ci = 0;
+        uint64_t before_sum = 0, after_sum = 0;
+        auto oit = retained_oracle[r].begin();
+        auto nit = oracle.begin();
+        auto expect_change = [&](K key, const V* oldv, const V* newv) {
+          ASSERT_LT(ci, changes.size()) << "missing change for key " << key;
+          const auto& c = changes[ci++];
+          ASSERT_EQ(c.key, key);
+          ASSERT_EQ(c.before.has_value(), oldv != nullptr);
+          ASSERT_EQ(c.after.has_value(), newv != nullptr);
+          if (oldv != nullptr) {
+            ASSERT_EQ(*c.before, *oldv);
+            before_sum += *oldv;
+          }
+          if (newv != nullptr) {
+            ASSERT_EQ(*c.after, *newv);
+            after_sum += *newv;
+          }
+          ASSERT_EQ(c.kind, oldv == nullptr   ? pam::change_kind::added
+                            : newv == nullptr ? pam::change_kind::removed
+                                              : pam::change_kind::updated);
+        };
+        while (oit != retained_oracle[r].end() || nit != oracle.end()) {
+          if (nit == oracle.end() ||
+              (oit != retained_oracle[r].end() && oit->first < nit->first)) {
+            expect_change(oit->first, &oit->second, nullptr);
+            ++oit;
+          } else if (oit == retained_oracle[r].end() || nit->first < oit->first) {
+            expect_change(nit->first, nullptr, &nit->second);
+            ++nit;
+          } else {
+            if (oit->second != nit->second)
+              expect_change(oit->first, &oit->second, &nit->second);
+            ++oit;
+            ++nit;
+          }
+        }
+        ASSERT_EQ(ci, changes.size()) << "spurious changes emitted";
+        auto [bf, af] = map_t::diff_fold(
+            retained[r], m, [](K, V v) { return v; },
+            [](uint64_t a, uint64_t b) { return a + b; }, uint64_t{0});
+        ASSERT_EQ(bf, before_sum);
+        ASSERT_EQ(af, after_sum);
+      }
     }
   }
   // Everything destroyed: both allocators must be back to baseline.

@@ -130,6 +130,118 @@ TEST(ShardedMap, StitchedRangeAndAugQueries) {
   EXPECT_EQ(snap.aug_range(5, 4), V{});
 }
 
+TEST(ShardedMap, SizeAnswersFromCommitTimeCounters) {
+  // size() must agree with the ground truth through every kind of commit —
+  // it reads the per-shard counters snapshot_box maintains, not a snapshot.
+  sharded_t sm(std::vector<K>{100, 200});
+  EXPECT_EQ(sm.size(), 0u);
+  sm.insert(5, 1);
+  sm.insert(150, 1);
+  sm.insert(250, 1);
+  EXPECT_EQ(sm.size(), 3u);
+  sm.insert(150, 2);  // overwrite: size unchanged
+  EXPECT_EQ(sm.size(), 3u);
+  sm.erase(5);
+  EXPECT_EQ(sm.size(), 2u);
+  sm.erase(5);  // absent: unchanged
+  EXPECT_EQ(sm.size(), 2u);
+  sm.multi_insert({{1, 1}, {2, 2}, {150, 3}, {300, 4}});
+  EXPECT_EQ(sm.size(), 5u);
+  sm.multi_delete({1, 2, 999});
+  EXPECT_EQ(sm.size(), 3u);
+  sm.update_shard(0, [](map_t m) { return map_t::insert(std::move(m), 7, 7); });
+  EXPECT_EQ(sm.size(), 4u);
+  EXPECT_EQ(sm.size(), sm.snapshot_all().size());
+
+  // Initial distribution also seeds the counters.
+  auto es = random_entries(5000, 13, 1u << 16);
+  map_t whole(es);
+  sharded_t sm2(whole, 8);
+  EXPECT_EQ(sm2.size(), whole.size());
+}
+
+TEST(ShardedMap, SizeIsMonotoneUnderInsertOnlyWriters) {
+  // Insert-only load: every cut's size is non-decreasing, so a reader that
+  // ever observes a smaller value than before caught a torn counter read.
+  sharded_t sm(std::vector<K>{1u << 14, 1u << 15});
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; w++) {
+    writers.emplace_back([&, w] {
+      for (K i = 0; i < 3000; i++) sm.insert(K(w) * 100000 + i, 1);
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; r++) {
+    readers.emplace_back([&] {
+      size_t last = 0;
+      while (!stop.load()) {
+        size_t s = sm.size();
+        if (s < last) violations.fetch_add(1);
+        last = s;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(sm.size(), 9000u);
+}
+
+TEST(ShardedMap, CrossShardVersionVectorsNeverRegress) {
+  // Concurrent writers bump shards; each reader repeatedly takes the
+  // versioned cut and asserts (a) its own successive version vectors are
+  // componentwise non-decreasing — cuts are totally ordered, so a regress
+  // in any component is a torn cut — and (b) the cut's *contents* match its
+  // version vector exactly: the writer commits value == resulting version,
+  // so any mismatch means the snapshot and the counters were not taken
+  // atomically. Runs under TSan in CI.
+  const size_t S = 4;
+  sharded_t sm(std::vector<K>{1000, 2000, 3000});
+  const K probe_key[S] = {0, 1000, 2000, 3000};
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> writers;
+  for (size_t s = 0; s < S; s++) {
+    writers.emplace_back([&, s] {
+      // Commit r writes value r at the probe key; shard version becomes r.
+      for (V r = 1; r <= 2000; r++) {
+        sm.update_shard(s, [&](map_t m) {
+          return map_t::insert(std::move(m), probe_key[s], r);
+        });
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; r++) {
+    readers.emplace_back([&] {
+      std::vector<uint64_t> last(S, 0);
+      while (!stop.load()) {
+        auto cut = sm.snapshot_all_versioned();
+        for (size_t s = 0; s < S; s++) {
+          if (cut.versions[s] < last[s]) violations.fetch_add(1);
+          auto v = cut.snapshot.find(probe_key[s]);
+          uint64_t got = v.has_value() ? *v : 0;
+          if (got != cut.versions[s]) violations.fetch_add(1);
+        }
+        last = std::move(cut.versions);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  auto final_versions = sm.versions();
+  for (size_t s = 0; s < S; s++) EXPECT_EQ(final_versions[s], 2000u);
+}
+
 TEST(ShardedMap, SnapshotAllIsAConsistentCut) {
   // A writer advances a per-shard counter key round-robin: shard 0 first,
   // then 1, ... so at every instant counter[s] is non-increasing in s and
@@ -361,6 +473,71 @@ TEST(WriteCombiner, NoLostUpdatesAcrossThreads) {
         ASSERT_EQ(v, std::optional<V>(k + 100)) << "key " << k;
       }
     }
+  }
+}
+
+TEST(WriteCombiner, ShutdownDrainsAndKeepsAccepting) {
+  // shutdown() must commit everything enqueued before it — including ops
+  // sitting in buffers the background flusher never got to — and ops issued
+  // after shutdown must still land (direct path), never strand in a dead
+  // buffer. This is the no-lost-updates-at-shutdown regression test.
+  sharded_t sm(std::vector<K>{1000, 2000});
+  combiner_t wc(sm, {.batch_size = 1u << 20,  // never overflows
+                     .flush_interval = std::chrono::hours(1)});  // never ticks
+  for (K k = 0; k < 500; k++) wc.upsert(k, k + 1);
+  EXPECT_EQ(sm.size(), 0u);  // all buffered
+  wc.shutdown();
+  EXPECT_EQ(sm.size(), 500u);
+  for (K k = 0; k < 500; k++) ASSERT_EQ(sm.find(k), std::optional<V>(k + 1));
+
+  // Idempotent, and later ops commit immediately.
+  wc.shutdown();
+  wc.upsert(5000, 55);
+  wc.erase(3);
+  EXPECT_EQ(sm.find(5000), std::optional<V>(55));
+  EXPECT_EQ(sm.find(3), std::nullopt);
+  EXPECT_EQ(sm.size(), 500u);
+  auto st = wc.stats();
+  EXPECT_EQ(st.ops_enqueued, 502u);
+  EXPECT_EQ(st.ops_committed, 502u);
+}
+
+TEST(WriteCombiner, ShutdownRacingEnqueuesLosesNothing) {
+  // Threads enqueue while another thread shuts the combiner down midway:
+  // every op acknowledged by upsert() must be committed once the combiner
+  // is gone — whether it rode the final drain or the direct path.
+  const int kThreads = 6;
+  const K kKeysPerThread = 1500;
+  sharded_t sm(std::vector<K>{3000, 6000});
+  {
+    combiner_t wc(sm, {.batch_size = 64,
+                       .flush_interval = std::chrono::milliseconds(1)});
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+      threads.emplace_back([&, t] {
+        while (!go.load()) std::this_thread::yield();
+        K base = K(t) * kKeysPerThread;
+        for (K i = 0; i < kKeysPerThread; i++) wc.upsert(base + i, base + i + 7);
+      });
+    }
+    std::thread closer([&] {
+      while (!go.load()) std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      wc.shutdown();
+    });
+    go.store(true);
+    for (auto& t : threads) t.join();
+    closer.join();
+  }  // destructor: second shutdown, must be a no-op drain
+
+  auto snap = sm.snapshot_all();
+  ASSERT_EQ(snap.size(), size_t(kThreads) * kKeysPerThread);
+  for (int t = 0; t < kThreads; t++) {
+    K base = K(t) * kKeysPerThread;
+    for (K i = 0; i < kKeysPerThread; i++)
+      ASSERT_EQ(snap.find(base + i), std::optional<V>(base + i + 7))
+          << "key " << base + i;
   }
 }
 
