@@ -16,6 +16,16 @@
 // Acceptance gate (ISSUE 2): with >= 8 client threads the write-combining
 // sharded path must sustain >= 5x the single-box write throughput. The
 // final line prints the measured ratio.
+//
+// Read-mostly reader scaling (ISSUE 5): a fourth scenario replays 95/5
+// YCSB-B streams on R in {1, 8} clients while a dedicated writer commits
+// batches nonstop. Reads acquire a shard snapshot per op on the lock-free
+// epoch-protected path (no reader mutex), so aggregate read throughput must
+// scale with the reader count under continuous writer churn — acceptance
+// target >= 4x at 8 readers vs 1 on >= 9 hardware threads, enforced by exit
+// code (PAM_READ_GATE overrides; auto-derated on smaller machines, where
+// wall-clock scaling is capped by the core count).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -174,6 +184,53 @@ int main() {
                                    : 0.0);
   }
 
+  // --- read-mostly (95/5) reader scaling under a continuous writer ---------
+  // Aggregate read throughput of R clients, each replaying a 95/5 stream:
+  // 95% shard-snapshot acquisitions + lookup (the lock-free read path), 5%
+  // buffered puts. One dedicated writer thread commits multi_insert batches
+  // the whole time, so every snapshot acquisition races root publication.
+  auto reader_scale = [&](int readers) {
+    auto streams = make_streams(readers, ops, 95, universe);
+    kv_store<map_t> store(map_t{std::vector<entry_t>(preload)},
+                          {.num_shards = shards,
+                           .combiner = {.batch_size = 8192,
+                                        .flush_interval =
+                                            std::chrono::milliseconds(2)}});
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+      random_gen g(99);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<entry_t> batch(256);
+        for (auto& e : batch)
+          e = {hash64(g.next()) % universe, g.next() % 1000};
+        store.put_batch(std::move(batch));
+      }
+    });
+    const auto& sm = store.shards();
+    auto mixed = run_mix(
+        streams, 95,
+        [&](K k) {
+          map_t snap = sm.snapshot_shard(sm.shard_of(k));
+          return snap.find(k).has_value();
+        },
+        [&](K k, V v) { store.put(k, v); },
+        [&] { store.flush(); });
+    stop.store(true);
+    churn.join();
+    return mixed.ops_per_sec * 0.95;  // the read share of the 95/5 mix
+  };
+
+  std::printf("read-mostly (95/5) reader scaling, continuous writer churn:\n");
+  double reads1 = reader_scale(1);
+  double reads8 = reader_scale(8);
+  double scale_ratio = reads8 / reads1;
+  std::printf("%-12s %-14s %12.0f reads/s\n", "95/5 scale", "1 reader", reads1);
+  std::printf("%-12s %-14s %12.0f reads/s  (%.1fx)\n\n", "95/5 scale",
+              "8 readers", reads8, scale_ratio);
+  bench_json("bench_server_ycsb", "read_mostly_95_5_r1", "reads_per_s", reads1);
+  bench_json("bench_server_ycsb", "read_mostly_95_5_r8", "reads_per_s", reads8);
+  bench_json("bench_server_ycsb", "read_scale_gate", "read_speedup", scale_ratio);
+
   // The acceptance target on dedicated hardware is 5x; PAM_YCSB_GATE lets
   // shared CI runners enforce a tolerant floor instead of flaking.
   double gate = env_double("PAM_YCSB_GATE", 5.0);
@@ -181,5 +238,21 @@ int main() {
               "%.1fx  [acceptance target >= 5x, enforcing >= %.1fx]\n",
               threads, gate_ratio, gate);
   bench_json("bench_server_ycsb", "write_only_gate", "write_speedup", gate_ratio);
-  return gate_ratio >= gate ? 0 : 1;
+
+  // Snapshot-acquisition scaling gate: 4x at 8 readers needs 9+ hardware
+  // threads (8 readers + the churn writer); with fewer cores wall-clock
+  // scaling is physically capped, so the default floor derates and says so.
+  unsigned hw = std::thread::hardware_concurrency();
+  double default_read_gate =
+      hw >= 9 ? 4.0 : std::max(0.5, 0.45 * double(std::min(8u, hw)));
+  double read_gate = env_double("PAM_READ_GATE", default_read_gate);
+  if (hw < 9) {
+    std::printf("note: %u hardware threads < 9; default read-scaling floor "
+                "derated to %.2fx\n", hw, default_read_gate);
+  }
+  std::printf("read-mostly aggregate read speedup at 8 readers vs 1 (writer "
+              "churning): %.1fx  [acceptance target >= 4x, enforcing >= "
+              "%.2fx]\n",
+              scale_ratio, read_gate);
+  return (gate_ratio >= gate && scale_ratio >= read_gate) ? 0 : 1;
 }

@@ -140,10 +140,17 @@ int main() {
                   old_snap->size(), store.size());
   }
 
-  // Dropping history reclaims shared nodes exactly once.
+  // Dropping history reclaims shared nodes exactly once. Versions displaced
+  // through a snapshot_box are not freed inline — they park on the epoch
+  // limbo lists so lock-free readers mid-acquisition stay safe — so a
+  // quiescent epoch::drain() runs those deferred frees (tearing big trees
+  // down in parallel) before the leak check.
   history.clear();
   db = kv_map();
   shared.store(kv_map());
+  size_t deferred = pam::epoch::pending();
+  pam::epoch::drain();
+  std::printf("epoch limbo drained (%zu deferred version frees)\n", deferred);
   std::printf("after clearing all versions, leaked nodes: %lld\n",
               static_cast<long long>(kv_map::used_nodes() - nodes0));
   return 0;

@@ -1,0 +1,588 @@
+// The unified memory layer: one concurrent pool design shared by every
+// allocator in the system, plus the epoch-based deferred-reclamation
+// machinery that the lock-free read path (pam/snapshot.h) is built on.
+//
+// Before this layer existed, type_allocator (fixed compile-time slot size)
+// and raw_pool (runtime slot size) each carried their own copy of the same
+// two-level pool: thread-local free lists refilled in batches from a
+// mutex-protected global list, cache-line-striped live counters, chunks
+// carved from the OS and never returned. Both are now thin shims over one
+// class, block_pool, which additionally
+//
+//   * records the provenance of every carved chunk, so reserved/used
+//     accounting is exact and reserved_bytes() reports the true footprint;
+//   * can give fully-free chunks back to the OS (trim()), instead of
+//     "memory is returned only at process exit";
+//   * stripes its live counters by a hashed thread id for *all* threads —
+//     scheduler workers and foreign server threads alike — instead of
+//     funneling every non-worker thread onto one shared stripe.
+//
+// --------------------------------------------------------------------------
+// Epoch-based reclamation (EBR), the classic three-epoch scheme:
+//
+//   * a reader wraps any access to epoch-published state in an epoch::guard:
+//     it announces the current global epoch in its thread slot, and the
+//     announcement pins reclamation — nothing retired while the reader could
+//     still hold a reference is freed until the guard drops;
+//   * a writer that unlinks an object (e.g. snapshot_box swapping out the
+//     displaced root payload) calls epoch::retire(p, deleter) instead of
+//     deleting inline. The object lands on the limbo list of the current
+//     epoch;
+//   * the global epoch advances from E to E+1 only when every active reader
+//     has announced E; at that moment everything retired in epoch E-2 is
+//     unreachable by construction and its limbo list is drained.
+//
+// Draining runs the retired objects' deleters outside the limbo mutex; for
+// tree payloads the deleter is a root refcount drop, which tears the tree
+// down with the existing parallel GC (node_manager::dec forks once subtree
+// sizes pass gc_par_cutoff()) — limbo drains therefore parallelize exactly
+// like every other bulk free in the system.
+//
+// Guarantees: guard entry/exit are wait-free (two seq_cst accesses plus a
+// validation loop that only retries while a concurrent advance is in
+// flight); retire is O(1) amortized; try_advance is lock-free for readers
+// (it never blocks them) and mutual-exclusive among reclaimers.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace pam {
+
+// ------------------------------------------------------------------ epoch --
+
+class epoch {
+ public:
+  // RAII reader protection. Re-entrant: nested guards on one thread are
+  // free (only the outermost announces). While any guard is alive on any
+  // thread, no object retired after that guard's entry can be freed.
+  class guard {
+   public:
+    guard() { enter(); }
+    ~guard() { exit(); }
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+  };
+
+  // Hand an unlinked object to the reclamation layer. `deleter(p)` runs once
+  // no reader that could have seen p remains; it may run on any thread that
+  // happens to advance the epoch. The caller must have already unlinked p
+  // from all shared state.
+  //
+  // Retirement is per *commit* (one displaced payload per snapshot_box
+  // publication), not per node, so one process-wide limbo list suffices at
+  // current commit rates; if profiles ever show this mutex on a write path,
+  // the standard evolution is per-thread retire lists folded in at advance
+  // time. Amortized drains (every kDrainThreshold-th retire) run on the
+  // retiring thread, outside any snapshot_box writer lock (see
+  // snapshot_box::retire).
+  static void retire(void* p, void (*deleter)(void*)) {
+    limbo_state& L = limbo();
+    size_t bucket_fill;
+    {
+      std::lock_guard<std::mutex> lock(L.mu);
+      uint64_t e = global_epoch().load(std::memory_order_relaxed);
+      auto& bucket = L.buckets[e % 3];
+      bucket.push_back({p, deleter});
+      L.pending.fetch_add(1, std::memory_order_relaxed);
+      bucket_fill = bucket.size();
+    }
+    // Amortized housekeeping: every kDrainThreshold-th retirement into a
+    // bucket attempts to turn the epoch over so old limbo drains. The
+    // modulus (not >=) matters when a long-lived guard pins the epoch: the
+    // bucket then grows without bound, and attempting on every retire would
+    // add a limbo-mutex + slot-scan to every commit exactly while the
+    // system is already degraded. Never blocks readers.
+    if (bucket_fill % kDrainThreshold == 0) try_advance();
+  }
+
+  // Attempt one epoch turn. Returns true if the epoch advanced (draining the
+  // bucket that became safe); false if a pinned reader prevented it. Takes
+  // the limbo mutex blocking: retire/advance critical sections are O(1)-ish
+  // (deleters run outside the lock), and drain()'s contract — advance until
+  // limbo is empty or a pinned reader blocks progress — must not be
+  // defeated by transient lock contention from concurrent commits.
+  static bool try_advance() {
+    limbo_state& L = limbo();
+    std::vector<retired> to_free;
+    {
+      std::unique_lock<std::mutex> lock(L.mu);
+      uint64_t e = global_epoch().load(std::memory_order_seq_cst);
+      for (thread_slot* s = slot_head().load(std::memory_order_acquire);
+           s != nullptr; s = s->next) {
+        uint64_t se = s->announced.load(std::memory_order_seq_cst);
+        if (se != kIdle && se != e) return false;  // reader pinned at e-1
+      }
+      // Every active reader has announced e: advance, and free the bucket
+      // now two epochs stale (retired at e-2; any guard that could hold one
+      // of those objects was pinned at <= e-1 and has provably exited).
+      global_epoch().store(e + 1, std::memory_order_seq_cst);
+      to_free.swap(L.buckets[(e + 1) % 3]);
+    }
+    if (!to_free.empty()) {
+      // Deleters run outside the mutex: a tree teardown may fork into the
+      // scheduler, and other threads must be able to keep retiring.
+      for (const retired& r : to_free) r.deleter(r.p);
+      L.pending.fetch_sub(to_free.size(), std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // Drive the epoch forward until limbo is empty or a pinned reader blocks
+  // progress. With no guards active, three turns clear every bucket. Returns
+  // the number of objects still pending. Tests and long-lived servers call
+  // this at quiescent points before checking pool baselines or trimming.
+  static size_t drain() {
+    for (int i = 0; i < 3 && pending() > 0; i++) {
+      if (!try_advance()) break;
+    }
+    return pending();
+  }
+
+  // Objects retired but not yet freed.
+  static size_t pending() {
+    return limbo().pending.load(std::memory_order_relaxed);
+  }
+
+  // Threads currently inside a guard (diagnostic; racy by nature).
+  static size_t active_readers() {
+    size_t n = 0;
+    for (thread_slot* s = slot_head().load(std::memory_order_acquire);
+         s != nullptr; s = s->next) {
+      if (s->announced.load(std::memory_order_relaxed) != kIdle) n++;
+    }
+    return n;
+  }
+
+  static uint64_t current() {
+    return global_epoch().load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+  static constexpr size_t kDrainThreshold = 64;
+
+  struct retired {
+    void* p;
+    void (*deleter)(void*);
+  };
+
+  // One slot per thread that has ever taken a guard. Slots are recycled
+  // across thread lifetimes (owned flag) and the list only grows to the peak
+  // concurrent thread count; it is intentionally immortal.
+  struct thread_slot {
+    std::atomic<uint64_t> announced{kIdle};
+    std::atomic<bool> owned{true};
+    uint32_t depth = 0;  // guard nesting; touched only by the owning thread
+    thread_slot* next = nullptr;
+  };
+
+  struct limbo_state {
+    std::mutex mu;
+    std::array<std::vector<retired>, 3> buckets;
+    std::atomic<size_t> pending{0};
+  };
+
+  static std::atomic<uint64_t>& global_epoch() {
+    static std::atomic<uint64_t>* e = new std::atomic<uint64_t>(0);  // immortal
+    return *e;
+  }
+
+  static std::atomic<thread_slot*>& slot_head() {
+    static std::atomic<thread_slot*>* h =
+        new std::atomic<thread_slot*>(nullptr);  // immortal
+    return *h;
+  }
+
+  static limbo_state& limbo() {
+    static limbo_state* L = new limbo_state();  // immortal
+    return *L;
+  }
+
+  static thread_slot* acquire_slot() {
+    for (thread_slot* s = slot_head().load(std::memory_order_acquire);
+         s != nullptr; s = s->next) {
+      bool free = false;
+      if (s->owned.compare_exchange_strong(free, true,
+                                           std::memory_order_acq_rel)) {
+        return s;
+      }
+    }
+    thread_slot* s = new thread_slot();
+    thread_slot* head = slot_head().load(std::memory_order_relaxed);
+    do {
+      s->next = head;
+    } while (!slot_head().compare_exchange_weak(head, s,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed));
+    return s;
+  }
+
+  // The slot is bound to the thread for its lifetime and released (marked
+  // quiescent, ownership dropped) when the thread exits.
+  struct slot_binding {
+    thread_slot* slot;
+    slot_binding() : slot(acquire_slot()) {}
+    ~slot_binding() {
+      slot->announced.store(kIdle, std::memory_order_release);
+      slot->owned.store(false, std::memory_order_release);
+    }
+  };
+
+  static thread_slot* my_slot() {
+    static thread_local slot_binding binding;
+    return binding.slot;
+  }
+
+  static void enter() {
+    thread_slot* s = my_slot();
+    if (s->depth++ > 0) return;
+    // Announce-and-validate: publish the epoch we observed, then confirm it
+    // is still current. If an advance slipped between load and store our
+    // announcement might be one behind the objects we are about to read, so
+    // re-announce; the loop only iterates while advances are in flight.
+    uint64_t e = global_epoch().load(std::memory_order_seq_cst);
+    for (;;) {
+      s->announced.store(e, std::memory_order_seq_cst);
+      uint64_t now = global_epoch().load(std::memory_order_seq_cst);
+      if (now == e) break;
+      e = now;
+    }
+  }
+
+  static void exit() {
+    thread_slot* s = my_slot();
+    if (--s->depth > 0) return;
+    s->announced.store(kIdle, std::memory_order_release);
+  }
+};
+
+// ------------------------------------------------------------- block_pool --
+
+// The one two-level pool. Slot size and alignment are chosen at
+// construction; instances are expected to be immortal (type_allocator and
+// leaf_store both leak theirs on purpose, matching the scheduler's
+// static-destruction discipline).
+//
+//   * allocate/deallocate hit a thread-local free list — no shared state;
+//   * the local list refills from / overflows to a mutex-protected global
+//     list in batches sized to ~64KB of slots, so the mutex is amortized
+//     to invisibility;
+//   * when the global list is dry a chunk of `batch` slots is carved from
+//     the OS and recorded in the chunk table (provenance: base, slot count),
+//     which is what makes reserved_bytes() exact and trim() possible;
+//   * live counts are striped across cache lines, indexed by scheduler
+//     worker id or, for foreign threads, a hashed thread-local id.
+class block_pool {
+ public:
+  // The slot stride is rounded up to the alignment so every slot in a
+  // carved chunk stays aligned, not just the first — and no further: a
+  // typed pool over a 56-byte node must stride 56 bytes, not a
+  // max_align_t-rounded 64 (that padding would silently inflate every node
+  // pool's footprint ~14%).
+  block_pool(size_t slot_bytes, size_t alignment)
+      : align_(alignment),
+        slot_bytes_((slot_bytes + align_ - 1) / align_ * align_),
+        batch_(batch_for(slot_bytes_)),
+        id_(directory_register(this)) {}
+
+  // The process-wide pools (type_allocator, leaf_store) are immortal and
+  // never reach this; it exists so scoped pools (tests, short-lived tools)
+  // are leak-clean. Destruction requires quiescence: no thread may touch
+  // the pool afterwards. Slots still parked in other threads' caches become
+  // dangling-but-unused; the directory entry is cleared so thread-exit
+  // hand-back skips them.
+  ~block_pool() {
+    directory_unregister(id_);
+    for (const chunk& c : chunks_) {
+      ::operator delete(c.base, std::align_val_t{align_});
+    }
+  }
+
+  block_pool(const block_pool&) = delete;
+  block_pool& operator=(const block_pool&) = delete;
+
+  void* allocate() {
+    std::vector<void*>& cache = local_cache(id_);
+    if (cache.empty()) refill(cache);
+    void* p = cache.back();
+    cache.pop_back();
+    count_delta(+1);
+    return p;
+  }
+
+  void deallocate(void* p) {
+    std::vector<void*>& cache = local_cache(id_);
+    cache.push_back(p);
+    count_delta(-1);
+    if (cache.size() >= 4 * batch_) overflow(cache);
+  }
+
+  // Live slots (allocated minus freed). Exact when quiescent.
+  int64_t used() const {
+    int64_t total = 0;
+    for (const auto& s : counters_) total += s.net.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  // Slots ever carved from the OS and not yet trimmed (capacity, not usage).
+  int64_t reserved() const { return reserved_.load(std::memory_order_relaxed); }
+
+  // Exact OS footprint of this pool: every live chunk's slots times the slot
+  // stride. reserved_bytes() == reserved() * slot_bytes() by construction —
+  // the chunk table is the ground truth both derive from.
+  size_t reserved_bytes() const {
+    return static_cast<size_t>(reserved_.load(std::memory_order_relaxed)) *
+           slot_bytes_;
+  }
+
+  size_t slot_bytes() const { return slot_bytes_; }
+
+  // Return fully-free chunks to the OS; reports the bytes released.
+  //
+  // The calling thread's local cache is handed back first, so a quiescent
+  // single-threaded "free everything then trim" round-trips memory to the
+  // OS. Slots parked in *other* threads' caches conservatively pin their
+  // chunks (they are in use from the pool's point of view); a long-lived
+  // server gets the best results by trimming from its maintenance thread
+  // after an epoch::drain(). This is an explicit maintenance operation: it
+  // sorts the global free list under the pool mutex (O(F log F)), so
+  // allocation misses in other threads stall for its duration — schedule
+  // trims off the serving path.
+  size_t trim() {
+    // Pointers from distinct chunks are compared throughout with std::less,
+    // the standard's total order over raw pointers (built-in < between
+    // unrelated allocations is unspecified).
+    const std::less<const void*> before{};
+    std::vector<void*>& cache = local_cache(id_);
+    std::vector<std::pair<char*, char*>> released;  // [base, end) per chunk
+    size_t released_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (void* p : cache) free_slots_.push_back(p);
+      cache.clear();
+      if (chunks_.empty() || free_slots_.empty()) return 0;
+
+      std::sort(free_slots_.begin(), free_slots_.end(), before);
+      // Chunks are kept sorted by base; count each chunk's slots present in
+      // the free list with one sweep of lower_bound pairs.
+      for (size_t c = 0; c < chunks_.size();) {
+        const chunk& ch = chunks_[c];
+        char* lo = ch.base;
+        char* hi = ch.base + ch.slots * slot_bytes_;
+        auto first = std::lower_bound(free_slots_.begin(), free_slots_.end(),
+                                      static_cast<void*>(lo), before);
+        auto last = std::lower_bound(free_slots_.begin(), free_slots_.end(),
+                                     static_cast<void*>(hi), before);
+        if (static_cast<size_t>(last - first) == ch.slots) {
+          released.emplace_back(lo, hi);
+          released_bytes += ch.slots * slot_bytes_;
+          reserved_.fetch_sub(static_cast<int64_t>(ch.slots),
+                              std::memory_order_relaxed);
+          chunks_.erase(chunks_.begin() + static_cast<ptrdiff_t>(c));
+        } else {
+          c++;
+        }
+      }
+      if (released.empty()) return 0;
+      // Drop the released slots from the free list in one merge pass: both
+      // sides are sorted and the ranges are disjoint, so this is O(F + R)
+      // rather than a per-slot range scan — it runs under the pool mutex.
+      std::vector<void*> kept;
+      kept.reserve(free_slots_.size() -
+                   released_bytes / slot_bytes_);
+      size_t r = 0;
+      for (void* p : free_slots_) {
+        while (r < released.size() && !before(p, released[r].second)) r++;
+        if (r < released.size() && !before(p, released[r].first)) continue;
+        kept.push_back(p);
+      }
+      free_slots_.swap(kept);
+    }
+    // The OS handback happens after the mutex drops: concurrent refills and
+    // overflows need not wait on the kernel.
+    for (const auto& range : released) {
+      ::operator delete(range.first, std::align_val_t{align_});
+    }
+    return released_bytes;
+  }
+
+  // ---------------------------------------------- directory-wide rollups --
+
+  // Total OS footprint across every pool in the process (typed node pools
+  // and leaf-block pools alike — they all register here). The directory
+  // mutex is held across the walk: a pool cannot be destroyed mid-visit
+  // (its destructor serializes on the same mutex to unregister).
+  static size_t reserved_bytes_all() {
+    directory_t& d = directory();
+    std::lock_guard<std::mutex> lock(d.mu);
+    size_t total = 0;
+    for (block_pool* p : d.pools) {
+      if (p != nullptr) total += p->reserved_bytes();
+    }
+    return total;
+  }
+
+  // Trim every pool; returns the total bytes released. Best preceded by
+  // epoch::drain() so limbo-held trees have actually been freed. Holds the
+  // directory mutex across the walk (see reserved_bytes_all); the lock
+  // order directory.mu -> pool.mu_ is the same everywhere.
+  static size_t trim_all() {
+    directory_t& d = directory();
+    std::lock_guard<std::mutex> lock(d.mu);
+    size_t total = 0;
+    for (block_pool* p : d.pools) {
+      if (p != nullptr) total += p->trim();
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kStripes = 64;
+
+  struct alignas(64) stripe {
+    std::atomic<int64_t> net{0};
+  };
+
+  struct chunk {
+    char* base;
+    size_t slots;
+  };
+
+  // Amortize the global mutex over ~64KB of slots, but never fewer than 8.
+  static size_t batch_for(size_t slot_bytes) {
+    size_t b = (size_t{1} << 16) / slot_bytes;
+    if (b < 8) b = 8;
+    if (b > 2048) b = 2048;
+    return b;
+  }
+
+  // Counter stripe for the calling thread. Scheduler workers map by id;
+  // foreign threads (server clients, test drivers) get a sequentially
+  // assigned thread-local id spread over the stripes by a Fibonacci hash —
+  // previously they all shared one stripe, which turned the counters into a
+  // contention hotspot exactly on the serving read path.
+  static size_t stripe_of() {
+    int wid = internal::scheduler::worker_id();
+    if (wid >= 0) return static_cast<size_t>(wid) % kStripes;
+    static std::atomic<uint32_t> next_foreign{0};
+    static thread_local uint32_t fid =
+        next_foreign.fetch_add(1, std::memory_order_relaxed);
+    return (static_cast<size_t>(fid) * 2654435761u >> 16) % kStripes;
+  }
+
+  void count_delta(int64_t d) {
+    counters_[stripe_of()].net.fetch_add(d, std::memory_order_relaxed);
+  }
+
+  void refill(std::vector<void*>& cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_slots_.size() >= batch_) {
+      cache.assign(free_slots_.end() - static_cast<ptrdiff_t>(batch_),
+                   free_slots_.end());
+      free_slots_.resize(free_slots_.size() - batch_);
+      return;
+    }
+    // Carve a fresh chunk and record its provenance.
+    char* base = static_cast<char*>(
+        ::operator new(batch_ * slot_bytes_, std::align_val_t{align_}));
+    auto pos = std::lower_bound(
+        chunks_.begin(), chunks_.end(), base,
+        [](const chunk& c, const char* b) {
+          return std::less<const char*>{}(c.base, b);
+        });
+    chunks_.insert(pos, {base, batch_});
+    cache.reserve(batch_);
+    for (size_t i = 0; i < batch_; i++) cache.push_back(base + i * slot_bytes_);
+    reserved_.fetch_add(static_cast<int64_t>(batch_), std::memory_order_relaxed);
+  }
+
+  void overflow(std::vector<void*>& cache) {
+    size_t keep = 2 * batch_;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = keep; i < cache.size(); i++) free_slots_.push_back(cache[i]);
+    cache.resize(keep);
+  }
+
+  void take_back(std::vector<void*>& blocks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (void* p : blocks) free_slots_.push_back(p);
+  }
+
+  // ------------------------------------------------- pool id directory --
+
+  struct directory_t {
+    std::mutex mu;
+    std::vector<block_pool*> pools;
+  };
+
+  static directory_t& directory() {
+    static directory_t* d = new directory_t();  // immortal
+    return *d;
+  }
+
+  static int directory_register(block_pool* p) {
+    directory_t& d = directory();
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.pools.push_back(p);
+    return static_cast<int>(d.pools.size()) - 1;
+  }
+
+  // Ids are never reused: a dead pool's slot goes null and stays null, so
+  // stale thread caches indexed by it are skipped rather than misdirected.
+  static void directory_unregister(int id) {
+    directory_t& d = directory();
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.pools[static_cast<size_t>(id)] = nullptr;
+  }
+
+  // Per-thread free lists for every pool, indexed by pool id. On thread
+  // exit everything is handed back so slots are never stranded.
+  struct tl_caches {
+    std::vector<std::vector<void*>> by_pool;
+    ~tl_caches() {
+      directory_t& d = directory();
+      // The directory mutex is held across the hand-back itself, not just
+      // the lookup: a pool destructor unregisters under the same mutex, so
+      // an owner observed non-null here cannot be destroyed before its
+      // take_back completes. A null owner is a pool already destroyed (its
+      // chunks are released); just drop the stale slot pointers.
+      std::lock_guard<std::mutex> lock(d.mu);
+      for (size_t i = 0; i < by_pool.size(); i++) {
+        if (by_pool[i].empty() || i >= d.pools.size()) continue;
+        block_pool* owner = d.pools[i];
+        if (owner != nullptr) owner->take_back(by_pool[i]);
+      }
+    }
+  };
+
+  static std::vector<void*>& local_cache(int id) {
+    static thread_local tl_caches tl;
+    if (tl.by_pool.size() <= static_cast<size_t>(id)) {
+      tl.by_pool.resize(static_cast<size_t>(id) + 1);
+    }
+    return tl.by_pool[static_cast<size_t>(id)];
+  }
+
+  const size_t align_;
+  const size_t slot_bytes_;
+  const size_t batch_;
+  const int id_;
+  std::mutex mu_;
+  std::vector<void*> free_slots_;
+  std::vector<chunk> chunks_;  // sorted by base; guarded by mu_
+  std::atomic<int64_t> reserved_{0};
+  std::array<stripe, kStripes> counters_{};
+};
+
+}  // namespace pam

@@ -1,173 +1,20 @@
-// A concurrent pool allocator whose slot size is chosen at *runtime*: the
-// companion of type_allocator for the blocked-leaf layer.
+// Runtime-sized pool storage for the blocked-leaf layer.
 //
 // Leaf blocks are `header + capacity * sizeof(entry)` bytes where the
 // capacity follows the env-tunable PAM_LEAF_BLOCK knob, so their size cannot
-// be a template parameter. raw_pool keeps type_allocator's two-level design
-// (thread-local free lists refilled in batches from a mutex-protected global
-// pool, cache-line-striped live counters) but as ordinary instances: one
-// pool per leaf capacity class, created lazily and immortal.
-//
-// Thread-local caches are indexed by a global pool id so a thread's blocks
-// can be handed back to the right pool at thread exit; the id directory is
-// leaked on purpose, like every other immortal allocator structure.
+// be a template parameter. raw_pool is the runtime-sized face of the one
+// unified pool implementation (alloc/arena.h): historically this header held
+// a second copy of the two-level design, which is now block_pool — the same
+// class type_allocator instantiates per node type. One pool per leaf
+// capacity class is created lazily (see pam/node.h leaf_store) and is
+// immortal; all pools share the arena's chunk-provenance accounting, so
+// reserved_bytes()/trim() work uniformly across node and leaf storage.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cstddef>
-#include <cstdint>
-#include <mutex>
-#include <new>
-#include <vector>
-
-#include "parallel/scheduler.h"
+#include "alloc/arena.h"
 
 namespace pam {
 
-class raw_pool {
- public:
-  // The slot stride is rounded up to the alignment so every slot in a
-  // carved chunk stays aligned, not just the first.
-  raw_pool(size_t slot_bytes, size_t alignment)
-      : align_(alignment < alignof(std::max_align_t) ? alignof(std::max_align_t)
-                                                     : alignment),
-        slot_bytes_((slot_bytes + align_ - 1) / align_ * align_),
-        batch_(batch_for(slot_bytes_)),
-        id_(directory_register(this)) {}
-
-  raw_pool(const raw_pool&) = delete;
-  raw_pool& operator=(const raw_pool&) = delete;
-
-  void* allocate() {
-    std::vector<void*>& cache = local_cache(id_);
-    if (cache.empty()) refill(cache);
-    void* p = cache.back();
-    cache.pop_back();
-    count_delta(+1);
-    return p;
-  }
-
-  void deallocate(void* p) {
-    std::vector<void*>& cache = local_cache(id_);
-    cache.push_back(p);
-    count_delta(-1);
-    if (cache.size() >= 4 * batch_) overflow(cache);
-  }
-
-  // Live slots (allocated minus freed). Exact when quiescent.
-  int64_t used() const {
-    int64_t total = 0;
-    for (const auto& s : counters_) total += s.net.load(std::memory_order_relaxed);
-    return total;
-  }
-
-  // Slots ever carved from the OS (capacity, not usage).
-  int64_t reserved() const { return reserved_.load(std::memory_order_relaxed); }
-
-  size_t slot_bytes() const { return slot_bytes_; }
-
- private:
-  struct alignas(64) stripe {
-    std::atomic<int64_t> net{0};
-  };
-
-  // Amortize the global mutex over ~64KB of slots, but never fewer than 8.
-  static size_t batch_for(size_t slot_bytes) {
-    size_t b = (size_t{1} << 16) / slot_bytes;
-    if (b < 8) b = 8;
-    if (b > 2048) b = 2048;
-    return b;
-  }
-
-  void count_delta(int64_t d) {
-    int id = internal::scheduler::worker_id();
-    size_t idx =
-        id >= 0 ? static_cast<size_t>(id) % counters_.size() : counters_.size() - 1;
-    counters_[idx].net.fetch_add(d, std::memory_order_relaxed);
-  }
-
-  void refill(std::vector<void*>& cache) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (free_slots_.size() >= batch_) {
-      cache.assign(free_slots_.end() - static_cast<ptrdiff_t>(batch_),
-                   free_slots_.end());
-      free_slots_.resize(free_slots_.size() - batch_);
-      return;
-    }
-    // Carve a fresh chunk; the chunk pointer itself is never reclaimed.
-    char* chunk = static_cast<char*>(
-        ::operator new(batch_ * slot_bytes_, std::align_val_t{align_}));
-    cache.reserve(batch_);
-    for (size_t i = 0; i < batch_; i++) cache.push_back(chunk + i * slot_bytes_);
-    reserved_.fetch_add(static_cast<int64_t>(batch_), std::memory_order_relaxed);
-  }
-
-  void overflow(std::vector<void*>& cache) {
-    size_t keep = 2 * batch_;
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = keep; i < cache.size(); i++) free_slots_.push_back(cache[i]);
-    cache.resize(keep);
-  }
-
-  void take_back(std::vector<void*>& blocks) {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (void* p : blocks) free_slots_.push_back(p);
-  }
-
-  // ------------------------------------------------- pool id directory --
-
-  struct directory_t {
-    std::mutex mu;
-    std::vector<raw_pool*> pools;
-  };
-
-  static directory_t& directory() {
-    static directory_t* d = new directory_t();  // immortal
-    return *d;
-  }
-
-  static int directory_register(raw_pool* p) {
-    directory_t& d = directory();
-    std::lock_guard<std::mutex> lock(d.mu);
-    d.pools.push_back(p);
-    return static_cast<int>(d.pools.size()) - 1;
-  }
-
-  // Per-thread free lists for every pool, indexed by pool id. On thread
-  // exit everything is handed back so slots are never stranded.
-  struct tl_caches {
-    std::vector<std::vector<void*>> by_pool;
-    ~tl_caches() {
-      directory_t& d = directory();
-      for (size_t i = 0; i < by_pool.size(); i++) {
-        if (by_pool[i].empty()) continue;
-        raw_pool* owner;
-        {
-          std::lock_guard<std::mutex> lock(d.mu);
-          owner = d.pools[i];
-        }
-        owner->take_back(by_pool[i]);
-      }
-    }
-  };
-
-  static std::vector<void*>& local_cache(int id) {
-    static thread_local tl_caches tl;
-    if (tl.by_pool.size() <= static_cast<size_t>(id)) {
-      tl.by_pool.resize(static_cast<size_t>(id) + 1);
-    }
-    return tl.by_pool[static_cast<size_t>(id)];
-  }
-
-  const size_t align_;
-  const size_t slot_bytes_;
-  const size_t batch_;
-  const int id_;
-  std::mutex mu_;
-  std::vector<void*> free_slots_;
-  std::atomic<int64_t> reserved_{0};
-  std::array<stripe, 16> counters_{};
-};
+using raw_pool = block_pool;
 
 }  // namespace pam

@@ -2,34 +2,25 @@
 //
 // PAM allocates and frees tree nodes at enormous rates from all workers at
 // once (every bulk operation both builds new paths and collects garbage), so
-// the allocator is on the critical path of every experiment. The design
-// follows the classic two-level pool:
+// the allocator is on the critical path of every experiment. The pool design
+// itself — thread-local free lists over a batched global list over carved
+// chunks — lives in alloc/arena.h (block_pool); this header is the typed
+// facade: one immortal block_pool per node type, sized and aligned for T,
+// with placement construction helpers layered on top.
 //
-//   * each thread keeps a local free list (a vector of raw blocks); the hot
-//     path — allocate/deallocate against the local list — touches no shared
-//     state at all;
-//   * when the local list runs dry the thread grabs a batch from the global
-//     pool (or carves a fresh chunk) under a mutex; when it overflows it
-//     returns half. The mutex is amortized over kBatch blocks and is not
-//     measurable in practice;
-//   * live-block counts are kept in cache-line-striped counters so the space
-//     experiments (paper Table 4) can report exact node counts without
-//     serializing the hot path.
-//
-// Memory is returned to the OS only at process exit (the pools are immortal
-// for the same static-destruction-order reasons as the scheduler).
+// Long-lived servers can interrogate and shrink the footprint:
+// reserved_bytes() reports the exact OS footprint of T's pool, and trim()
+// returns fully-free chunks to the OS (see block_pool::trim for the
+// thread-cache caveats). Everything else about the old allocator's contract
+// — O(1) hot paths touching no shared state, striped exact live counts,
+// blocks handed back at thread exit — is unchanged.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <new>
 #include <utility>
-#include <vector>
 
-#include "parallel/scheduler.h"
+#include "alloc/arena.h"
 
 namespace pam {
 
@@ -37,23 +28,11 @@ template <typename T>
 class type_allocator {
  public:
   // Allocate raw, uninitialized, correctly aligned storage for one T.
-  static T* allocate() {
-    local_state& ls = local();
-    if (ls.cache.empty()) refill(ls);
-    void* p = ls.cache.back();
-    ls.cache.pop_back();
-    count_delta(+1);
-    return static_cast<T*>(p);
-  }
+  static T* allocate() { return static_cast<T*>(pool().allocate()); }
 
   // Return storage previously obtained from allocate(). T must already be
   // destroyed by the caller.
-  static void deallocate(T* p) {
-    local_state& ls = local();
-    ls.cache.push_back(p);
-    count_delta(-1);
-    if (ls.cache.size() >= kLocalCap) overflow(ls);
-  }
+  static void deallocate(T* p) { pool().deallocate(p); }
 
   template <typename... Args>
   static T* create(Args&&... args) {
@@ -69,89 +48,24 @@ class type_allocator {
 
   // Number of blocks currently live (allocated minus freed). Exact when the
   // system is quiescent; approximate while threads are mid-operation.
-  static int64_t used() {
-    int64_t total = 0;
-    for (const auto& s : counters()) total += s.net.load(std::memory_order_relaxed);
-    return total;
-  }
+  static int64_t used() { return pool().used(); }
 
-  // Number of blocks ever carved from the OS (capacity, not usage).
-  static int64_t reserved() {
-    return global().reserved.load(std::memory_order_relaxed);
-  }
+  // Number of blocks carved from the OS and not yet trimmed.
+  static int64_t reserved() { return pool().reserved(); }
+
+  // Exact OS footprint of this type's pool, in bytes.
+  static size_t reserved_bytes() { return pool().reserved_bytes(); }
+
+  // Return fully-free chunks of this type's pool to the OS. Reports bytes
+  // released; most effective after epoch::drain() at a quiescent point.
+  static size_t trim() { return pool().trim(); }
 
   static constexpr size_t block_size() { return sizeof(T); }
 
  private:
-  static constexpr size_t kBatch = 2048;     // blocks moved global<->local at once
-  static constexpr size_t kLocalCap = 8192;  // local cache high-water mark
-
-  struct global_state {
-    std::mutex mu;
-    std::vector<void*> free_blocks;
-    std::atomic<int64_t> reserved{0};
-  };
-
-  struct alignas(64) stripe {
-    std::atomic<int64_t> net{0};
-  };
-  using stripe_array = std::array<stripe, 64>;
-
-  struct local_state {
-    std::vector<void*> cache;
-    ~local_state() {
-      // Thread exit: hand everything back so blocks are never stranded.
-      if (cache.empty()) return;
-      global_state& g = global();
-      std::lock_guard<std::mutex> lock(g.mu);
-      for (void* p : cache) g.free_blocks.push_back(p);
-    }
-  };
-
-  static global_state& global() {
-    static global_state* g = new global_state();  // immortal
-    return *g;
-  }
-
-  static stripe_array& counters() {
-    static stripe_array* c = new stripe_array();  // immortal
-    return *c;
-  }
-
-  static local_state& local() {
-    static thread_local local_state ls;
-    return ls;
-  }
-
-  static void count_delta(int64_t d) {
-    int id = internal::scheduler::worker_id();
-    size_t idx = id >= 0 ? static_cast<size_t>(id) % 64
-                         : 63;  // foreign threads share the last stripe
-    counters()[idx].net.fetch_add(d, std::memory_order_relaxed);
-  }
-
-  static void refill(local_state& ls) {
-    global_state& g = global();
-    std::lock_guard<std::mutex> lock(g.mu);
-    if (g.free_blocks.size() >= kBatch) {
-      ls.cache.assign(g.free_blocks.end() - kBatch, g.free_blocks.end());
-      g.free_blocks.resize(g.free_blocks.size() - kBatch);
-      return;
-    }
-    // Carve a fresh chunk. The chunk pointer itself is never reclaimed.
-    size_t bytes = kBatch * sizeof(T);
-    char* chunk = static_cast<char*>(::operator new(bytes, std::align_val_t{alignof(T)}));
-    ls.cache.reserve(kBatch);
-    for (size_t i = 0; i < kBatch; i++) ls.cache.push_back(chunk + i * sizeof(T));
-    g.reserved.fetch_add(static_cast<int64_t>(kBatch), std::memory_order_relaxed);
-  }
-
-  static void overflow(local_state& ls) {
-    global_state& g = global();
-    size_t keep = kLocalCap / 2;
-    std::lock_guard<std::mutex> lock(g.mu);
-    for (size_t i = keep; i < ls.cache.size(); i++) g.free_blocks.push_back(ls.cache[i]);
-    ls.cache.resize(keep);
+  static block_pool& pool() {
+    static block_pool* p = new block_pool(sizeof(T), alignof(T));  // immortal
+    return *p;
   }
 };
 

@@ -327,7 +327,9 @@ struct node_manager {
 
   // Release one reference; frees the node (and recursively its subtrees, in
   // parallel when large — the cutoff follows the runtime gc_par_cutoff()
-  // knob) when the count reaches zero.
+  // knob) when the count reaches zero. This is also the teardown that epoch
+  // limbo drains run (alloc/arena.h): a displaced snapshot_box version is a
+  // retained root, and destroying it lands here with the same parallelism.
   static void dec(node* t) {
     while (t != nullptr) {
       if (t->ref_cnt.fetch_sub(1, std::memory_order_acq_rel) != 1) return;

@@ -1,109 +1,190 @@
-// snapshot_box: the shared-instance concurrency pattern of paper §4.
+// snapshot_box: the shared-instance concurrency pattern of paper §4, with a
+// lock-free read path.
 //
 // Any number of reader threads atomically take O(1) snapshots of a shared
 // map and work on them without locks; writers update the shared instance by
-// swapping in a new version. The paper swaps the root pointer with a CAS
-// (serializing writers); we serialize through a mutex, which is the same
-// protocol — writers are sequentialized either way, and the critical
-// sections here are O(1) refcount bumps. Batched updates (the recommended
-// pattern) go through update() with a multi_insert inside.
+// swapping in a new version. The paper swaps the root pointer with a CAS;
+// here a writer publishes an immutable heap payload {map, size, version}
+// through one atomic pointer, and a reader acquires a snapshot with an
+// epoch-protected load plus a root refcount bump:
 //
-// The serving layer (src/server/) builds on two small extensions: a
-// monotonic version counter (bumped on every committed store/update), and
-// an external-lock protocol (lock() + peek()) that lets sharded_map take a
-// consistent cut across many boxes by holding all their snapshot mutexes
-// for the O(S) duration of S refcount bumps.
+//   reader   epoch::guard g;                    // pins reclamation
+//            payload* p = current_.load(acq);   // the published version
+//            Map snap = p->map;                 // O(1): inc(root)
+//
+// No reader-side mutex anywhere: snapshot(), version(), size() and the
+// zero-copy with_current() are wait-free. Writers remain serialized on a
+// writer mutex (the paper's CAS loop serializes them just the same), and a
+// displaced payload is never freed inline — it is retired onto the epoch
+// limbo lists (alloc/arena.h) and destroyed only once every reader that
+// could have seen it has moved on. The payload destructor drops the root
+// reference, so big displaced versions are torn down by the existing
+// parallel GC when the limbo list drains.
+//
+// The serving layer (src/server/) builds consistent cuts across many boxes
+// by optimistic versioned re-validation (read every shard's payload, then
+// confirm no shard's version moved — see sharded_map::snapshot_all), with
+// writer_lock() as the writer-blocking fallback; the old protocol of holding
+// every box's reader mutex is gone along with the reader mutex itself.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <utility>
 
+#include "alloc/arena.h"
+
 namespace pam {
 
 template <typename Map>
 class snapshot_box {
  public:
-  snapshot_box() = default;
-  explicit snapshot_box(Map initial)
-      : current_(std::move(initial)), size_(current_.size()) {}
-
-  // An O(1) atomic snapshot; the caller owns an immutable version that no
-  // concurrent update can perturb.
-  Map snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return current_;
+  snapshot_box() : current_(new payload{Map{}, 0, 0}) {}
+  explicit snapshot_box(Map initial) {
+    size_t sz = initial.size();
+    current_.store(new payload{std::move(initial), sz, 0},
+                   std::memory_order_relaxed);
   }
 
-  // Snapshot plus the version it corresponds to.
+  // No readers or writers may be in flight at destruction (standard object
+  // lifetime); payloads already retired are self-contained and drain later.
+  ~snapshot_box() { delete current_.load(std::memory_order_relaxed); }
+
+  snapshot_box(const snapshot_box&) = delete;
+  snapshot_box& operator=(const snapshot_box&) = delete;
+
+  // An O(1) atomic snapshot; the caller owns an immutable version that no
+  // concurrent update can perturb. Wait-free: an epoch guard, one pointer
+  // load, one refcount bump.
+  Map snapshot() const {
+    epoch::guard g;
+    return current_.load(std::memory_order_acquire)->map;
+  }
+
+  // Snapshot plus the version it corresponds to, from one payload read (the
+  // pair is atomic by construction — both fields live in the same published
+  // object).
   std::pair<Map, uint64_t> snapshot_versioned() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return {current_, version_};
+    epoch::guard g;
+    const payload* p = current_.load(std::memory_order_acquire);
+    return {p->map, p->version};
+  }
+
+  // Run f against the current version without taking a snapshot: no
+  // refcount traffic at all. f must not retain references into the map
+  // beyond its own return — the version is only pinned while f runs.
+  // Keep f short (point lookups, O(log n) queries): the epoch guard it
+  // runs under pins reclamation *process-wide*, so a long scan inside f
+  // parks every concurrently displaced version on the limbo lists for its
+  // whole duration. Long reads should take snapshot() — one refcount bump
+  // buys a private version that pins nothing.
+  template <typename F>
+  auto with_current(const F& f) const {
+    epoch::guard g;
+    return f(current_.load(std::memory_order_acquire)->map);
   }
 
   // Number of commits (store / update) ever applied. Monotonic; a reader
-  // can compare versions from two snapshots to detect intervening writes.
+  // can compare versions from two reads to detect intervening writes.
   uint64_t version() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return version_;
+    epoch::guard g;
+    return current_.load(std::memory_order_acquire)->version;
   }
 
-  // Entry count of the current instance, maintained at commit time so a
-  // size query is one counter read — no snapshot copy, no refcount traffic.
+  // Entry count of the current instance, computed at commit time so a size
+  // query is one payload read — no snapshot copy, no refcount traffic.
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return size_;
+    epoch::guard g;
+    return current_.load(std::memory_order_acquire)->size;
+  }
+
+  // (version, size) of one committed instance, read atomically — the
+  // primitive behind sharded_map's validated cuts and size().
+  std::pair<uint64_t, size_t> version_size() const {
+    epoch::guard g;
+    const payload* p = current_.load(std::memory_order_acquire);
+    return {p->version, p->size};
   }
 
   // Replace the shared instance.
   void store(Map m) {
-    std::lock_guard<std::mutex> lock(mu_);
-    current_ = std::move(m);
-    size_ = current_.size();
-    ++version_;
+    payload* displaced;
+    {
+      std::lock_guard<std::mutex> serialize(writer_mu_);
+      displaced = publish(std::move(m));
+    }
+    retire(displaced);
   }
 
   // Atomically apply f : Map -> Map to the shared instance. Writers are
-  // fully serialized by a dedicated writer lock (no update can be lost),
-  // while readers only ever contend on the O(1) snapshot swap — f itself
-  // runs on a private copy with no reader-visible lock held.
+  // fully serialized by the writer lock (no update can be lost); readers
+  // never wait — they keep acquiring whichever version is published while f
+  // runs on the writer's private copy.
   template <typename F>
   void update(const F& f) {
-    std::lock_guard<std::mutex> serialize(writer_mu_);
-    Map working;
+    payload* displaced;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      working = current_;
+      std::lock_guard<std::mutex> serialize(writer_mu_);
+      // Holding the writer lock, current_ cannot change and the payload it
+      // points at cannot be retired: copying the map here needs no guard.
+      Map working = current_.load(std::memory_order_relaxed)->map;
+      displaced = publish(f(std::move(working)));
     }
-    Map next = f(std::move(working));
-    size_t next_size = next.size();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      current_ = std::move(next);
-      size_ = next_size;
-      ++version_;
-    }
+    retire(displaced);
   }
 
   // --------------------------------------------- multi-box consistent cut --
-  // For an atomic snapshot across several boxes: lock() each box (always in
-  // one global order to avoid deadlock), peek() each while the locks are
-  // held, then drop the locks. No update can commit at any locked box in
-  // between, so the peeked maps form a consistent cut. peek() must only be
-  // called while the lock returned by lock() on the same box is alive.
-  std::unique_lock<std::mutex> lock() const {
-    return std::unique_lock<std::mutex>(mu_);
+  // Readers no longer hold any lock, so a cut across several boxes is built
+  // optimistically (snapshot every box, re-validate every version — see
+  // sharded_map). The fallback for writer-churn starvation is to block the
+  // writers themselves: writer_lock() each box in one global order, peek()
+  // each, drop the locks. peek()/peek_version()/peek_size() must only be
+  // called while the lock returned by writer_lock() on the same box is held
+  // — with the writer excluded, the published payload is pinned.
+  std::unique_lock<std::mutex> writer_lock() const {
+    return std::unique_lock<std::mutex>(writer_mu_);
   }
-  const Map& peek() const { return current_; }
-  uint64_t peek_version() const { return version_; }
-  size_t peek_size() const { return size_; }
+  const Map& peek() const {
+    return current_.load(std::memory_order_acquire)->map;
+  }
+  uint64_t peek_version() const {
+    return current_.load(std::memory_order_acquire)->version;
+  }
+  size_t peek_size() const {
+    return current_.load(std::memory_order_acquire)->size;
+  }
 
  private:
-  mutable std::mutex mu_;  // guards current_/size_/version_ (O(1) sections)
-  std::mutex writer_mu_;   // serializes whole read-modify-write updates
-  Map current_;
-  size_t size_ = 0;        // current_.size(), maintained at commit
-  uint64_t version_ = 0;
+  // One committed version: everything a reader observes about it lives in
+  // one immutable heap object behind one atomic pointer.
+  struct payload {
+    Map map;
+    size_t size;
+    uint64_t version;
+  };
+
+  // Caller holds writer_mu_. Swap the new version in and hand the displaced
+  // payload back for retirement.
+  payload* publish(Map next) {
+    size_t sz = next.size();
+    payload* old = current_.load(std::memory_order_relaxed);
+    payload* fresh = new payload{std::move(next), sz, old->version + 1};
+    current_.store(fresh, std::memory_order_release);
+    return old;
+  }
+
+  // Retire a displaced payload onto the epoch limbo list — never freed
+  // inline, because a concurrent reader may be mid-acquisition on it.
+  // Called *after* the writer lock drops: retire occasionally runs a limbo
+  // drain (amortized, every kDrainThreshold-th retirement), and a large
+  // displaced-version teardown must not stall this shard's commits or a
+  // fallback cut waiting on writer_lock().
+  static void retire(payload* displaced) {
+    epoch::retire(displaced, [](void* q) { delete static_cast<payload*>(q); });
+  }
+
+  mutable std::mutex writer_mu_;  // serializes whole read-modify-write updates
+  std::atomic<payload*> current_{nullptr};
 };
 
 }  // namespace pam

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "alloc/arena.h"
 #include "server/change_feed.h"
 #include "server/sharded_map.h"
 #include "server/version_store.h"
@@ -137,6 +138,29 @@ class kv_store {
   const sharded_map<Map>& shards() const { return shards_; }
   typename write_combiner<Map>::stats_snapshot ingest_stats() const {
     return combiner_.stats();
+  }
+
+  // ------------------------------------------------- memory maintenance --
+  // Process-wide (the pools are shared by every map in the process, so the
+  // numbers cover all stores, not just this one).
+
+  struct memory_stats {
+    size_t reserved_bytes;   // exact OS footprint of all pools
+    size_t limbo_retired;    // displaced versions awaiting epoch drain
+  };
+
+  static memory_stats memory() {
+    return {block_pool::reserved_bytes_all(), epoch::pending()};
+  }
+
+  // Reclaim what a long-lived server can: drive the epoch forward so
+  // displaced versions in limbo are destroyed (parallel teardown), then
+  // return fully-free chunks from every pool to the OS. Returns the bytes
+  // released. Readers are never blocked; chunks pinned by other threads'
+  // local caches stay resident (see block_pool::trim).
+  static size_t trim_memory() {
+    epoch::drain();
+    return block_pool::trim_all();
   }
 
  private:

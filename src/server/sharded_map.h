@@ -5,14 +5,22 @@
 // single writer lock. Sharding recovers write parallelism at the serving
 // layer: shard s owns keys in [splitter[s-1], splitter[s]), each shard is
 // its own snapshot_box, and writers touching disjoint ranges commit
-// concurrently. Readers keep the O(1)-snapshot property:
+// concurrently. Readers keep the O(1)-snapshot property, now without ever
+// taking a lock (snapshot_box's epoch-protected read path):
 //
-//   * snapshot_shard(s)   one shard, O(1), uncoordinated;
-//   * snapshot_all()      a *consistent cut* across every shard — all shard
-//                         snapshot mutexes are taken in index order, each
-//                         root is peeked (a refcount bump), and the locks
-//                         drop. No commit can land anywhere in between, so
-//                         the S maps form one atomic version of the store.
+//   * snapshot_shard(s)   one shard, O(1), wait-free;
+//   * snapshot_all()      a *consistent cut* across every shard by
+//                         versioned re-validation: snapshot every shard
+//                         (payload + commit counter), then re-read every
+//                         counter. If none moved, each shard held its
+//                         snapshotted version for the entire window, and in
+//                         particular all of them simultaneously at the
+//                         instant between the two passes — a consistent
+//                         cut, taken without blocking a single writer. If a
+//                         counter moved, retry; after kCutRetries failures
+//                         fall back to briefly excluding writers
+//                         (writer_lock() per box, in index order), which
+//                         bounds cut latency under pathological churn.
 //
 // Bulk writes (multi_insert / multi_delete) partition the batch by shard in
 // O(m) and run the per-shard merges in parallel, so the paper's
@@ -21,9 +29,15 @@
 // ranges tile the key space, so concatenating per-shard in-order walks is a
 // global in-order walk.
 //
-// Thread safety: every public member is safe to call from any thread. The
-// splitter directory is immutable after construction (resharding = build a
-// new sharded_map), which is what lets shard_of run lock-free.
+// Thread safety: every public member is safe to call from any thread, with
+// one re-entrancy rule: an update functor passed to update_shard / insert /
+// erase / multi_* runs while holding that shard's writer lock, and the cut
+// fallback acquires *every* shard's writer lock — so cut-based reads of the
+// same sharded_map (snapshot_all*, versions, size, multi_find) must not be
+// called from inside an update functor. Per-shard reads (find,
+// snapshot_shard) are lock-free and remain safe anywhere. The splitter
+// directory is immutable after construction (resharding = build a new
+// sharded_map), which is what lets shard_of run lock-free.
 #pragma once
 
 #include <cstdint>
@@ -278,62 +292,61 @@ class sharded_map {
 
   // -------------------------------------------------------------- reads --
 
-  // O(1) uncoordinated snapshot of one shard.
+  // O(1) wait-free snapshot of one shard.
   Map snapshot_shard(size_t s) const { return boxes_[s]->snapshot(); }
 
-  // A consistent cut across all shards: lock every shard's snapshot mutex
-  // in index order, peek each root, release. Commits need the same mutexes,
-  // so no write lands between the first lock and the last peek; the cost is
-  // S lock acquisitions plus S refcount bumps (no tree work, no allocation).
-  snapshot_type snapshot_all() const {
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(boxes_.size());
-    for (const auto& b : boxes_) locks.push_back(b->lock());
-    std::vector<Map> shards;
-    shards.reserve(boxes_.size());
-    for (const auto& b : boxes_) shards.push_back(b->peek());
-    return snapshot_type(std::move(shards), splitters_);
-  }
-
   // A consistent cut together with the per-shard commit counters it
-  // corresponds to, taken under one set of locks — the capture primitive of
-  // the version store: two cuts are ordered by componentwise comparison of
-  // their version vectors, and an unchanged counter means the shard's root
-  // is the identical tree (so retaining it costs nothing beyond a bump).
+  // corresponds to — the capture primitive of the version store. Any two
+  // validated cuts correspond to two instants in time, so their version
+  // vectors are componentwise comparable, and an unchanged counter means
+  // the shard's root is the identical tree (so retaining it costs nothing
+  // beyond a bump).
   struct versioned_snapshot {
     snapshot_type snapshot;
     std::vector<uint64_t> versions;
   };
 
+  // Optimistic versioned re-validation. Pass 1 snapshots every shard's
+  // (map, version) pair — each pair is internally atomic (one payload read).
+  // Pass 2 re-reads every shard's current version. If shard s's version is
+  // unchanged, its snapshot was the published version for the whole interval
+  // [its pass-1 read, its pass-2 read]; all those intervals contain the
+  // instant between the end of pass 1 and the start of pass 2, so the S
+  // snapshots were simultaneously current — a consistent cut that blocked
+  // nobody. On validation failure the stale snapshots are dropped (O(S)
+  // refcount decs; displaced trees are shared, so no teardown) and the cut
+  // retries; after kCutRetries failures it takes every shard's *writer*
+  // lock in index order and peeks, bounding latency under extreme churn.
   versioned_snapshot snapshot_all_versioned() const {
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(boxes_.size());
-    for (const auto& b : boxes_) locks.push_back(b->lock());
-    std::vector<Map> shards;
-    std::vector<uint64_t> versions;
-    shards.reserve(boxes_.size());
-    versions.reserve(boxes_.size());
-    for (const auto& b : boxes_) {
-      shards.push_back(b->peek());
-      versions.push_back(b->peek_version());
-    }
+    auto [shards, versions] = validated_cut(
+        [](const box_t& b) { return b.snapshot_versioned(); },
+        [](const box_t& b) { return b.peek(); });
     return {snapshot_type(std::move(shards), splitters_), std::move(versions)};
   }
 
-  // Per-shard commit counters (same cut discipline as snapshot_all).
-  std::vector<uint64_t> versions() const {
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(boxes_.size());
-    for (const auto& b : boxes_) locks.push_back(b->lock());
-    std::vector<uint64_t> out;
-    out.reserve(boxes_.size());
-    for (const auto& b : boxes_) out.push_back(b->peek_version());
-    return out;
+  // A consistent cut across all shards (see snapshot_all_versioned).
+  snapshot_type snapshot_all() const {
+    return snapshot_all_versioned().snapshot;
   }
 
-  // Single-key committed read: snapshot only the owning shard.
+  // Per-shard commit counters, validated the same way: re-read until a full
+  // pass observes no movement, so the vector corresponds to one instant.
+  std::vector<uint64_t> versions() const {
+    return validated_cut(
+               [](const box_t& b) {
+                 uint64_t v = b.version();
+                 return std::pair<uint64_t, uint64_t>(v, v);
+               },
+               [](const box_t& b) { return b.peek_version(); })
+        .second;
+  }
+
+  // Single-key committed read: run the lookup against the owning shard's
+  // current version in place — no lock, no snapshot copy, no refcount
+  // traffic (snapshot_box::with_current).
   std::optional<V> find(const K& k) const {
-    return boxes_[shard_of(k)]->snapshot().find(k);
+    return boxes_[shard_of(k)]->with_current(
+        [&](const Map& m) { return m.find(k); });
   }
 
   // Batch lookup against one consistent cut.
@@ -341,20 +354,78 @@ class sharded_map {
     return snapshot_all().multi_find(keys);
   }
 
-  // Total entry count from the per-shard size counters snapshot_box
-  // maintains at commit time, read under the same all-locks cut discipline
-  // as snapshot_all — but with no root copies, no refcount traffic, and no
-  // tree teardown afterwards: S lock acquisitions plus S counter reads.
+  // Total entry count across one consistent cut, from the per-shard size
+  // counters snapshot_box maintains at commit time: (version, size) pairs
+  // are read per shard and the version vector re-validated — no root
+  // copies, no refcount traffic, no tree teardown, no locks.
   size_t size() const {
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(boxes_.size());
-    for (const auto& b : boxes_) locks.push_back(b->lock());
+    auto sizes = validated_cut(
+                     [](const box_t& b) {
+                       auto vs = b.version_size();
+                       return std::pair<size_t, uint64_t>(vs.second, vs.first);
+                     },
+                     [](const box_t& b) { return b.peek_size(); })
+                     .first;
     size_t total = 0;
-    for (const auto& b : boxes_) total += b->peek_size();
+    for (size_t s : sizes) total += s;
     return total;
   }
 
  private:
+  using box_t = snapshot_box<Map>;
+
+  // Optimistic cut attempts before falling back to blocking writers. Each
+  // failed attempt costs O(S) pointer reads and refcount churn, so a small
+  // budget keeps worst-case cut latency bounded without giving up the
+  // lock-free common case.
+  static constexpr int kCutRetries = 8;
+
+  // The one validated-cut engine behind snapshot_all_versioned / versions /
+  // size. `optimistic(box)` reads a (value, version) pair from one
+  // published payload; a pass over all shards re-validates every version
+  // and retries on movement; after kCutRetries failures `pinned(box)` reads
+  // the value under all writer locks (taken in index order — the one global
+  // order, so concurrent fallback cuts cannot deadlock), which pins every
+  // published payload for the duration of the peeks.
+  template <typename Optimistic, typename Pinned>
+  auto validated_cut(const Optimistic& optimistic, const Pinned& pinned) const {
+    using T = decltype(optimistic(*boxes_[0]).first);
+    std::vector<T> values;
+    std::vector<uint64_t> versions;
+    for (int attempt = 0; attempt < kCutRetries; attempt++) {
+      values.clear();
+      versions.clear();
+      values.reserve(boxes_.size());
+      versions.reserve(boxes_.size());
+      for (const auto& b : boxes_) {
+        auto vv = optimistic(*b);
+        values.push_back(std::move(vv.first));
+        versions.push_back(vv.second);
+      }
+      if (revalidate(versions))
+        return std::pair(std::move(values), std::move(versions));
+    }
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(boxes_.size());
+    for (const auto& b : boxes_) locks.push_back(b->writer_lock());
+    values.clear();
+    versions.clear();
+    for (const auto& b : boxes_) {
+      values.push_back(pinned(*b));
+      versions.push_back(b->peek_version());
+    }
+    return std::pair(std::move(values), std::move(versions));
+  }
+
+  // Pass 2 of a validated cut: true iff no shard's commit counter moved
+  // since `observed` was collected.
+  bool revalidate(const std::vector<uint64_t>& observed) const {
+    for (size_t s = 0; s < boxes_.size(); s++) {
+      if (boxes_[s]->version() != observed[s]) return false;
+    }
+    return true;
+  }
+
   static std::vector<std::unique_ptr<snapshot_box<Map>>> make_boxes(size_t n) {
     std::vector<std::unique_ptr<snapshot_box<Map>>> boxes(n);
     for (auto& b : boxes) b = std::make_unique<snapshot_box<Map>>();

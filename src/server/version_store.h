@@ -7,12 +7,13 @@
 // shard between two versions is the *same root pointer* — so the store
 // keeps a ring of (version, consistent cut) pairs:
 //
-//   * capture()            take one cut under the existing all-locks
-//                          discipline (sharded_map::snapshot_all_versioned)
-//                          and retain it as the next version. A capture
-//                          with no intervening commit is deduplicated: the
-//                          per-shard commit counters are compared and the
-//                          existing version id is returned.
+//   * capture()            take one consistent cut (sharded_map's
+//                          lock-free versioned re-validation protocol,
+//                          snapshot_all_versioned) and retain it as the
+//                          next version. A capture with no intervening
+//                          commit is deduplicated: the per-shard commit
+//                          counters are compared and the existing version
+//                          id is returned.
 //   * snapshot_at(v)       time-travel read: the full sharded_snapshot of
 //                          any retained version, O(S) refcount bumps.
 //   * diff(v_from, v_to)   the ordered change stream between two retained
@@ -82,8 +83,9 @@ class version_store {
     std::vector<entry> dropped;  // destroyed outside the lock (GC can fork)
     std::lock_guard<std::mutex> lock(mu_);
     if (!ring_.empty()) {
-      // Cuts hold every shard lock at once, so any two are totally ordered
-      // and their version vectors are componentwise comparable. A cut that
+      // Every validated cut corresponds to one instant at which all shards
+      // simultaneously held its version vector, so any two cuts are totally
+      // ordered and componentwise comparable. A cut that
       // does not advance past the newest retained one is either identical
       // (quiescent dedup) or lost a race to a concurrent capture that took
       // a newer cut but reached this mutex first — in both cases the

@@ -20,8 +20,10 @@
 //     batches of one shard commit in enqueue order and a later batch can
 //     never overtake an earlier one.
 //   * Visibility: reads through the sharded_map see committed state only;
-//     flush_all() is the barrier — every op enqueued happens-before a
-//     flush_all() call is committed when it returns.
+//     a flushed batch becomes visible in one atomic epoch-protected root
+//     publication (snapshot_box::update), so readers never see a batch
+//     half-applied. flush_all() is the barrier — every op enqueued
+//     happens-before a flush_all() call is committed when it returns.
 //   * Shutdown drains: shutdown() (also run by the destructor) stops the
 //     flusher thread and then flushes every remaining op, so the final
 //     drain is guaranteed to land in the target sharded_map before the

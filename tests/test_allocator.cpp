@@ -1,8 +1,12 @@
-// Tests for the concurrent fixed-size pool allocator (src/alloc).
+// Tests for the unified pool layer (src/alloc/arena.h) and its typed /
+// runtime-sized facades (type_allocator, raw_pool): hot-path correctness,
+// exact striped accounting from worker and foreign threads alike, chunk
+// provenance (reserved_bytes) and trim().
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "alloc/leaf_pool.h"
@@ -154,6 +158,101 @@ TEST(RawPool, ParallelAllocFreeStress) {
     for (void* p : mine) *static_cast<char*>(p) = 1;
     for (void* p : mine) pool.deallocate(p);
   }, 1);
+  EXPECT_EQ(pool.used(), base);
+}
+
+// ------------------------------------------- provenance, trim, stripes --
+
+TEST(Arena, ReservedBytesTracksChunkProvenance) {
+  static pam::block_pool pool(120, 8);
+  EXPECT_EQ(pool.reserved_bytes(), 0u);
+  std::vector<void*> ps;
+  for (int i = 0; i < 3000; i++) ps.push_back(pool.allocate());
+  // Exact accounting: the byte footprint is the carved chunk slots times
+  // the (alignment-rounded) stride, nothing estimated.
+  EXPECT_EQ(pool.reserved_bytes(),
+            static_cast<size_t>(pool.reserved()) * pool.slot_bytes());
+  EXPECT_GE(pool.reserved(), 3000);
+  for (void* p : ps) pool.deallocate(p);
+}
+
+TEST(Arena, TrimReleasesFullyFreeChunks) {
+  static pam::block_pool pool(256, 16);
+  std::vector<void*> ps;
+  for (int i = 0; i < 4000; i++) ps.push_back(pool.allocate());
+  size_t peak_bytes = pool.reserved_bytes();
+  EXPECT_GT(peak_bytes, 0u);
+  for (void* p : ps) pool.deallocate(p);
+  // Everything was allocated and freed on this thread, so after the local
+  // hand-back inside trim() every chunk is fully free and must go back to
+  // the OS.
+  size_t released = pool.trim();
+  EXPECT_EQ(released, peak_bytes);
+  EXPECT_EQ(pool.reserved(), 0);
+  EXPECT_EQ(pool.reserved_bytes(), 0u);
+  EXPECT_EQ(pool.used(), 0);
+  // The pool re-carves on demand afterwards.
+  void* p = pool.allocate();
+  EXPECT_NE(p, nullptr);
+  EXPECT_GT(pool.reserved(), 0);
+  pool.deallocate(p);
+}
+
+TEST(Arena, TrimKeepsChunksWithLiveSlots) {
+  static pam::block_pool pool(512, 16);
+  std::vector<void*> ps;
+  for (int i = 0; i < 300; i++) ps.push_back(pool.allocate());
+  // Keep one slot live: every chunk holding it must survive trim, and no
+  // live slot may ever be handed back.
+  void* survivor = ps.back();
+  ps.pop_back();
+  for (void* p : ps) pool.deallocate(p);
+  pool.trim();
+  EXPECT_EQ(pool.used(), 1);
+  EXPECT_GT(pool.reserved(), 0);
+  *static_cast<char*>(survivor) = 42;  // still mapped
+  EXPECT_EQ(*static_cast<char*>(survivor), 42);
+  pool.deallocate(survivor);
+  size_t released = pool.trim();
+  EXPECT_GT(released, 0u);
+  EXPECT_EQ(pool.reserved(), 0);
+}
+
+TEST(Arena, TypedFacadeExposesTrim) {
+  struct trim_blob {
+    uint64_t x[6];
+  };
+  using alloc = pam::type_allocator<trim_blob>;
+  std::vector<trim_blob*> ps;
+  for (int i = 0; i < 5000; i++) ps.push_back(alloc::allocate());
+  // Typed pools stride exactly sizeof(T): no alignment padding is ever
+  // added beyond alignof(T) (sizeof is already a multiple of it).
+  EXPECT_EQ(alloc::reserved_bytes(),
+            static_cast<size_t>(alloc::reserved()) * sizeof(trim_blob));
+  for (auto* p : ps) alloc::deallocate(p);
+  EXPECT_GT(alloc::trim(), 0u);
+  EXPECT_EQ(alloc::used(), 0);
+  EXPECT_EQ(alloc::reserved(), 0);
+}
+
+TEST(Arena, ForeignThreadsKeepCountsExact) {
+  // Server client threads are not scheduler workers; their counter traffic
+  // now spreads over hashed stripes instead of all sharing one. The
+  // observable contract is that concurrent foreign alloc/free traffic sums
+  // to an exact net of zero.
+  static pam::block_pool pool(64, 8);
+  int64_t base = pool.used();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; t++) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; round++) {
+        std::vector<void*> mine;
+        for (int i = 0; i < 200; i++) mine.push_back(pool.allocate());
+        for (void* p : mine) pool.deallocate(p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
   EXPECT_EQ(pool.used(), base);
 }
 
