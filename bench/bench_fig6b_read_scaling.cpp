@@ -155,8 +155,8 @@ int main() {
       return acc;
     };
     volatile uint64_t guard = 0;
-    double t_scan_classic = timed_median(1, 5, [&] { guard += full_scan(classic); });
-    double t_scan_blocked = timed_median(1, 5, [&] { guard += full_scan(blocked); });
+    double t_scan_classic = timed_median(1, 5, [&] { guard = guard + full_scan(classic); });
+    double t_scan_blocked = timed_median(1, 5, [&] { guard = guard + full_scan(blocked); });
 
     const size_t ranges = std::max<size_t>(1, bn / 64);
     auto los = keys_only(ranges, 23);

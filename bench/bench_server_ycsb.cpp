@@ -180,7 +180,7 @@ int main() {
                 (unsigned long long)st.ops_enqueued,
                 (unsigned long long)st.ops_committed,
                 (unsigned long long)st.batches_flushed,
-                st.batches_flushed ? double(st.ops_committed) / st.batches_flushed
+                st.batches_flushed ? double(st.ops_committed) / double(st.batches_flushed)
                                    : 0.0);
   }
 

@@ -72,7 +72,7 @@ int main() {
               (unsigned long long)st.ops_enqueued,
               (unsigned long long)st.ops_committed,
               (unsigned long long)st.batches_flushed,
-              st.batches_flushed ? double(st.ops_committed) / st.batches_flushed
+              st.batches_flushed ? double(st.ops_committed) / double(st.batches_flushed)
                                  : 0.0);
 
   // Top page in a key range via the stitched views, lazily (no copies).

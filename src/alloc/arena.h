@@ -56,20 +56,39 @@
 #include <vector>
 
 #include "parallel/scheduler.h"
+#include "util/thread_annotations.h"
 
 namespace pam {
 
 // ------------------------------------------------------------------ epoch --
 
+// The EBR protocol expressed as a capability (see util/thread_annotations.h
+// for the contract overview). `epoch_domain` is a process-global phantom
+// capability with no runtime state: epoch::guard acquires it *shared* and
+// functions that dereference epoch-published pointers declare
+// PAM_REQUIRES_SHARED(epoch_domain), so "read a published payload without a
+// guard" fails to compile under clang -Wthread-safety. Reclamation entry
+// points (retire / try_advance / drain) declare PAM_EXCLUDES(epoch_domain):
+// calling them from inside a guard would try to advance past the caller's
+// own pin — a reclamation-progress self-deadlock — and is likewise rejected
+// at compile time. The capability is shared, never exclusive: guards only
+// pin reclamation, they do not exclude each other.
+class PAM_CAPABILITY("epoch_domain") epoch_domain_t {};
+inline epoch_domain_t epoch_domain;
+
 class epoch {
  public:
-  // RAII reader protection. Re-entrant: nested guards on one thread are
-  // free (only the outermost announces). While any guard is alive on any
-  // thread, no object retired after that guard's entry can be freed.
-  class guard {
+  // RAII reader protection. Re-entrant at runtime: nested guards on one
+  // thread are free (only the outermost announces). While any guard is
+  // alive on any thread, no object retired after that guard's entry can be
+  // freed. To the static analysis a guard is a scoped *shared* hold of
+  // `epoch_domain`; nest across function boundaries (the analysis is
+  // intra-procedural), not lexically in one function, or clang reports a
+  // double acquire.
+  class PAM_SCOPED_CAPABILITY guard {
    public:
-    guard() { enter(); }
-    ~guard() { exit(); }
+    guard() PAM_ACQUIRE_SHARED(epoch_domain) { enter(); }
+    ~guard() PAM_RELEASE() { exit(); }
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
   };
@@ -86,11 +105,15 @@ class epoch {
   // time. Amortized drains (every kDrainThreshold-th retire) run on the
   // retiring thread, outside any snapshot_box writer lock (see
   // snapshot_box::retire).
-  static void retire(void* p, void (*deleter)(void*)) {
+  //
+  // EXCLUDES(epoch_domain): must not run inside an epoch::guard — the
+  // amortized try_advance below could never move past the caller's own pin.
+  static void retire(void* p, void (*deleter)(void*))
+      PAM_EXCLUDES(epoch_domain) {
     limbo_state& L = limbo();
     size_t bucket_fill;
     {
-      std::lock_guard<std::mutex> lock(L.mu);
+      mutex_guard lock(L.mu);
       uint64_t e = global_epoch().load(std::memory_order_relaxed);
       auto& bucket = L.buckets[e % 3];
       bucket.push_back({p, deleter});
@@ -112,11 +135,14 @@ class epoch {
   // (deleters run outside the lock), and drain()'s contract — advance until
   // limbo is empty or a pinned reader blocks progress — must not be
   // defeated by transient lock contention from concurrent commits.
-  static bool try_advance() {
+  //
+  // EXCLUDES(epoch_domain): a caller inside a guard is pinned at the
+  // current epoch and the advance it requests can never succeed.
+  static bool try_advance() PAM_EXCLUDES(epoch_domain) {
     limbo_state& L = limbo();
     std::vector<retired> to_free;
     {
-      std::unique_lock<std::mutex> lock(L.mu);
+      mutex_guard lock(L.mu);
       uint64_t e = global_epoch().load(std::memory_order_seq_cst);
       for (thread_slot* s = slot_head().load(std::memory_order_acquire);
            s != nullptr; s = s->next) {
@@ -142,7 +168,7 @@ class epoch {
   // progress. With no guards active, three turns clear every bucket. Returns
   // the number of objects still pending. Tests and long-lived servers call
   // this at quiescent points before checking pool baselines or trimming.
-  static size_t drain() {
+  static size_t drain() PAM_EXCLUDES(epoch_domain) {
     for (int i = 0; i < 3 && pending() > 0; i++) {
       if (!try_advance()) break;
     }
@@ -188,8 +214,8 @@ class epoch {
   };
 
   struct limbo_state {
-    std::mutex mu;
-    std::array<std::vector<retired>, 3> buckets;
+    mutex mu;
+    std::array<std::vector<retired>, 3> buckets PAM_GUARDED_BY(mu);
     std::atomic<size_t> pending{0};
   };
 
@@ -368,7 +394,7 @@ class block_pool {
     std::vector<std::pair<char*, char*>> released;  // [base, end) per chunk
     size_t released_bytes = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      mutex_guard lock(mu_);
       for (void* p : cache) free_slots_.push_back(p);
       cache.clear();
       if (chunks_.empty() || free_slots_.empty()) return 0;
@@ -425,7 +451,7 @@ class block_pool {
   // (its destructor serializes on the same mutex to unregister).
   static size_t reserved_bytes_all() {
     directory_t& d = directory();
-    std::lock_guard<std::mutex> lock(d.mu);
+    mutex_guard lock(d.mu);
     size_t total = 0;
     for (block_pool* p : d.pools) {
       if (p != nullptr) total += p->reserved_bytes();
@@ -439,7 +465,7 @@ class block_pool {
   // order directory.mu -> pool.mu_ is the same everywhere.
   static size_t trim_all() {
     directory_t& d = directory();
-    std::lock_guard<std::mutex> lock(d.mu);
+    mutex_guard lock(d.mu);
     size_t total = 0;
     for (block_pool* p : d.pools) {
       if (p != nullptr) total += p->trim();
@@ -486,7 +512,7 @@ class block_pool {
   }
 
   void refill(std::vector<void*>& cache) {
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     if (free_slots_.size() >= batch_) {
       cache.assign(free_slots_.end() - static_cast<ptrdiff_t>(batch_),
                    free_slots_.end());
@@ -509,21 +535,21 @@ class block_pool {
 
   void overflow(std::vector<void*>& cache) {
     size_t keep = 2 * batch_;
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     for (size_t i = keep; i < cache.size(); i++) free_slots_.push_back(cache[i]);
     cache.resize(keep);
   }
 
   void take_back(std::vector<void*>& blocks) {
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     for (void* p : blocks) free_slots_.push_back(p);
   }
 
   // ------------------------------------------------- pool id directory --
 
   struct directory_t {
-    std::mutex mu;
-    std::vector<block_pool*> pools;
+    mutex mu;
+    std::vector<block_pool*> pools PAM_GUARDED_BY(mu);
   };
 
   static directory_t& directory() {
@@ -533,7 +559,7 @@ class block_pool {
 
   static int directory_register(block_pool* p) {
     directory_t& d = directory();
-    std::lock_guard<std::mutex> lock(d.mu);
+    mutex_guard lock(d.mu);
     d.pools.push_back(p);
     return static_cast<int>(d.pools.size()) - 1;
   }
@@ -542,7 +568,7 @@ class block_pool {
   // stale thread caches indexed by it are skipped rather than misdirected.
   static void directory_unregister(int id) {
     directory_t& d = directory();
-    std::lock_guard<std::mutex> lock(d.mu);
+    mutex_guard lock(d.mu);
     d.pools[static_cast<size_t>(id)] = nullptr;
   }
 
@@ -557,7 +583,7 @@ class block_pool {
       // an owner observed non-null here cannot be destroyed before its
       // take_back completes. A null owner is a pool already destroyed (its
       // chunks are released); just drop the stale slot pointers.
-      std::lock_guard<std::mutex> lock(d.mu);
+      mutex_guard lock(d.mu);
       for (size_t i = 0; i < by_pool.size(); i++) {
         if (by_pool[i].empty() || i >= d.pools.size()) continue;
         block_pool* owner = d.pools[i];
@@ -578,9 +604,9 @@ class block_pool {
   const size_t slot_bytes_;
   const size_t batch_;
   const int id_;
-  std::mutex mu_;
-  std::vector<void*> free_slots_;
-  std::vector<chunk> chunks_;  // sorted by base; guarded by mu_
+  mutex mu_;
+  std::vector<void*> free_slots_ PAM_GUARDED_BY(mu_);
+  std::vector<chunk> chunks_ PAM_GUARDED_BY(mu_);  // sorted by base
   std::atomic<int64_t> reserved_{0};
   std::array<stripe, kStripes> counters_{};
 };

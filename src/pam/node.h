@@ -41,6 +41,7 @@
 #include "alloc/type_allocator.h"
 #include "parallel/parallel.h"
 #include "util/env.h"
+#include "util/thread_annotations.h"
 
 namespace pam {
 
@@ -233,11 +234,16 @@ struct leaf_store {
 
  private:
   struct pool_table {
-    std::mutex mu;
+    // pam-lint: allow(unguarded-mutex) — mu serializes pool *creation*
+    // only; the pools themselves are published through the atomics and
+    // read lock-free (double-checked init in pool() below), so there is
+    // no member for GUARDED_BY to name.
+    mutex mu;
     std::array<std::atomic<raw_pool*>, kClasses> pools{};
   };
 
   static pool_table& table() {
+    // pam-lint: allow(naked-new) — immortal process-wide singleton.
     static pool_table* t = new pool_table();  // immortal
     return *t;
   }
@@ -246,9 +252,10 @@ struct leaf_store {
     pool_table& t = table();
     raw_pool* p = t.pools[cls].load(std::memory_order_acquire);
     if (p == nullptr) {
-      std::lock_guard<std::mutex> lock(t.mu);
+      mutex_guard lock(t.mu);
       p = t.pools[cls].load(std::memory_order_relaxed);
       if (p == nullptr) {
+        // pam-lint: allow(naked-new) — immortal pool singleton per class.
         p = new raw_pool(block::slot_bytes(size_t{1} << cls), block::slot_align());
         t.pools[cls].store(p, std::memory_order_release);
       }

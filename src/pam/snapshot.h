@@ -26,6 +26,11 @@
 // confirm no shard's version moved — see sharded_map::snapshot_all), with
 // writer_lock() as the writer-blocking fallback; the old protocol of holding
 // every box's reader mutex is gone along with the reader mutex itself.
+// The protocol is machine-checked (clang -Wthread-safety, see
+// util/thread_annotations.h): payload dereferences require the epoch_domain
+// capability (shared — an epoch::guard) or the writer lock; publication
+// requires writer_mu_; retirement is EXCLUDES(writer_mu_), so moving a
+// retire back inside the writer critical section fails to compile.
 #pragma once
 
 #include <cstdint>
@@ -33,21 +38,25 @@
 #include <utility>
 
 #include "alloc/arena.h"
+#include "util/thread_annotations.h"
 
 namespace pam {
 
 template <typename Map>
 class snapshot_box {
  public:
+  // pam-lint: allow(naked-new) — the initial payload, before any sharing.
   snapshot_box() : current_(new payload{Map{}, 0, 0}) {}
   explicit snapshot_box(Map initial) {
     size_t sz = initial.size();
+    // pam-lint: allow(naked-new) — the initial payload, before any sharing.
     current_.store(new payload{std::move(initial), sz, 0},
                    std::memory_order_relaxed);
   }
 
   // No readers or writers may be in flight at destruction (standard object
   // lifetime); payloads already retired are self-contained and drain later.
+  // pam-lint: allow(naked-delete) — the final payload, after all sharing.
   ~snapshot_box() { delete current_.load(std::memory_order_relaxed); }
 
   snapshot_box(const snapshot_box&) = delete;
@@ -58,7 +67,7 @@ class snapshot_box {
   // load, one refcount bump.
   Map snapshot() const {
     epoch::guard g;
-    return current_.load(std::memory_order_acquire)->map;
+    return payload_ref()->map;
   }
 
   // Snapshot plus the version it corresponds to, from one payload read (the
@@ -66,7 +75,7 @@ class snapshot_box {
   // object).
   std::pair<Map, uint64_t> snapshot_versioned() const {
     epoch::guard g;
-    const payload* p = current_.load(std::memory_order_acquire);
+    const payload* p = payload_ref();
     return {p->map, p->version};
   }
 
@@ -81,28 +90,38 @@ class snapshot_box {
   template <typename F>
   auto with_current(const F& f) const {
     epoch::guard g;
-    return f(current_.load(std::memory_order_acquire)->map);
+    return f(payload_ref()->map);
+  }
+
+  // Zero-cost access to the published instance for a caller already inside
+  // an epoch::guard — the multi-box form of with_current (one guard, many
+  // boxes). The returned reference is valid only while that guard is held;
+  // retaining it past the guard is a use-after-free the version counter
+  // cannot save you from. Enforced: calling this without holding
+  // epoch_domain (shared) is a compile error under clang -Wthread-safety.
+  const Map& current_map() const PAM_REQUIRES_SHARED(epoch_domain) {
+    return payload_ref()->map;
   }
 
   // Number of commits (store / update) ever applied. Monotonic; a reader
   // can compare versions from two reads to detect intervening writes.
   uint64_t version() const {
     epoch::guard g;
-    return current_.load(std::memory_order_acquire)->version;
+    return payload_ref()->version;
   }
 
   // Entry count of the current instance, computed at commit time so a size
   // query is one payload read — no snapshot copy, no refcount traffic.
   size_t size() const {
     epoch::guard g;
-    return current_.load(std::memory_order_acquire)->size;
+    return payload_ref()->size;
   }
 
   // (version, size) of one committed instance, read atomically — the
   // primitive behind sharded_map's validated cuts and size().
   std::pair<uint64_t, size_t> version_size() const {
     epoch::guard g;
-    const payload* p = current_.load(std::memory_order_acquire);
+    const payload* p = payload_ref();
     return {p->version, p->size};
   }
 
@@ -110,7 +129,7 @@ class snapshot_box {
   void store(Map m) {
     payload* displaced;
     {
-      std::lock_guard<std::mutex> serialize(writer_mu_);
+      mutex_guard serialize(writer_mu_);
       displaced = publish(std::move(m));
     }
     retire(displaced);
@@ -124,10 +143,10 @@ class snapshot_box {
   void update(const F& f) {
     payload* displaced;
     {
-      std::lock_guard<std::mutex> serialize(writer_mu_);
+      mutex_guard serialize(writer_mu_);
       // Holding the writer lock, current_ cannot change and the payload it
       // points at cannot be retired: copying the map here needs no guard.
-      Map working = current_.load(std::memory_order_relaxed)->map;
+      Map working = payload_locked()->map;
       displaced = publish(f(std::move(working)));
     }
     retire(displaced);
@@ -140,18 +159,25 @@ class snapshot_box {
   // writers themselves: writer_lock() each box in one global order, peek()
   // each, drop the locks. peek()/peek_version()/peek_size() must only be
   // called while the lock returned by writer_lock() on the same box is held
-  // — with the writer excluded, the published payload is pinned.
-  std::unique_lock<std::mutex> writer_lock() const {
-    return std::unique_lock<std::mutex>(writer_mu_);
+  // — with the writer excluded, the published payload is pinned. That
+  // requirement is annotated: peek* declare PAM_REQUIRES(writer_mu_), so an
+  // unlocked peek is a compile error under clang -Wthread-safety. The
+  // analysis cannot follow the lock through the std::unique_lock handle
+  // (writer_lock() keeps the dynamic, movable form the multi-box fallback
+  // needs — a vector of held locks), so the fallback loop itself carries
+  // PAM_NO_THREAD_SAFETY_ANALYSIS and TSan covers it; every *other* caller
+  // of peek* gets checked.
+  std::unique_lock<mutex> writer_lock() const {
+    return std::unique_lock<mutex>(writer_mu_);
   }
-  const Map& peek() const {
-    return current_.load(std::memory_order_acquire)->map;
+  const Map& peek() const PAM_REQUIRES(writer_mu_) {
+    return payload_locked()->map;
   }
-  uint64_t peek_version() const {
-    return current_.load(std::memory_order_acquire)->version;
+  uint64_t peek_version() const PAM_REQUIRES(writer_mu_) {
+    return payload_locked()->version;
   }
-  size_t peek_size() const {
-    return current_.load(std::memory_order_acquire)->size;
+  size_t peek_size() const PAM_REQUIRES(writer_mu_) {
+    return payload_locked()->size;
   }
 
  private:
@@ -163,11 +189,28 @@ class snapshot_box {
     uint64_t version;
   };
 
-  // Caller holds writer_mu_. Swap the new version in and hand the displaced
-  // payload back for retirement.
-  payload* publish(Map next) {
+  // The two checked dereference paths to the published payload. A reader
+  // must hold epoch_domain (shared): the guard pins reclamation, so the
+  // pointer stays alive across the dereference. A writer must hold
+  // writer_mu_: with writers excluded, nothing can displace (and hence
+  // retire) the payload. Every dereference of a published payload goes
+  // through one of these (publish's swap and the lifecycle edges in
+  // ctor/dtor touch only the pointer), so the protocol has exactly two
+  // doors and both are capability-checked.
+  const payload* payload_ref() const PAM_REQUIRES_SHARED(epoch_domain) {
+    return current_.load(std::memory_order_acquire);
+  }
+  const payload* payload_locked() const PAM_REQUIRES(writer_mu_) {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // Swap the new version in and hand the displaced payload back for
+  // retirement.
+  payload* publish(Map next) PAM_REQUIRES(writer_mu_) {
     size_t sz = next.size();
     payload* old = current_.load(std::memory_order_relaxed);
+    // pam-lint: allow(naked-new) — payloads are commit-rate objects owned
+    // by the box, freed exclusively through the epoch limbo (retire below).
     payload* fresh = new payload{std::move(next), sz, old->version + 1};
     current_.store(fresh, std::memory_order_release);
     return old;
@@ -175,15 +218,19 @@ class snapshot_box {
 
   // Retire a displaced payload onto the epoch limbo list — never freed
   // inline, because a concurrent reader may be mid-acquisition on it.
-  // Called *after* the writer lock drops: retire occasionally runs a limbo
-  // drain (amortized, every kDrainThreshold-th retirement), and a large
-  // displaced-version teardown must not stall this shard's commits or a
-  // fallback cut waiting on writer_lock().
-  static void retire(payload* displaced) {
+  // Called *after* the writer lock drops, and annotated so (EXCLUDES):
+  // retire occasionally runs a limbo drain (amortized, every
+  // kDrainThreshold-th retirement), and a large displaced-version teardown
+  // must not stall this shard's commits or a fallback cut waiting on
+  // writer_lock(). Moving this call back inside the writer critical
+  // section is a compile error under clang -Wthread-safety.
+  void retire(payload* displaced) const PAM_EXCLUDES(writer_mu_) {
+    // pam-lint: allow(naked-delete) — the limbo deleter is the single
+    // reclamation point for payloads published by this box.
     epoch::retire(displaced, [](void* q) { delete static_cast<payload*>(q); });
   }
 
-  mutable std::mutex writer_mu_;  // serializes whole read-modify-write updates
+  mutable mutex writer_mu_;  // serializes whole read-modify-write updates
   std::atomic<payload*> current_{nullptr};
 };
 

@@ -11,6 +11,7 @@ namespace internal {
 scheduler& scheduler::get() {
   // Leaked on purpose: workers may still be parked in their idle loop while
   // static destructors run, so the scheduler must outlive all of them.
+  // pam-lint: allow(naked-new) — immortal process-wide singleton.
   static scheduler* instance = new scheduler();
   return *instance;
 }

@@ -27,6 +27,13 @@
 // tests) may call par_do; they simply run both branches inline. Tasks must
 // not throw: an exception escaping a stolen task terminates the program,
 // matching the Cilk runtime's behavior.
+//
+// Concurrency contract: the scheduler is deliberately mutex-free — every
+// shared word (deque top/bottom, fork_item::done, shutdown_) is a
+// std::atomic with orderings given inline, so there are no capabilities to
+// annotate (DESIGN.md, "lock-free" rows). set_num_workers is the one
+// quiescence-required member; that requirement is temporal, not lock-based,
+// and is covered by the TSan job rather than the static analysis.
 #pragma once
 
 #include <atomic>
@@ -69,6 +76,8 @@ struct fork_item final : work_item {
 // which is always a correct (if unparallel) fallback.
 class ws_deque {
  public:
+  // pam-lint: allow(naked-new) — the deque buffer, owned by unique_ptr;
+  // deques live exactly as long as the (immortal) scheduler.
   ws_deque() : buffer_(new std::atomic<work_item*>[kCapacity]) {}
 
   bool push_bottom(work_item* w) {

@@ -18,6 +18,10 @@
 // shared freely. A single subscription is a cursor owned by its subscriber:
 // poll/rebase on one subscription must be externally serialized (each
 // subscriber polls its own), while distinct subscriptions never contend.
+// This is the "externally serialized" row of the concurrency contract
+// (DESIGN.md): no mutex to annotate — the store underneath carries the
+// checked capabilities, and a subscription is deliberately lock-free state
+// owned by exactly one driver.
 #pragma once
 
 #include <cstdint>

@@ -34,6 +34,7 @@
 #include "server/sharded_map.h"
 #include "server/version_store.h"
 #include "server/write_combiner.h"
+#include "util/thread_annotations.h"
 
 namespace pam {
 
@@ -157,8 +158,10 @@ class kv_store {
   // displaced versions in limbo are destroyed (parallel teardown), then
   // return fully-free chunks from every pool to the OS. Returns the bytes
   // released. Readers are never blocked; chunks pinned by other threads'
-  // local caches stay resident (see block_pool::trim).
-  static size_t trim_memory() {
+  // local caches stay resident (see block_pool::trim). EXCLUDES: calling
+  // this from inside an epoch::guard could never drain past the caller's
+  // own pin — the contract propagates from epoch::drain.
+  static size_t trim_memory() PAM_EXCLUDES(epoch_domain) {
     epoch::drain();
     return block_pool::trim_all();
   }

@@ -41,6 +41,10 @@
 // Thread safety: a view owns mutable state and a feed cursor; calls on one
 // view must be externally serialized (one refresher per view). Distinct
 // views over one store never contend — the store itself is thread-safe.
+// Like change_feed's subscription, this is the "externally serialized" row
+// of the concurrency contract (DESIGN.md): the view intentionally has no
+// mutex, so there is nothing to annotate — every checked capability lives
+// in the version_store/sharded_map layers it reads through.
 #pragma once
 
 #include <cstdint>

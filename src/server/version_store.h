@@ -45,6 +45,7 @@
 #include "pam/diff.h"
 #include "parallel/parallel.h"
 #include "server/sharded_map.h"
+#include "util/thread_annotations.h"
 
 namespace pam {
 
@@ -81,7 +82,7 @@ class version_store {
   uint64_t capture() {
     auto cut = target_.snapshot_all_versioned();
     std::vector<entry> dropped;  // destroyed outside the lock (GC can fork)
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     if (!ring_.empty()) {
       // Every validated cut corresponds to one instant at which all shards
       // simultaneously held its version vector, so any two cuts are totally
@@ -106,22 +107,22 @@ class version_store {
 
   // 0 when nothing has been captured yet.
   uint64_t latest_version() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     return ring_.empty() ? 0 : ring_.back().version;
   }
   uint64_t oldest_version() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     return ring_.empty() ? 0 : ring_.front().version;
   }
   size_t retained() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     return ring_.size();
   }
 
   // The cut retained for version v; nullopt if v was trimmed (or never
   // assigned). O(S) refcount bumps.
   std::optional<snapshot_type> snapshot_at(uint64_t v) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     const entry* e = find_locked(v);
     if (e == nullptr) return std::nullopt;
     return e->cut;
@@ -129,7 +130,7 @@ class version_store {
 
   // Latest retained cut plus its version id; {empty, 0} before any capture.
   std::pair<snapshot_type, uint64_t> snapshot_latest() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     if (ring_.empty()) return {snapshot_type{}, 0};
     return {ring_.back().cut, ring_.back().version};
   }
@@ -143,7 +144,7 @@ class version_store {
                                             uint64_t v_to) const {
     snapshot_type from, to;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      mutex_guard lock(mu_);
       const entry* ef = find_locked(v_from);
       const entry* et = find_locked(v_to);
       if (ef == nullptr || et == nullptr) return std::nullopt;
@@ -180,7 +181,7 @@ class version_store {
   // Drop retained versions beyond the newest keep_count.
   void trim_to(size_t keep_count) {
     std::vector<entry> dropped;  // destroyed outside the lock
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     while (ring_.size() > keep_count) {
       dropped.push_back(std::move(ring_.front()));
       ring_.pop_front();
@@ -191,7 +192,7 @@ class version_store {
   void trim_older_than(std::chrono::milliseconds age) {
     std::vector<entry> dropped;
     auto cutoff = clock::now() - age;
-    std::lock_guard<std::mutex> lock(mu_);
+    mutex_guard lock(mu_);
     while (!ring_.empty() && ring_.front().at < cutoff) {
       dropped.push_back(std::move(ring_.front()));
       ring_.pop_front();
@@ -207,7 +208,7 @@ class version_store {
   };
 
   // Versions are assigned in ring order, so a binary search by id works.
-  const entry* find_locked(uint64_t v) const {
+  const entry* find_locked(uint64_t v) const PAM_REQUIRES(mu_) {
     size_t lo = 0, hi = ring_.size();
     while (lo < hi) {
       size_t mid = lo + (hi - lo) / 2;
@@ -217,7 +218,8 @@ class version_store {
     return nullptr;
   }
 
-  void trim_locked(clock::time_point now, std::vector<entry>& dropped) {
+  void trim_locked(clock::time_point now, std::vector<entry>& dropped)
+      PAM_REQUIRES(mu_) {
     while (ring_.size() > cfg_.max_versions) {
       dropped.push_back(std::move(ring_.front()));
       ring_.pop_front();
@@ -233,9 +235,9 @@ class version_store {
 
   sharded_map<Map>& target_;
   config cfg_;
-  mutable std::mutex mu_;
-  std::deque<entry> ring_;
-  uint64_t next_version_ = 1;
+  mutable mutex mu_;
+  std::deque<entry> ring_ PAM_GUARDED_BY(mu_);
+  uint64_t next_version_ PAM_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace pam

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "server/sharded_map.h"
+#include "util/thread_annotations.h"
 
 namespace pam {
 
@@ -98,7 +99,7 @@ class write_combiner {
     if (!closed_.exchange(true, std::memory_order_acq_rel)) {
       if (flusher_.joinable()) {
         {
-          std::lock_guard<std::mutex> lock(flusher_mu_);
+          mutex_guard lock(flusher_mu_);
           stop_ = true;
         }
         flusher_cv_.notify_all();
@@ -134,9 +135,9 @@ class write_combiner {
   using op_t = std::pair<K, std::optional<V>>;
 
   struct shard_queue {
-    std::mutex buffer_mu;       // guards pending (held only for a push/swap)
-    std::vector<op_t> pending;
-    std::mutex flush_mu;        // orders [swap → commit] sections per shard
+    mutex buffer_mu;            // held only for a push/swap
+    std::vector<op_t> pending PAM_GUARDED_BY(buffer_mu);
+    mutex flush_mu;             // orders [swap → commit] sections per shard
   };
 
   void enqueue(const K& k, std::optional<V> v) {
@@ -145,7 +146,7 @@ class write_combiner {
     bool buffered = false;
     bool overflow = false;
     {
-      std::lock_guard<std::mutex> lock(q.buffer_mu);
+      mutex_guard lock(q.buffer_mu);
       // The closed check is under the buffer lock: an op either lands in
       // the buffer before shutdown() closes (its final flush_all takes this
       // same lock and drains it) or sees closed and takes the direct path
@@ -161,10 +162,10 @@ class write_combiner {
       // Post-shutdown: drain whatever is still pending for this shard and
       // commit this op behind it, all under the flush lock — an older
       // buffered write can never overtake it.
-      std::lock_guard<std::mutex> serialize(q.flush_mu);
+      mutex_guard serialize(q.flush_mu);
       std::vector<op_t> batch = swap_out(q);
       batch.emplace_back(k, std::move(v));
-      commit_batch(s, std::move(batch));
+      commit_batch(q, s, std::move(batch));
       return;
     }
     if (overflow) flush_shard(s);
@@ -173,13 +174,18 @@ class write_combiner {
   std::vector<op_t> swap_out(shard_queue& q) {
     std::vector<op_t> batch;
     batch.reserve(cfg_.batch_size);
-    std::lock_guard<std::mutex> lock(q.buffer_mu);
+    mutex_guard lock(q.buffer_mu);
     batch.swap(q.pending);
     return batch;
   }
 
-  // Coalesce and apply one batch to shard s. Caller holds q.flush_mu.
-  void commit_batch(size_t s, std::vector<op_t> batch) {
+  // Coalesce and apply one batch to shard s. The caller-holds-q.flush_mu
+  // contract is an annotation, not just this comment: calling it unlocked
+  // (which would let a later batch overtake this one) fails to compile
+  // under clang -Wthread-safety.
+  void commit_batch(shard_queue& q, size_t s, std::vector<op_t> batch)
+      PAM_REQUIRES(q.flush_mu) {
+    (void)q;
     if (batch.empty()) return;
     auto [upserts, deletes] = coalesce(std::move(batch));
     ops_committed_.fetch_add(upserts.size() + deletes.size(),
@@ -197,8 +203,8 @@ class write_combiner {
     // flush_mu spans swap-out and commit: batches of this shard apply in
     // enqueue order, which is what makes last-writer-wins hold across
     // batch boundaries (no later batch overtakes an earlier one).
-    std::lock_guard<std::mutex> serialize(q.flush_mu);
-    commit_batch(s, swap_out(q));
+    mutex_guard serialize(q.flush_mu);
+    commit_batch(q, s, swap_out(q));
   }
 
   // Keep only the latest op per key (stable sort by key preserves enqueue
@@ -226,7 +232,7 @@ class write_combiner {
   }
 
   void flusher_loop() {
-    std::unique_lock<std::mutex> lock(flusher_mu_);
+    unique_guard lock(flusher_mu_);
     while (!stop_) {
       flusher_cv_.wait_for(lock, cfg_.flush_interval);
       if (stop_) break;
@@ -245,9 +251,12 @@ class write_combiner {
   std::atomic<uint64_t> batches_flushed_{0};
 
   std::thread flusher_;
-  std::mutex flusher_mu_;
-  std::condition_variable flusher_cv_;
-  bool stop_ = false;
+  mutex flusher_mu_;
+  // _any: waits on the annotated pam::unique_guard (std::condition_variable
+  // is hardwired to std::unique_lock<std::mutex>, which the analysis cannot
+  // see through).
+  std::condition_variable_any flusher_cv_;
+  bool stop_ PAM_GUARDED_BY(flusher_mu_) = false;
   // Set (once) by shutdown() before its final drain; read by enqueue under
   // the buffer lock to route post-shutdown ops onto the direct path.
   std::atomic<bool> closed_{false};

@@ -7,11 +7,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace pam {
 
 // splitmix64 (Steele, Lea, Flood; JEA 2014). A tiny, statistically strong
 // mixer. We use it both as a PRNG and as the hash that drives treap
 // priorities, so trees built from the same keys are always identical.
+// Wraparound mod 2^64 is the whole point of the mixing arithmetic, so the
+// clang -fsanitize=integer CI job is told to look away here (and only here:
+// unsigned wrap anywhere else in the tree is a bug worth flagging).
+PAM_NO_SANITIZE_UNSIGNED_WRAP
 inline constexpr uint64_t hash64(uint64_t x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -26,10 +32,13 @@ class random_gen {
  public:
   explicit constexpr random_gen(uint64_t seed = 0) noexcept : state_(seed) {}
 
-  // The i-th value of this stream, without advancing.
+  // The i-th value of this stream, without advancing. state_ + i wraps by
+  // design: the sum is just a stream position fed to the mixer.
+  PAM_NO_SANITIZE_UNSIGNED_WRAP
   constexpr uint64_t ith(uint64_t i) const noexcept { return hash64(state_ + i); }
 
   // An independent generator derived from this one.
+  PAM_NO_SANITIZE_UNSIGNED_WRAP
   constexpr random_gen fork(uint64_t i) const noexcept {
     return random_gen(hash64(state_ + i));
   }

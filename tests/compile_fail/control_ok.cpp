@@ -1,0 +1,60 @@
+// Concurrency-contract CONTROL fixture: the same protocols the fail
+// fixtures break, used correctly. This file must COMPILE under
+// clang -Werror=thread-safety (and under GCC, where the annotations
+// compile away) — proving the fail fixtures are rejected because of the
+// contract, not because of a broken include or a bad toy type.
+//
+// pam-lint: allow(include-discipline) — exercises the box directly, like
+// the fail fixtures it controls for.
+#include "pam/snapshot.h"
+
+#include <cstddef>
+
+#include "alloc/arena.h"
+#include "util/thread_annotations.h"
+
+struct toy_map {
+  std::size_t size() const { return 0; }
+};
+
+namespace {
+
+void noop_deleter(void*) {}
+
+struct mini_box {
+  pam::mutex mu;
+
+  void retire_displaced() PAM_EXCLUDES(mu) {}
+
+  void commit_right() {
+    {
+      pam::mutex_guard lock(mu);
+      // ... displace under the lock ...
+    }
+    retire_displaced();  // lock dropped: retirement is legal here
+  }
+};
+
+}  // namespace
+
+int main() {
+  pam::snapshot_box<toy_map> box{toy_map{}};
+
+  // Reader path: pin reclamation, then dereference the published payload.
+  {
+    pam::epoch::guard g;
+    const toy_map& m = box.current_map();
+    (void)m;
+  }
+
+  // Retirement outside any pin.
+  static int dummy = 0;
+  pam::epoch::retire(&dummy, &noop_deleter);
+
+  // Writer path: store() is self-locking (and retires after unlock).
+  box.store(toy_map{});
+
+  mini_box b;
+  b.commit_right();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Concurrency-contract compile-fail fixture: retirement must happen OUTSIDE
+// the critical section that displaced the object. Two layers of the same
+// rule:
+//
+//  * epoch::retire is PAM_EXCLUDES(epoch_domain) — retiring while pinned by
+//    an epoch::guard can deadlock the reclamation heuristic against the
+//    caller's own pin (an amortized drain can never advance past it);
+//  * the snapshot_box writer protocol retires a displaced payload only
+//    after the writer lock drops (its retire is PAM_EXCLUDES(writer_mu_));
+//    mini_box replicates that shape, since the real method is private.
+//
+// clang -Werror=thread-safety must reject both calls below.
+//
+// expect-error: epoch_domain
+// expect-error: 'mu'
+#include "alloc/arena.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+void noop_deleter(void*) {}
+
+struct mini_box {
+  pam::mutex mu;
+
+  // The displaced-version hand-off: must run after mu drops.
+  void retire_displaced() PAM_EXCLUDES(mu) {}
+
+  void commit_wrong() {
+    pam::mutex_guard lock(mu);
+    retire_displaced();  // BAD: still inside the writer critical section
+  }
+};
+
+}  // namespace
+
+int main() {
+  static int dummy = 0;
+  {
+    pam::epoch::guard g;
+    pam::epoch::retire(&dummy, &noop_deleter);  // BAD: retiring while pinned
+  }
+  mini_box b;
+  b.commit_wrong();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Concurrency-contract compile-fail fixture: current_map() hands back a
+// reference into the published payload with zero refcount traffic, valid
+// only while an epoch::guard pins reclamation. Calling it unpinned is a
+// use-after-free window. current_map() declares
+// PAM_REQUIRES_SHARED(epoch_domain); clang -Werror=thread-safety must
+// reject this translation unit.
+//
+// expect-error: epoch_domain
+// pam-lint: allow(include-discipline) — the fixture targets the box directly.
+#include "pam/snapshot.h"
+
+#include <cstddef>
+
+struct toy_map {
+  std::size_t size() const { return 0; }
+};
+
+int main() {
+  pam::snapshot_box<toy_map> box{toy_map{}};
+  const toy_map& m = box.current_map();  // BAD: no epoch::guard in scope
+  (void)m;
+  return 0;
+}

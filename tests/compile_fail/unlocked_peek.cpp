@@ -1,0 +1,23 @@
+// Concurrency-contract compile-fail fixture: peek() reads the published
+// payload under the assumption that writers are excluded, so calling it
+// without holding the lock returned by writer_lock() on the same box is a
+// protocol violation — the payload could be displaced and retired mid-read.
+// peek() declares PAM_REQUIRES(writer_mu_); clang -Werror=thread-safety
+// must reject this translation unit.
+//
+// expect-error: writer_mu_
+// pam-lint: allow(include-discipline) — the fixture targets the box directly.
+#include "pam/snapshot.h"
+
+#include <cstddef>
+
+struct toy_map {
+  std::size_t size() const { return 0; }
+};
+
+int main() {
+  pam::snapshot_box<toy_map> box{toy_map{}};
+  const toy_map& m = box.peek();  // BAD: no writer_lock() held
+  (void)m;
+  return 0;
+}

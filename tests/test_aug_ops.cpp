@@ -24,8 +24,8 @@ using BalanceTypes = ::testing::Types<pam::weight_balanced, pam::avl_tree,
 template <typename Balance>
 class AugOps : public ::testing::Test {
  public:
-  using sum_map = pam::aug_map<pam::sum_entry<K, V>, Balance>;
-  using max_map = pam::aug_map<pam::max_entry<K, int64_t>, Balance>;
+  using sum_map_type = pam::aug_map<pam::sum_entry<K, V>, Balance>;
+  using max_map_type = pam::aug_map<pam::max_entry<K, int64_t>, Balance>;
 
   static std::vector<std::pair<K, V>> random_entries(size_t n, uint64_t seed,
                                                      uint64_t range) {
@@ -39,7 +39,7 @@ class AugOps : public ::testing::Test {
 TYPED_TEST_SUITE(AugOps, BalanceTypes);
 
 TYPED_TEST(AugOps, AugValIsTotalSum) {
-  using sum_map = typename TestFixture::sum_map;
+  using sum_map = typename TestFixture::sum_map_type;
   auto es = TestFixture::random_entries(30000, 1, 1u << 30);
   sum_map m(es);
   uint64_t expect = 0;
@@ -51,7 +51,7 @@ TYPED_TEST(AugOps, AugValIsTotalSum) {
 }
 
 TYPED_TEST(AugOps, AugValMaintainedThroughUpdates) {
-  using sum_map = typename TestFixture::sum_map;
+  using sum_map = typename TestFixture::sum_map_type;
   sum_map m;
   uint64_t expect = 0;
   pam::random_gen g(2);
@@ -74,7 +74,7 @@ TYPED_TEST(AugOps, AugValMaintainedThroughUpdates) {
 }
 
 TYPED_TEST(AugOps, AugLeftMatchesPrefixScan) {
-  using sum_map = typename TestFixture::sum_map;
+  using sum_map = typename TestFixture::sum_map_type;
   auto es = TestFixture::random_entries(20000, 3, 1u << 16);
   sum_map m(es);
   std::map<K, V> oracle;
@@ -93,7 +93,7 @@ TYPED_TEST(AugOps, AugLeftMatchesPrefixScan) {
 }
 
 TYPED_TEST(AugOps, AugRangeMatchesBruteForce) {
-  using sum_map = typename TestFixture::sum_map;
+  using sum_map = typename TestFixture::sum_map_type;
   auto es = TestFixture::random_entries(20000, 5, 1u << 16);
   sum_map m(es);
   std::map<K, V> oracle;
@@ -113,7 +113,7 @@ TYPED_TEST(AugOps, AugRangeMatchesBruteForce) {
 
 TYPED_TEST(AugOps, AugRangeEqualsAugValOfRange) {
   // The defining equivalence: aug_range(m, lo, hi) == aug_val(range(m, lo, hi)).
-  using sum_map = typename TestFixture::sum_map;
+  using sum_map = typename TestFixture::sum_map_type;
   auto es = TestFixture::random_entries(5000, 7, 1u << 14);
   sum_map m(es);
   pam::random_gen g(8);
@@ -125,7 +125,7 @@ TYPED_TEST(AugOps, AugRangeEqualsAugValOfRange) {
 }
 
 TYPED_TEST(AugOps, MaxAugmentation) {
-  using max_map = typename TestFixture::max_map;
+  using max_map = typename TestFixture::max_map_type;
   std::vector<std::pair<K, int64_t>> es;
   pam::random_gen g(9);
   for (int i = 0; i < 10000; i++)
@@ -150,7 +150,7 @@ TYPED_TEST(AugOps, MaxAugmentation) {
 TYPED_TEST(AugOps, AugFilterEquivalentToPlainFilter) {
   // With max augmentation and h(a) = (a > theta), h(a)||h(b) == h(max(a,b)),
   // so aug_filter must select exactly the entries with value > theta.
-  using max_map = typename TestFixture::max_map;
+  using max_map = typename TestFixture::max_map_type;
   std::vector<std::pair<K, int64_t>> es;
   pam::random_gen g(10);
   for (int i = 0; i < 30000; i++)
@@ -165,7 +165,7 @@ TYPED_TEST(AugOps, AugFilterEquivalentToPlainFilter) {
 }
 
 TYPED_TEST(AugOps, AugFilterOnEmptyAndAllPruned) {
-  using max_map = typename TestFixture::max_map;
+  using max_map = typename TestFixture::max_map_type;
   max_map empty;
   auto r = max_map::aug_filter(empty, [](int64_t a) { return a > 0; });
   EXPECT_TRUE(r.empty());
@@ -179,7 +179,7 @@ TYPED_TEST(AugOps, AugFilterOnEmptyAndAllPruned) {
 TYPED_TEST(AugOps, AugProjectEqualsProjectedAugRange) {
   // g2 = "is the range-sum odd", f2 = xor; f2(g2(a),g2(b)) == g2(a+b) holds
   // for parity, so aug_project must equal g2(aug_range).
-  using sum_map = typename TestFixture::sum_map;
+  using sum_map = typename TestFixture::sum_map_type;
   auto es = TestFixture::random_entries(10000, 11, 1u << 14);
   sum_map m(es);
   pam::random_gen g(12);
@@ -196,7 +196,7 @@ TYPED_TEST(AugOps, AugProjectEqualsProjectedAugRange) {
 
 TYPED_TEST(AugOps, AugProjectIdentityProjection) {
   // g2 = identity, f2 = + : aug_project degenerates to aug_range.
-  using sum_map = typename TestFixture::sum_map;
+  using sum_map = typename TestFixture::sum_map_type;
   auto es = TestFixture::random_entries(8000, 13, 1u << 13);
   sum_map m(es);
   pam::random_gen g(14);
@@ -213,7 +213,7 @@ TYPED_TEST(AugOps, AugProjectIdentityProjection) {
 // Augmentation must survive every bulk operation (union/filter/...): the
 // validator recomputes cached sums bottom-up and compares.
 TYPED_TEST(AugOps, BulkOpsPreserveAugmentation) {
-  using sum_map = typename TestFixture::sum_map;
+  using sum_map = typename TestFixture::sum_map_type;
   auto ea = TestFixture::random_entries(10000, 15, 1u << 14);
   auto eb = TestFixture::random_entries(10000, 16, 1u << 14);
   sum_map a(ea), b(eb);

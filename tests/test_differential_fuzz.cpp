@@ -99,7 +99,9 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
             auto it = oracle.find(k);
             auto got = m.find(k);
             ASSERT_EQ(got.has_value(), it != oracle.end());
-            if (got.has_value()) ASSERT_EQ(*got, it->second);
+            if (got.has_value()) {
+              ASSERT_EQ(*got, it->second);
+            }
             break;
           }
           case 9: {  // retain a version (tests persistence under churn)

@@ -16,6 +16,7 @@
 #include "server/kv_store.h"
 #include "server/sharded_map.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace {
 
@@ -79,10 +80,15 @@ TEST(Epoch, GuardPinsReclamation) {
 
 TEST(Epoch, GuardsNest) {
   pam::epoch::guard outer;
-  {
+  // Nest across a function boundary: guards are re-entrant at runtime, but
+  // to the thread-safety analysis (which is intra-procedural) a *lexically*
+  // nested guard would read as a double acquire of epoch_domain. Real
+  // nesting happens exactly like this — a guarded caller invoking a
+  // function that takes its own guard.
+  [] {
     pam::epoch::guard inner;
     EXPECT_GE(pam::epoch::active_readers(), 1u);
-  }
+  }();
   // Still protected by the outer guard.
   EXPECT_GE(pam::epoch::active_readers(), 1u);
 }
@@ -113,12 +119,21 @@ TEST(SnapshotBoxLockFree, WithCurrentReadsInPlace) {
   EXPECT_EQ(box.with_current([](const map_t& m) { return m.aug_val(); }), 110u);
 }
 
-TEST(SnapshotBoxLockFree, WriterLockPinsPayloadForPeek) {
-  pam::snapshot_box<map_t> box(map_t{{{1, 1}}});
+// The analysis cannot follow the writer lock through the std::unique_lock
+// handle writer_lock() returns (the dynamic form the multi-box fallback
+// needs), so this helper opts out — the lock genuinely is held across the
+// peeks, which is exactly the contract the annotations enforce elsewhere.
+void peek_under_writer_lock(pam::snapshot_box<map_t>& box)
+    PAM_NO_THREAD_SAFETY_ANALYSIS {
   auto lock = box.writer_lock();
   EXPECT_EQ(box.peek().size(), 1u);
   EXPECT_EQ(box.peek_version(), 0u);
   EXPECT_EQ(box.peek_size(), 1u);
+}
+
+TEST(SnapshotBoxLockFree, WriterLockPinsPayloadForPeek) {
+  pam::snapshot_box<map_t> box(map_t{{{1, 1}}});
+  peek_under_writer_lock(box);
 }
 
 // -------------------------------------------------- churn stress (TSan) --

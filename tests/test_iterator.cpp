@@ -23,14 +23,14 @@ using V = uint64_t;
 template <typename Balance>
 class IteratorTest : public ::testing::Test {
  public:
-  using map_t = pam::aug_map<pam::sum_entry<K, V>, Balance>;
-  using entry_t = typename map_t::entry_t;
+  using map_type = pam::aug_map<pam::sum_entry<K, V>, Balance>;
+  using entry_type = typename map_type::entry_t;
 
-  static map_t random_map(size_t n, uint64_t seed, uint64_t key_range) {
+  static map_type random_map(size_t n, uint64_t seed, uint64_t key_range) {
     pam::random_gen g(seed);
-    std::vector<entry_t> es(n);
+    std::vector<entry_type> es(n);
     for (auto& e : es) e = {g.next() % key_range, g.next() % 1000};
-    return map_t(std::move(es));
+    return map_type(std::move(es));
   }
 };
 
@@ -39,7 +39,7 @@ using BalanceTypes = ::testing::Types<pam::weight_balanced, pam::avl_tree,
 TYPED_TEST_SUITE(IteratorTest, BalanceTypes);
 
 TYPED_TEST(IteratorTest, EmptyMap) {
-  typename TestFixture::map_t m;
+  typename TestFixture::map_type m;
   EXPECT_TRUE(m.begin() == m.end());
   EXPECT_EQ(std::distance(m.begin(), m.end()), 0);
   EXPECT_EQ(m.view_all().size(), 0u);
@@ -112,7 +112,7 @@ TYPED_TEST(IteratorTest, ViewContentsMatchEntries) {
     K a = g.next() % 2200, b = g.next() % 2200;
     K lo = std::min(a, b), hi = std::max(a, b);
     // Oracle: the entries() slice in [lo, hi].
-    std::vector<typename TestFixture::entry_t> expect;
+    std::vector<typename TestFixture::entry_type> expect;
     for (auto& e : es)
       if (e.first >= lo && e.first <= hi) expect.push_back(e);
 
@@ -130,7 +130,7 @@ TYPED_TEST(IteratorTest, ViewContentsMatchEntries) {
     }
     EXPECT_EQ(i, expect.size());
     // for_each and to_entries agree with iteration.
-    std::vector<typename TestFixture::entry_t> collected;
+    std::vector<typename TestFixture::entry_type> collected;
     view.for_each([&](K k, V v) { collected.emplace_back(k, v); });
     EXPECT_EQ(collected, expect);
     EXPECT_EQ(view.to_entries(), expect);
@@ -158,7 +158,7 @@ TYPED_TEST(IteratorTest, ViewLastMatchesEntries) {
     K a = g.next() % 2200, b = g.next() % 2200;
     K lo = std::min(a, b), hi = std::max(a, b);
     // Oracle: the greatest entry in [lo, hi] per the materialized entries.
-    std::optional<typename TestFixture::entry_t> expect;
+    std::optional<typename TestFixture::entry_type> expect;
     for (auto& e : es)
       if (e.first >= lo && e.first <= hi) expect = e;
 
@@ -179,10 +179,10 @@ TYPED_TEST(IteratorTest, ViewLastMatchesEntries) {
   EXPECT_FALSE(m.view(2001, 3000).last().has_value());
   EXPECT_FALSE(m.view(800, 100).last().has_value());
   // Empty map.
-  typename TestFixture::map_t empty;
+  typename TestFixture::map_type empty;
   EXPECT_FALSE(empty.view_all().last().has_value());
   // Singleton, with bounds exactly on the key.
-  auto one = TestFixture::map_t::singleton(7, 70);
+  auto one = TestFixture::map_type::singleton(7, 70);
   EXPECT_EQ(one.view(7, 7).last()->second, 70u);
   EXPECT_FALSE(one.view(8, 9).last().has_value());
   EXPECT_FALSE(one.view(1, 6).last().has_value());
@@ -234,7 +234,7 @@ TYPED_TEST(IteratorTest, IterationUnderPersistence) {
   auto snapshot = m;  // O(1) copy
   auto expect = snapshot.entries();
 
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   pam::random_gen g(77);
   auto it = snapshot.begin();  // iterator live across updates to the copy
   size_t i = 0;
@@ -260,7 +260,7 @@ TYPED_TEST(IteratorTest, IterationUnderPersistence) {
 TYPED_TEST(IteratorTest, ViewIsASnapshot) {
   // A view holds its own reference: reassigning the source map does not
   // disturb it.
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto m = TestFixture::random_map(1000, 13, 800);
   V total = m.aug_val();
   size_t n = m.size();
@@ -277,8 +277,8 @@ TYPED_TEST(IteratorTest, CursorTraversal) {
   // An explicit in-order cursor walk reproduces entries(); cursor aug()
   // matches the map-level augmentation.
   auto m = TestFixture::random_map(2000, 3, 1500);
-  using cursor = typename TestFixture::map_t::cursor;
-  std::vector<typename TestFixture::entry_t> walked;
+  using cursor = typename TestFixture::map_type::cursor;
+  std::vector<typename TestFixture::entry_type> walked;
   auto walk = [&](auto&& self, cursor t) -> void {
     if (t.empty()) return;
     self(self, t.left());
@@ -350,7 +350,9 @@ TYPED_TEST(IteratorTest, LockstepWalkAcrossBlockSizes) {
       EXPECT_EQ(view.aug_val(), sum);
       auto last = view.last();
       EXPECT_EQ(last.has_value(), count > 0);
-      if (count > 0) EXPECT_EQ(last->first, std::prev(oit)->first);
+      if (count > 0) {
+        EXPECT_EQ(last->first, std::prev(oit)->first);
+      }
     }
   }
   pam::set_leaf_block_size(saved_b);
@@ -360,7 +362,7 @@ TYPED_TEST(IteratorTest, PersistenceUnderBlockRepack) {
   // Iterate a snapshot while the live map churns through block re-packs
   // (multi_insert/multi_delete rebuild whole leaf blocks): the snapshot's
   // blocks are shared, not mutated, so the walk must see the old contents.
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   size_t saved_b = pam::leaf_block_size();
   for (size_t b : {size_t{2}, size_t{32}}) {
     pam::set_leaf_block_size(b);
@@ -371,7 +373,7 @@ TYPED_TEST(IteratorTest, PersistenceUnderBlockRepack) {
     auto it = snapshot.begin();
     size_t i = 0;
     for (int round = 0; round < 50; round++) {
-      std::vector<typename TestFixture::entry_t> batch(40);
+      std::vector<typename TestFixture::entry_type> batch(40);
       for (auto& e : batch) e = {g.next() % 5000, g.next() % 1000};
       m = map_t::multi_insert(std::move(m), std::move(batch));
       std::vector<K> dels(20);

@@ -166,7 +166,9 @@ TEST(LeafBlocks, OrderStatisticsAcrossBlockBoundaries) {
       auto next = m.next(k);
       ASSERT_TRUE(prev.has_value());
       EXPECT_EQ(prev->first, (k - 1) / 3 * 3);
-      if (next.has_value()) EXPECT_EQ(next->first, k / 3 * 3 + 3);
+      if (next.has_value()) {
+        EXPECT_EQ(next->first, k / 3 * 3 + 3);
+      }
     }
     EXPECT_FALSE(m.previous(0).has_value());
     EXPECT_FALSE(m.next(3 * (n - 1)).has_value());

@@ -31,24 +31,24 @@ using BalanceTypes = ::testing::Types<pam::weight_balanced, pam::avl_tree,
 template <typename Balance>
 class MapCore : public ::testing::Test {
  public:
-  using map_t = typename schemes<Balance>::map_t;
-  using entry_t = typename map_t::entry_t;
+  using map_type = typename schemes<Balance>::map_t;
+  using entry_type = typename map_type::entry_t;
 
-  static std::vector<entry_t> random_entries(size_t n, uint64_t seed,
+  static std::vector<entry_type> random_entries(size_t n, uint64_t seed,
                                              uint64_t key_range) {
-    std::vector<entry_t> es(n);
+    std::vector<entry_type> es(n);
     pam::random_gen g(seed);
     for (auto& e : es) e = {g.next() % key_range, g.next() % 1000};
     return es;
   }
 
-  static std::map<K, V> oracle_of(const std::vector<entry_t>& es) {
+  static std::map<K, V> oracle_of(const std::vector<entry_type>& es) {
     std::map<K, V> m;
     for (auto& e : es) m[e.first] = e.second;  // last write wins
     return m;
   }
 
-  static void expect_equal(const map_t& m, const std::map<K, V>& oracle) {
+  static void expect_equal(const map_type& m, const std::map<K, V>& oracle) {
     ASSERT_EQ(m.size(), oracle.size());
     auto es = m.entries();
     size_t i = 0;
@@ -65,7 +65,7 @@ TYPED_TEST_SUITE(MapCore, BalanceTypes);
 // ------------------------------------------------------------- building --
 
 TYPED_TEST(MapCore, EmptyMap) {
-  typename TestFixture::map_t m;
+  typename TestFixture::map_type m;
   EXPECT_TRUE(m.empty());
   EXPECT_EQ(m.size(), 0u);
   EXPECT_FALSE(m.find(42).has_value());
@@ -75,7 +75,7 @@ TYPED_TEST(MapCore, EmptyMap) {
 }
 
 TYPED_TEST(MapCore, SingletonAndSmall) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto m = map_t::singleton(5, 50);
   EXPECT_EQ(m.size(), 1u);
   EXPECT_EQ(m.find(5).value(), 50u);
@@ -87,7 +87,7 @@ TYPED_TEST(MapCore, SingletonAndSmall) {
 }
 
 TYPED_TEST(MapCore, BuildMatchesOracleAcrossSizes) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   for (size_t n : {0, 1, 2, 3, 10, 100, 1000, 50000}) {
     auto es = TestFixture::random_entries(n, n * 31 + 1, n == 0 ? 1 : 4 * n);
     map_t m(es);
@@ -97,7 +97,7 @@ TYPED_TEST(MapCore, BuildMatchesOracleAcrossSizes) {
 }
 
 TYPED_TEST(MapCore, BuildWithManyDuplicatesCombines) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   // keys all in [0, 16): heavy duplication; combine = sum.
   auto es = TestFixture::random_entries(10000, 7, 16);
   map_t m(es, [](V a, V b) { return a + b; });
@@ -108,7 +108,7 @@ TYPED_TEST(MapCore, BuildWithManyDuplicatesCombines) {
 }
 
 TYPED_TEST(MapCore, BuildAllSameKey) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   std::vector<typename map_t::entry_t> es(5000, {7, 1});
   map_t m(es, [](V a, V b) { return a + b; });
   EXPECT_EQ(m.size(), 1u);
@@ -118,7 +118,7 @@ TYPED_TEST(MapCore, BuildAllSameKey) {
 // --------------------------------------------------------------- insert --
 
 TYPED_TEST(MapCore, InsertSequentialKeysStaysBalancedAndCorrect) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t m;
   std::map<K, V> oracle;
   for (K k = 0; k < 4096; k++) {
@@ -130,7 +130,7 @@ TYPED_TEST(MapCore, InsertSequentialKeysStaysBalancedAndCorrect) {
 }
 
 TYPED_TEST(MapCore, InsertReverseAndRandomOrders) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t m;
   std::map<K, V> oracle;
   for (K k = 3000; k-- > 0;) {
@@ -147,7 +147,7 @@ TYPED_TEST(MapCore, InsertReverseAndRandomOrders) {
 }
 
 TYPED_TEST(MapCore, InsertWithCombineOnExistingKey) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t m = {{1, 10}};
   m = map_t::insert(std::move(m), 1, 5,
                     [](V oldv, V newv) { return oldv + newv; });
@@ -160,7 +160,7 @@ TYPED_TEST(MapCore, InsertWithCombineOnExistingKey) {
 // --------------------------------------------------------------- remove --
 
 TYPED_TEST(MapCore, RemoveRandomizedAgainstOracle) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(8000, 3, 4000);  // with duplicates
   map_t m(es);
   auto oracle = TestFixture::oracle_of(es);
@@ -175,7 +175,7 @@ TYPED_TEST(MapCore, RemoveRandomizedAgainstOracle) {
 }
 
 TYPED_TEST(MapCore, RemoveMissingKeyIsNoop) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t m = {{1, 1}, {3, 3}};
   m = map_t::remove(std::move(m), 2);
   EXPECT_EQ(m.size(), 2u);
@@ -189,7 +189,7 @@ TYPED_TEST(MapCore, RemoveMissingKeyIsNoop) {
 // ------------------------------------------------------ search / order --
 
 TYPED_TEST(MapCore, FindEveryKeyAndMisses) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(20000, 13, 1u << 30);
   map_t m(es);
   auto oracle = TestFixture::oracle_of(es);
@@ -206,7 +206,7 @@ TYPED_TEST(MapCore, FindEveryKeyAndMisses) {
 }
 
 TYPED_TEST(MapCore, FirstLastPreviousNext) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t m = {{10, 1}, {20, 2}, {30, 3}, {40, 4}};
   EXPECT_EQ(m.first()->first, 10u);
   EXPECT_EQ(m.last()->first, 40u);
@@ -219,7 +219,7 @@ TYPED_TEST(MapCore, FirstLastPreviousNext) {
 }
 
 TYPED_TEST(MapCore, RankSelectRoundTrip) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(5000, 23, 1u << 20);
   map_t m(es);
   auto sorted = m.entries();
@@ -237,7 +237,7 @@ TYPED_TEST(MapCore, RankSelectRoundTrip) {
 // ----------------------------------------------------------- set algebra --
 
 TYPED_TEST(MapCore, UnionDisjointAndOverlapping) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto ea = TestFixture::random_entries(6000, 1, 10000);
   auto eb = TestFixture::random_entries(6000, 2, 10000);
   map_t a(ea), b(eb);
@@ -261,7 +261,7 @@ TYPED_TEST(MapCore, UnionDisjointAndOverlapping) {
 }
 
 TYPED_TEST(MapCore, UnionDefaultSecondWins) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t a = {{1, 10}, {2, 20}};
   map_t b = {{2, 99}, {3, 30}};
   auto u = map_t::map_union(a, b);
@@ -270,7 +270,7 @@ TYPED_TEST(MapCore, UnionDefaultSecondWins) {
 }
 
 TYPED_TEST(MapCore, UnionWithEmptyEitherSide) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t a = {{1, 1}, {2, 2}};
   map_t empty;
   auto u1 = map_t::map_union(a, empty);
@@ -280,7 +280,7 @@ TYPED_TEST(MapCore, UnionWithEmptyEitherSide) {
 }
 
 TYPED_TEST(MapCore, UnionAsymmetricSizes) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   // n >> m: the regime where the O(m log(n/m+1)) bound matters.
   auto ea = TestFixture::random_entries(100000, 5, 1u << 28);
   auto eb = TestFixture::random_entries(100, 6, 1u << 28);
@@ -293,7 +293,7 @@ TYPED_TEST(MapCore, UnionAsymmetricSizes) {
 }
 
 TYPED_TEST(MapCore, IntersectAgainstOracle) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto ea = TestFixture::random_entries(5000, 8, 3000);
   auto eb = TestFixture::random_entries(5000, 9, 3000);
   map_t a(ea), b(eb);
@@ -309,7 +309,7 @@ TYPED_TEST(MapCore, IntersectAgainstOracle) {
 }
 
 TYPED_TEST(MapCore, IntersectDisjointIsEmpty) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t a = {{1, 1}, {2, 2}};
   map_t b = {{3, 3}, {4, 4}};
   auto i = map_t::map_intersect(a, b, [](V x, V) { return x; });
@@ -317,7 +317,7 @@ TYPED_TEST(MapCore, IntersectDisjointIsEmpty) {
 }
 
 TYPED_TEST(MapCore, DifferenceAgainstOracle) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto ea = TestFixture::random_entries(5000, 10, 3000);
   auto eb = TestFixture::random_entries(2500, 11, 3000);
   map_t a(ea), b(eb);
@@ -332,7 +332,7 @@ TYPED_TEST(MapCore, DifferenceAgainstOracle) {
 }
 
 TYPED_TEST(MapCore, SetAlgebraIdentities) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   // difference(a, a) = empty; intersect(a, a) = a; union(a, a) = a.
   auto es = TestFixture::random_entries(3000, 12, 2000);
   map_t a(es);
@@ -346,7 +346,7 @@ TYPED_TEST(MapCore, SetAlgebraIdentities) {
 // ----------------------------------------------------- split / concat ---
 
 TYPED_TEST(MapCore, SplitAtPresentAndAbsentKeys) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(10000, 14, 1u << 20);
   map_t m(es);
   auto oracle = TestFixture::oracle_of(es);
@@ -375,7 +375,7 @@ TYPED_TEST(MapCore, SplitAtPresentAndAbsentKeys) {
 // --------------------------------------------------------------- filter --
 
 TYPED_TEST(MapCore, FilterAgainstOracle) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(20000, 15, 1u << 20);
   map_t m(es);
   auto oracle = TestFixture::oracle_of(es);
@@ -389,7 +389,7 @@ TYPED_TEST(MapCore, FilterAgainstOracle) {
 }
 
 TYPED_TEST(MapCore, FilterAllAndNone) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(2000, 16, 10000);
   map_t m(es);
   auto all = map_t::filter(m, [](K, V) { return true; });
@@ -401,7 +401,7 @@ TYPED_TEST(MapCore, FilterAllAndNone) {
 // ------------------------------------------------- multi-insert/delete --
 
 TYPED_TEST(MapCore, MultiInsertAgainstOracle) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto base = TestFixture::random_entries(20000, 18, 1u << 16);
   auto ups = TestFixture::random_entries(7000, 19, 1u << 16);
   map_t m(base);
@@ -419,7 +419,7 @@ TYPED_TEST(MapCore, MultiInsertAgainstOracle) {
 }
 
 TYPED_TEST(MapCore, MultiInsertIntoEmptyEqualsBuild) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(5000, 20, 4000);
   map_t from_build(es, [](V a, V b) { return a + b; });
   map_t from_mi = map_t::multi_insert(map_t(), es, [](V a, V b) { return a + b; });
@@ -428,7 +428,7 @@ TYPED_TEST(MapCore, MultiInsertIntoEmptyEqualsBuild) {
 }
 
 TYPED_TEST(MapCore, MultiDeleteAgainstOracle) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto base = TestFixture::random_entries(20000, 21, 1u << 16);
   map_t m(base);
   auto oracle = TestFixture::oracle_of(base);
@@ -444,7 +444,7 @@ TYPED_TEST(MapCore, MultiDeleteAgainstOracle) {
 // ----------------------------------------------------- ranges / mapRed --
 
 TYPED_TEST(MapCore, UpToDownToRange) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(10000, 22, 1u << 20);
   map_t m(es);
   auto oracle = TestFixture::oracle_of(es);
@@ -468,7 +468,7 @@ TYPED_TEST(MapCore, UpToDownToRange) {
 }
 
 TYPED_TEST(MapCore, RangeBoundariesInclusive) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t m = {{10, 1}, {20, 2}, {30, 3}};
   auto r = map_t::range(m, 10, 30);
   EXPECT_EQ(r.size(), 3u);
@@ -481,7 +481,7 @@ TYPED_TEST(MapCore, RangeBoundariesInclusive) {
 }
 
 TYPED_TEST(MapCore, MapReduceSumAndCount) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(30000, 24, 1u << 28);
   map_t m(es);
   auto oracle = TestFixture::oracle_of(es);
@@ -497,7 +497,7 @@ TYPED_TEST(MapCore, MapReduceSumAndCount) {
 }
 
 TYPED_TEST(MapCore, EntriesAndForEachAgree) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(10000, 25, 1u << 20);
   map_t m(es);
   auto from_entries = m.entries();
@@ -513,7 +513,7 @@ TYPED_TEST(MapCore, EntriesAndForEachAgree) {
 // Randomized operation mixes with the validator run after every phase;
 // parameterized over seeds to get diverse shapes.
 TYPED_TEST(MapCore, RandomOpMixKeepsInvariants) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   for (uint64_t seed : {1ull, 42ull, 12345ull}) {
     pam::random_gen g(seed);
     map_t m;
@@ -552,7 +552,7 @@ TYPED_TEST(MapCore, RandomOpMixKeepsInvariants) {
 namespace {
 
 TYPED_TEST(MapCore, MapValuesTransformsInPlaceShape) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(20000, 77, 1u << 20);
   map_t m(es);
   auto oracle = TestFixture::oracle_of(es);
@@ -568,7 +568,7 @@ TYPED_TEST(MapCore, MapValuesTransformsInPlaceShape) {
 }
 
 TYPED_TEST(MapCore, MapValuesOnEmptyAndSingleton) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   map_t empty;
   EXPECT_TRUE(map_t::map_values(empty, [](K, V v) { return v; }).empty());
   auto s = map_t::singleton(3, 30);
@@ -582,7 +582,7 @@ TYPED_TEST(MapCore, MapValuesOnEmptyAndSingleton) {
 namespace {
 
 TYPED_TEST(MapCore, MultiFindBatchLookup) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto es = TestFixture::random_entries(30000, 91, 1u << 18);
   map_t m(es);
   auto oracle = TestFixture::oracle_of(es);
@@ -594,12 +594,14 @@ TYPED_TEST(MapCore, MultiFindBatchLookup) {
   for (size_t i = 0; i < queries.size(); i++) {
     auto it = oracle.find(queries[i]);
     ASSERT_EQ(got[i].has_value(), it != oracle.end()) << i;
-    if (got[i].has_value()) ASSERT_EQ(*got[i], it->second);
+    if (got[i].has_value()) {
+      ASSERT_EQ(*got[i], it->second);
+    }
   }
 }
 
 TYPED_TEST(MapCore, GranularityKnobDoesNotChangeResults) {
-  using map_t = typename TestFixture::map_t;
+  using map_t = typename TestFixture::map_type;
   auto ea = TestFixture::random_entries(40000, 93, 1u << 18);
   auto eb = TestFixture::random_entries(40000, 94, 1u << 18);
   size_t saved = pam::par_cutoff();

@@ -158,7 +158,9 @@ TEST(Sort, StableOnEqualKeys) {
                      [](const auto& a, const auto& b) { return a.first < b.first; });
   for (size_t i = 1; i < n; i++) {
     ASSERT_LE(v[i - 1].first, v[i].first);
-    if (v[i - 1].first == v[i].first) ASSERT_LT(v[i - 1].second, v[i].second);
+    if (v[i - 1].first == v[i].first) {
+      ASSERT_LT(v[i - 1].second, v[i].second);
+    }
   }
 }
 

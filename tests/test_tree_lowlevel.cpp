@@ -22,17 +22,17 @@ using BalanceTypes = ::testing::Types<pam::weight_balanced, pam::avl_tree,
 template <typename Balance>
 class TreeLowLevel : public ::testing::Test {
  public:
-  using ops = pam::aug_ops<entry, Balance>;
-  using node = typename ops::node;
+  using ops_type = pam::aug_ops<entry, Balance>;
+  using node_type = typename ops_type::node;
 
-  static node* build_n(size_t n, uint64_t seed) {
+  static node_type* build_n(size_t n, uint64_t seed) {
     std::vector<std::pair<uint64_t, uint64_t>> es(n);
     pam::random_gen g(seed);
     for (size_t i = 0; i < n; i++) es[i] = {g.next(), g.next() % 100};
-    return ops::build(std::move(es), [](uint64_t, uint64_t b) { return b; });
+    return ops_type::build(std::move(es), [](uint64_t, uint64_t b) { return b; });
   }
 
-  static size_t height(const node* t) {
+  static size_t height(const node_type* t) {
     if (t == nullptr) return 0;
     return 1 + std::max(height(t->left), height(t->right));
   }
@@ -41,7 +41,7 @@ class TreeLowLevel : public ::testing::Test {
 TYPED_TEST_SUITE(TreeLowLevel, BalanceTypes);
 
 TYPED_TEST(TreeLowLevel, JoinOfManuallyBuiltSides) {
-  using ops = typename TestFixture::ops;
+  using ops = typename TestFixture::ops_type;
   // join(l, m, r) with wildly unbalanced side sizes must rebalance.
   for (auto [nl, nr] : {std::pair<size_t, size_t>{1000, 1}, {1, 1000}, {500, 500},
                         {0, 100}, {100, 0}, {0, 0}}) {
@@ -61,9 +61,9 @@ TYPED_TEST(TreeLowLevel, JoinOfManuallyBuiltSides) {
 }
 
 TYPED_TEST(TreeLowLevel, RepeatedJoin2Concatenation) {
-  using ops = typename TestFixture::ops;
+  using ops = typename TestFixture::ops_type;
   // concatenate many runs with join2; result stays valid and ordered.
-  typename TestFixture::ops::node* acc = nullptr;
+  typename TestFixture::ops_type::node* acc = nullptr;
   for (int run = 0; run < 50; run++) {
     std::vector<std::pair<uint64_t, uint64_t>> es;
     for (int i = 0; i < 40; i++)
@@ -76,7 +76,7 @@ TYPED_TEST(TreeLowLevel, RepeatedJoin2Concatenation) {
 }
 
 TYPED_TEST(TreeLowLevel, SplitConsumesAndPreservesEntries) {
-  using ops = typename TestFixture::ops;
+  using ops = typename TestFixture::ops_type;
   int64_t base = ops::used_nodes();
   auto* t = TestFixture::build_n(5000, 3);
   uint64_t pivot = t->key;
@@ -94,8 +94,8 @@ TYPED_TEST(TreeLowLevel, SplitConsumesAndPreservesEntries) {
 TYPED_TEST(TreeLowLevel, HeightStaysLogarithmic) {
   // Build by sequential insertion (worst case for naive BSTs); every scheme
   // must keep height within its theoretical factor of log2(n).
-  using ops = typename TestFixture::ops;
-  typename TestFixture::ops::node* t = nullptr;
+  using ops = typename TestFixture::ops_type;
+  typename TestFixture::ops_type::node* t = nullptr;
   const size_t n = 1 << 14;
   for (size_t i = 0; i < n; i++) {
     t = ops::insert(t, i, i, [](uint64_t, uint64_t b) { return b; });
@@ -110,7 +110,7 @@ TYPED_TEST(TreeLowLevel, HeightStaysLogarithmic) {
 }
 
 TYPED_TEST(TreeLowLevel, SharedSubtreeRefcounts) {
-  using ops = typename TestFixture::ops;
+  using ops = typename TestFixture::ops_type;
   auto* t = TestFixture::build_n(1000, 4);
   // Taking a logical copy bumps the root count only.
   auto* c = ops::inc(t);
@@ -126,7 +126,7 @@ TYPED_TEST(TreeLowLevel, SharedSubtreeRefcounts) {
 }
 
 TYPED_TEST(TreeLowLevel, AugMaintainedThroughRawJoins) {
-  using ops = typename TestFixture::ops;
+  using ops = typename TestFixture::ops_type;
   // Alternate splits and joins; cached sums must stay exact throughout
   // (check_valid recomputes them bottom-up).
   auto* t = TestFixture::build_n(4096, 5);
@@ -142,7 +142,7 @@ TYPED_TEST(TreeLowLevel, AugMaintainedThroughRawJoins) {
 }
 
 TYPED_TEST(TreeLowLevel, TakeLeqGeqShareNodes) {
-  using ops = typename TestFixture::ops;
+  using ops = typename TestFixture::ops_type;
   auto* t = TestFixture::build_n(100000, 7);
   int64_t before = ops::used_nodes();
   auto* lo = ops::take_leq(t, t->key);

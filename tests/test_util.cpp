@@ -104,7 +104,7 @@ TEST(Zipf, FrequenciesMatchTheDistribution) {
   for (size_t r : {size_t{0}, size_t{1}, size_t{2}, size_t{5}, size_t{10},
                    size_t{50}, size_t{100}}) {
     double expected = samples * (1.0 / std::pow(double(r + 1), s)) / harmonic;
-    EXPECT_NEAR(freq[r], expected, 0.15 * expected + 50)
+    EXPECT_NEAR(double(freq[r]), expected, 0.15 * expected + 50)
         << "rank " << r;
   }
   // The whole distribution sums to the sample count (no out-of-range hits).

@@ -150,7 +150,9 @@ TEST(VersionStore, DiffMatchesOracleAcrossShards) {
     K last_key = 0;
     bool first = true;
     for (const auto& c : *changes) {
-      if (!first) EXPECT_LT(last_key, c.key);  // globally key-ordered
+      if (!first) {
+        EXPECT_LT(last_key, c.key);  // globally key-ordered
+      }
       last_key = c.key;
       first = false;
       apply_change(replay, c);

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Driver for the concurrency-contract compile-fail tests.
+
+The contract in src/util/thread_annotations.h is only as strong as its
+negative space: code that breaks the locking protocol must FAIL to compile
+under clang -Werror=thread-safety. Each fixture in tests/compile_fail/ is
+one forbidden pattern; this driver compiles it with -fsyntax-only and
+checks the outcome:
+
+  --expect-fail  the fixture must be rejected, and the diagnostics must
+                 match every `// expect-error: <regex>` line it declares
+                 (so it fails for the contracted reason, not a typo);
+  --expect-pass  the fixture must compile — the control proving the
+                 protocol used correctly is accepted.
+
+Thread-safety analysis is clang-only (the annotations compile away on GCC),
+so --expect-fail prints SKIPPED on other compilers; --expect-pass still
+compiles there to keep the control fixture honest on every toolchain.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+EXPECT_ERROR_RE = re.compile(r"//\s*expect-error:\s*(.+?)\s*$")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--compiler", required=True)
+    ap.add_argument("--compiler-id", required=True,
+                    help="CMAKE_CXX_COMPILER_ID (Clang, AppleClang, GNU, ...)")
+    ap.add_argument("--include", action="append", default=[],
+                    help="include directory (repeatable)")
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--expect-fail", metavar="FIXTURE")
+    mode.add_argument("--expect-pass", metavar="FIXTURE")
+    args = ap.parse_args()
+
+    is_clang = "Clang" in args.compiler_id
+    fixture = args.expect_fail or args.expect_pass
+
+    if args.expect_fail and not is_clang:
+        print(f"SKIPPED: {fixture} needs clang thread-safety analysis "
+              f"(compiler is {args.compiler_id})")
+        return 0
+
+    cmd = [args.compiler, "-std=c++20", "-fsyntax-only"]
+    for inc in args.include:
+        cmd += ["-I", inc]
+    if is_clang:
+        cmd += ["-Wthread-safety", "-Werror=thread-safety"]
+    cmd.append(fixture)
+
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    diagnostics = proc.stderr + proc.stdout
+
+    if args.expect_pass:
+        if proc.returncode != 0:
+            print(f"FAIL: control fixture {fixture} did not compile:")
+            print(diagnostics)
+            return 1
+        print(f"PASS: {fixture} compiles (correct protocol accepted)")
+        return 0
+
+    if proc.returncode == 0:
+        print(f"FAIL: {fixture} compiled, but the pattern it contains is "
+              "forbidden by the concurrency contract")
+        return 1
+
+    with open(fixture, encoding="utf-8") as f:
+        expected = [m.group(1) for line in f
+                    if (m := EXPECT_ERROR_RE.search(line))]
+    if not expected:
+        print(f"FAIL: {fixture} declares no // expect-error: lines")
+        return 1
+    missing = [pat for pat in expected if not re.search(pat, diagnostics)]
+    if missing:
+        print(f"FAIL: {fixture} was rejected, but not for the contracted "
+              f"reason; diagnostics did not match: {missing}")
+        print(diagnostics)
+        return 1
+    print(f"PASS: {fixture} rejected with the contracted diagnostics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+// pam-lint-fixture-path: bench/bench_example.cpp
+// pam-lint-fixture-expect: bench-json
+#include <cstdio>
+
+int main() {
+  std::printf("result: 42\n");  // human-readable only: flagged
+  return 0;
+}

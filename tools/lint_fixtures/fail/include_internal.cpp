@@ -1,0 +1,5 @@
+// pam-lint-fixture-path: tests/test_example.cpp
+// pam-lint-fixture-expect: include-discipline
+#include "pam/node.h"  // tree-kernel internal: flagged
+
+int main() { return 0; }

@@ -1,0 +1,11 @@
+// pam-lint-fixture-path: src/pam/example.h
+// pam-lint-fixture-expect: naked-delete
+#pragma once
+
+struct widget {
+  int x;
+};
+
+inline void unsafe_free(widget* w) {
+  delete w;  // bypasses epoch::retire: must be flagged
+}

@@ -1,0 +1,11 @@
+// pam-lint-fixture-path: src/pam/example.h
+// pam-lint-fixture-expect: naked-new
+#pragma once
+
+struct widget {
+  int x;
+};
+
+inline widget* leak_prone() {
+  return new widget{1};  // bypasses the pool layer: must be flagged
+}

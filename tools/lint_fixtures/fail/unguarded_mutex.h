@@ -1,0 +1,14 @@
+// pam-lint-fixture-path: src/server/example.h
+// pam-lint-fixture-expect: unguarded-mutex
+#pragma once
+
+#include "util/thread_annotations.h"
+
+namespace pam {
+
+class leaky {
+  mutable mutex mu_;  // nothing references it in any annotation: flagged
+  int count_ = 0;
+};
+
+}  // namespace pam

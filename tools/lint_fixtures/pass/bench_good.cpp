@@ -1,0 +1,10 @@
+// pam-lint-fixture-path: bench/bench_example.cpp
+// A bench binary that reports through the machine-readable path.
+#include "common/bench_util.h"
+
+int main() {
+  pam::bench::print_header("bench_example", "fixture");
+  double t = pam::bench::timed([] {});
+  pam::bench::row("noop", 1, 1, t, 0.0);
+  return 0;
+}

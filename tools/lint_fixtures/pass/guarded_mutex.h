@@ -1,0 +1,30 @@
+// pam-lint-fixture-path: src/server/example.h
+// Every mutex member is visible to the thread-safety analysis: one through
+// a PAM_GUARDED_BY companion, one through a PAM_REQUIRES method contract,
+// one waived with a rationale.
+#pragma once
+
+#include "util/thread_annotations.h"
+
+namespace pam {
+
+class guarded {
+ public:
+  void bump() {
+    mutex_guard lock(mu_);
+    count_++;
+  }
+
+  int read_locked() const PAM_REQUIRES(order_mu_) { return count_; }
+
+ private:
+  mutable mutex mu_;
+  int count_ PAM_GUARDED_BY(mu_) = 0;
+  mutable mutex order_mu_;
+
+  // pam-lint: allow(unguarded-mutex) — per-slot latch held positionally by
+  // the traversal, like the B+tree's crab latching.
+  mutable shared_mutex slot_mu_;
+};
+
+}  // namespace pam

@@ -1,0 +1,9 @@
+// pam-lint-fixture-path: tests/test_example.cpp
+// Outside src/, the tree kernel is reached through the pam.h facade; the
+// subsystem headers (server/, util/, alloc/, ...) are public surface.
+#include "pam/pam.h"
+#include "server/kv_store.h"
+#include "util/random.h"
+#include "alloc/type_allocator.h"
+
+int main() { return 0; }

@@ -1,0 +1,27 @@
+// pam-lint-fixture-path: src/pam/example.h
+// A src/ file that allocates the approved ways: placement new into pool
+// storage, plus explicitly waived sites with rationales.
+#pragma once
+
+struct widget {
+  int x;
+};
+
+inline widget* construct_in(void* slot) {
+  return new (slot) widget{1};  // placement new: constructs, never allocates
+}
+
+inline widget* immortal() {
+  // pam-lint: allow(naked-new) — process-lifetime singleton, never freed.
+  static widget* w = new widget{2};
+  return w;
+}
+
+inline void reclaim(widget* w) {
+  // pam-lint: allow(naked-delete) — runs inside the epoch drain callback.
+  delete w;
+}
+
+struct has_deleted_copy {
+  has_deleted_copy(const has_deleted_copy&) = delete;  // not a free
+};

@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""pam_lint: repo-specific invariants the compiler cannot check.
+
+Rules (each can be waived per-site with a comment on the offending line or
+on the comment line(s) immediately above it: `pam-lint: allow(<rule>)`):
+
+  naked-new           `new` expressions in src/** outside the pool layer
+                      (src/alloc/**). Tree nodes, leaf blocks and payloads
+                      must come from the pools so epoch reclamation and the
+                      space accounting (Table 4) see every allocation.
+  naked-delete        `delete` in src/** outside src/alloc/**: frees must go
+                      through epoch::retire or a pool, never directly.
+  unguarded-mutex     a mutex member in src/** must be referenced by at
+                      least one thread-safety annotation in the same file
+                      (PAM_GUARDED_BY companion, PAM_REQUIRES(mu) method,
+                      ...): an unannotated mutex protects nothing the
+                      analysis can see.
+  bench-json          every bench/bench_*.cpp must report through the
+                      machine-readable path (bench_json / row / row_seq) so
+                      PAM_BENCH_JSON sweeps never silently lose a binary.
+  include-discipline  outside src/, the tree kernel is reached through the
+                      pam/pam.h facade only; including pam/ internals
+                      (node.h, tree_ops.h, ...) directly bypasses the public
+                      surface. Subsystem headers (server/, util/, alloc/,
+                      parallel/, apps/, baselines/) are public.
+
+Usage:
+  pam_lint.py --root <repo-root>    lint the repository (exit 1 on findings)
+  pam_lint.py --self-test           run against tools/lint_fixtures
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = (
+    "naked-new",
+    "naked-delete",
+    "unguarded-mutex",
+    "bench-json",
+    "include-discipline",
+)
+
+WAIVER_RE = re.compile(r"pam-lint:\s*allow\(([a-z-]+)\)")
+
+# ---------------------------------------------------------------- scanning --
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Keeps every newline so match offsets still map to source lines. Good
+    enough for lint purposes: raw strings are treated as plain strings
+    (none in this tree contain code-like tokens).
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            chunk = text[i:j]
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 2) + (quote if j <= n else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def waived(lines, lineno, rule):
+    """True if `pam-lint: allow(rule)` covers 1-based line `lineno`.
+
+    A waiver counts on the line itself or on the contiguous run of
+    comment-only lines immediately above it.
+    """
+
+    def has_waiver(line):
+        m = WAIVER_RE.search(line)
+        return m is not None and m.group(1) == rule
+
+    if has_waiver(lines[lineno - 1]):
+        return True
+    i = lineno - 2
+    while i >= 0 and lines[i].lstrip().startswith("//"):
+        if has_waiver(lines[i]):
+            return True
+        i -= 1
+    return False
+
+
+class Finding:
+    def __init__(self, path, lineno, rule, message):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+# Placement new (`new (&slot) T(...)`) constructs into pool storage and is
+# the blessed idiom, so `new (` is exempt. (std::nothrow would slip through
+# this test, but the tree never uses it.)
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
+DELETE_RE = re.compile(r"\bdelete\b")
+# `= delete;` on the same line declares a deleted function, not a free.
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+# Leading whitespace is horizontal-only: with MULTILINE a bare \s* would
+# swallow newlines and pin the match (and its line number) lines too early.
+MUTEX_MEMBER_RE = re.compile(
+    r"^[ \t]*(?:mutable[ \t]+)?(?:pam::|std::)?(?:shared_)?mutex[ \t]+(\w+)[ \t]*;",
+    re.MULTILINE,
+)
+PAM_ANNOTATION_RE = re.compile(r"PAM_[A-Z_]+\(([^()]*)\)")
+BENCH_EMIT_RE = re.compile(r"\b(?:bench_json|row|row_seq)\s*\(")
+# Matched against ORIGINAL lines (strip_code blanks string literals, which
+# would erase the include path).
+PAM_INTERNAL_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s+"(pam/(?!pam\.h)[^"]+)"')
+
+
+def lineno_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def lint_file(relpath, text):
+    """Lint one file; `relpath` decides which rules apply."""
+    findings = []
+    lines = text.split("\n")
+    code = strip_code(text)
+    unix = relpath.replace(os.sep, "/")
+
+    in_src = unix.startswith("src/")
+    in_pool_layer = unix.startswith("src/alloc/")
+    is_wrapper = unix == "src/util/thread_annotations.h"
+
+    if in_src and not in_pool_layer and not is_wrapper:
+        for m in NEW_RE.finditer(code):
+            ln = lineno_of(code, m.start())
+            if not waived(lines, ln, "naked-new"):
+                findings.append(Finding(
+                    relpath, ln, "naked-new",
+                    "allocate through the pool layer (src/alloc) or waive "
+                    "with a rationale"))
+        for m in DELETE_RE.finditer(code):
+            ln = lineno_of(code, m.start())
+            line_code = code.split("\n")[ln - 1]
+            if DELETED_FN_RE.search(line_code):
+                continue
+            if not waived(lines, ln, "naked-delete"):
+                findings.append(Finding(
+                    relpath, ln, "naked-delete",
+                    "free through epoch::retire or a pool, or waive with a "
+                    "rationale"))
+
+    if in_src and not is_wrapper:
+        annotated = set()
+        for m in PAM_ANNOTATION_RE.finditer(code):
+            for tok in re.findall(r"\w+", m.group(1)):
+                annotated.add(tok)
+        for m in MUTEX_MEMBER_RE.finditer(code):
+            name = m.group(1)
+            ln = lineno_of(code, m.start())
+            if name in annotated:
+                continue
+            if not waived(lines, ln, "unguarded-mutex"):
+                findings.append(Finding(
+                    relpath, ln, "unguarded-mutex",
+                    f"mutex member '{name}' has no thread-safety annotation "
+                    "companion (PAM_GUARDED_BY / PAM_REQUIRES / ...)"))
+
+    if unix.startswith("bench/bench_") and unix.endswith(".cpp"):
+        if not BENCH_EMIT_RE.search(code):
+            findings.append(Finding(
+                relpath, 1, "bench-json",
+                "bench binary never reports through bench_json/row/row_seq; "
+                "PAM_BENCH_JSON sweeps would silently miss it"))
+
+    if not in_src:
+        for i, line in enumerate(lines):
+            m = PAM_INTERNAL_INCLUDE_RE.match(line)
+            if m is None:
+                continue
+            ln = i + 1
+            if not waived(lines, ln, "include-discipline"):
+                findings.append(Finding(
+                    relpath, ln, "include-discipline",
+                    f'"{m.group(1)}" is a tree-kernel internal; include '
+                    '"pam/pam.h" instead'))
+
+    return findings
+
+
+LINT_DIRS = ("src", "tests", "bench", "examples")
+LINT_EXTS = (".h", ".hpp", ".cpp", ".cc")
+
+
+def lint_tree(root):
+    findings = []
+    for d in LINT_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if not fn.endswith(LINT_EXTS):
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, root)
+                with open(path, encoding="utf-8") as f:
+                    findings.extend(lint_file(rel, f.read()))
+    return findings
+
+
+# --------------------------------------------------------------- self-test --
+# Fixtures live in tools/lint_fixtures/{pass,fail}. Each fixture's first
+# line declares the path it pretends to be:
+#     // pam-lint-fixture-path: src/pam/example.h
+# A pass fixture must produce zero findings; a fail fixture must produce at
+# least one finding whose rule matches the `expect:` declaration:
+#     // pam-lint-fixture-expect: naked-new
+
+FIXTURE_PATH_RE = re.compile(r"pam-lint-fixture-path:\s*(\S+)")
+FIXTURE_EXPECT_RE = re.compile(r"pam-lint-fixture-expect:\s*([a-z-]+)")
+
+
+def self_test(fixtures_dir):
+    failures = []
+    ran = 0
+    for kind in ("pass", "fail"):
+        d = os.path.join(fixtures_dir, kind)
+        for fn in sorted(os.listdir(d)):
+            path = os.path.join(d, fn)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            pm = FIXTURE_PATH_RE.search(text)
+            if pm is None:
+                failures.append(f"{fn}: missing pam-lint-fixture-path header")
+                continue
+            ran += 1
+            findings = lint_file(pm.group(1), text)
+            if kind == "pass":
+                if findings:
+                    failures.append(
+                        f"{fn}: expected clean, got: "
+                        + "; ".join(str(x) for x in findings))
+            else:
+                em = FIXTURE_EXPECT_RE.search(text)
+                if em is None:
+                    failures.append(
+                        f"{fn}: missing pam-lint-fixture-expect header")
+                    continue
+                rules = {x.rule for x in findings}
+                if em.group(1) not in rules:
+                    failures.append(
+                        f"{fn}: expected a {em.group(1)} finding, got "
+                        f"{sorted(rules) if rules else 'none'}")
+    for msg in failures:
+        print("SELF-TEST FAIL:", msg)
+    print(f"pam_lint self-test: {ran} fixtures, {len(failures)} failures")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", help="repository root to lint")
+    ap.add_argument("--self-test", action="store_true",
+                    help="validate the linter against tools/lint_fixtures")
+    args = ap.parse_args()
+
+    if args.self_test:
+        here = os.path.dirname(os.path.abspath(__file__))
+        return self_test(os.path.join(here, "lint_fixtures"))
+
+    if not args.root:
+        ap.error("--root is required unless --self-test")
+    findings = lint_tree(args.root)
+    for f in findings:
+        print(f)
+    print(f"pam_lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
