@@ -1,0 +1,145 @@
+// Leaf-encoding microbenchmarks: the two CI gates for the variable-length
+// key stack.
+//
+//  (a) space — shared-prefix string keys stored front-coded (sealed coded
+//      blocks, byte-class pools) vs the same entries in flat
+//      std::pair<std::string, V> leaf slots. Keys are SSO-sized, so the
+//      flat side has no untracked heap and the comparison is exact. Gate:
+//      flat/coded leaf-bytes ratio >= 1.5x (PAM_PERF_GATE=1).
+//
+//  (b) in-block search — the branch-free counting lower-bound (the
+//      PAM_SIMD_SEARCH path; vectorizable, AVX2-accelerated under
+//      PAM_NATIVE) vs the classic binary search, on B=32 blocks of u64
+//      keys: the hot loop of every blocked-leaf descent. Gate: >= 1.3x
+//      find throughput at B=32 (PAM_PERF_GATE=1).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "pam/pam.h"
+
+namespace {
+using namespace pam;
+using namespace pam::bench;
+
+// n sorted unique SSO-sized keys: "k/" + 8 digits (10 chars total), one
+// long shared-prefix family — the serving-workload shape front coding is
+// built for.
+std::vector<std::pair<std::string, uint64_t>> str_entries(size_t n) {
+  std::vector<std::pair<std::string, uint64_t>> es(n);
+  for (size_t i = 0; i < n; i++) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "k/%08zu", i);
+    es[i] = {buf, i};
+  }
+  return es;
+}
+}  // namespace
+
+int main() {
+  print_header("bench_leaf_encodings",
+               "leaf-encoding gates: front-coded space + in-block search");
+
+  size_t saved_b = leaf_block_size();
+  set_leaf_block_size(32);
+
+  // ------------------------------- (a) front-coded vs flat string slots --
+  std::printf("\n--- string keys: flat pair slots vs front-coded blocks ---\n");
+  double space_ratio;
+  {
+    using flat_map = aug_map<map_entry<std::string, uint64_t>>;
+    using coded_map = aug_map<str_map_entry<uint64_t>>;
+    size_t n = scaled_size(1000000);
+    auto es = str_entries(n);
+
+    int64_t flat0 = flat_map::used_leaf_bytes();
+    flat_map fm = flat_map::from_sorted(es);
+    int64_t flat_bytes = flat_map::used_leaf_bytes() - flat0;
+
+    int64_t coded0 = coded_map::used_leaf_bytes();
+    coded_map cm = coded_map::from_sorted(es);
+    int64_t coded_bytes = coded_map::used_leaf_bytes() - coded0;
+
+    // Honesty spot checks: both maps serve the same entries.
+    if (fm.size() != n || cm.size() != n ||
+        *fm.find(es[n / 2].first) != es[n / 2].second ||
+        *cm.find(std::string_view(es[n / 2].first)) != es[n / 2].second) {
+      std::printf("FAIL: layout disagreement on lookups\n");
+      return 1;
+    }
+
+    double flat_bpe = static_cast<double>(flat_bytes) / static_cast<double>(n);
+    double coded_bpe = static_cast<double>(coded_bytes) / static_cast<double>(n);
+    space_ratio = flat_bpe / coded_bpe;
+    std::printf("layout        bytes/entry\n");
+    std::printf("flat pairs    %10.2f\n", flat_bpe);
+    std::printf("front-coded   %10.2f\n", coded_bpe);
+    std::printf("space ratio (flat / coded): %.2fx  (gate: >= 1.5x)\n",
+                space_ratio);
+    bench_json("bench_leaf_encodings", "flat_str", "bytes_per_entry", flat_bpe);
+    bench_json("bench_leaf_encodings", "coded_str", "bytes_per_entry", coded_bpe);
+    bench_json("bench_leaf_encodings", "str_space", "flat_over_coded",
+               space_ratio);
+  }
+
+  // ----------------------- (b) in-block search: branch-free vs classic --
+  std::printf("\n--- in-block lower-bound at B=32, u64 keys ---\n");
+  double find_ratio;
+  {
+    using E = map_entry<uint64_t, uint64_t>;
+    constexpr size_t kB = 32;
+    std::vector<std::pair<uint64_t, uint64_t>> block(kB);
+    for (size_t i = 0; i < kB; i++) block[i] = {i * 977, i};
+
+    size_t q = scaled_size(4000000);
+    std::vector<uint64_t> queries = keys_only(q, 7, kB * 977 + 500);
+
+    uint64_t sink = 0;
+    auto sweep = [&] {
+      uint64_t acc = 0;
+      for (uint64_t k : queries) acc += block_lower_idx<E>(block.data(), kB, k);
+      sink += acc;
+    };
+
+    set_simd_search_enabled(false);
+    double t_classic = timed_median(1, 5, sweep);
+    set_simd_search_enabled(true);
+    double t_vec = timed_median(1, 5, sweep);
+    if (sink == 0) std::printf("(unreachable sink)\n");
+
+    double mq_classic = static_cast<double>(q) / t_classic / 1e6;
+    double mq_vec = static_cast<double>(q) / t_vec / 1e6;
+    find_ratio = t_classic / t_vec;
+    std::printf("search            Mops/s\n");
+    std::printf("binary search   %8.1f\n", mq_classic);
+    std::printf("branch-free     %8.1f\n", mq_vec);
+    std::printf("find speedup (classic / branch-free): %.2fx  (gate: >= 1.3x)\n",
+                find_ratio);
+    bench_json("bench_leaf_encodings", "block_find_B=32", "classic_mops",
+               mq_classic);
+    bench_json("bench_leaf_encodings", "block_find_B=32", "branchfree_mops",
+               mq_vec);
+    bench_json("bench_leaf_encodings", "block_find_B=32", "speedup",
+               find_ratio);
+  }
+
+  set_leaf_block_size(saved_b);
+
+  if (env_long("PAM_PERF_GATE", 0) != 0) {
+    bool fail = false;
+    if (space_ratio < 1.5) {
+      std::printf("\nFAIL: string space ratio %.2fx below the 1.5x gate\n",
+                  space_ratio);
+      fail = true;
+    }
+    if (find_ratio < 1.3) {
+      std::printf("\nFAIL: in-block find speedup %.2fx below the 1.3x gate\n",
+                  find_ratio);
+      fail = true;
+    }
+    if (fail) return 1;
+  }
+  return 0;
+}

@@ -9,12 +9,40 @@
 // capacity class is created lazily (see pam/node.h leaf_store) and is
 // immortal; all pools share the arena's chunk-provenance accounting, so
 // reserved_bytes()/trim() work uniformly across node and leaf storage.
+//
+// Fixed-width (flat) blocks use *entry-count* capacity classes: the slot for
+// capacity 2^c is slot_bytes(2^c). Variable-length front-coded blocks
+// (pam/coded_block.h) have no per-entry slot width at all, so they draw from
+// *byte-granular* capacity classes instead: one pool per power-of-two byte
+// size between kMinByteClassLog and kMaxByteClassLog, with larger blocks
+// overflowing to individually counted aligned heap allocations. The helpers
+// below define that class geometry; the encoder owns the pool table (it is
+// part of the sanctioned allocation surface, see tools/pam_lint.py).
 #pragma once
+
+#include <cstddef>
 
 #include "alloc/arena.h"
 
 namespace pam {
 
 using raw_pool = block_pool;
+
+// Byte-granular capacity classes for variable-length blocks: 64 B .. 1 MiB
+// slots in power-of-two steps. class_of(bytes) returns kByteClasses for
+// anything larger — the caller's overflow path.
+inline constexpr int kMinByteClassLog = 6;
+inline constexpr int kMaxByteClassLog = 20;
+inline constexpr int kByteClasses = kMaxByteClassLog - kMinByteClassLog + 1;
+
+constexpr size_t byte_class_slot(int cls) {
+  return size_t{1} << (kMinByteClassLog + cls);
+}
+
+constexpr int byte_class_of(size_t bytes) {
+  int cls = 0;
+  while (cls < kByteClasses && byte_class_slot(cls) < bytes) cls++;
+  return cls;  // == kByteClasses when bytes exceeds the largest slot
+}
 
 }  // namespace pam

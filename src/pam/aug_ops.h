@@ -18,6 +18,7 @@ namespace pam {
 template <typename Entry, typename Balance>
 struct aug_ops : map_ops<Entry, Balance> {
   using MO = map_ops<Entry, Balance>;
+  using NM = typename MO::NM;
   using node = typename MO::node;
   using K = typename MO::K;
   using A = typename MO::A;
@@ -55,8 +56,9 @@ struct aug_ops : map_ops<Entry, Balance> {
   static A aug_left(const node* t, const K& k) {
     if (t == nullptr) return traits::identity();
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(k, es[0].first)) return aug_left(t->left, k);
       size_t pos = upper_idx(es, c, k);  // entries [0, pos) are <= k
       A own = pos == c ? t->blk->aug : fold_entries(es, 0, pos);
@@ -74,8 +76,9 @@ struct aug_ops : map_ops<Entry, Balance> {
   static A aug_right(const node* t, const K& k) {
     if (t == nullptr) return traits::identity();
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(es[c - 1].first, k)) return aug_right(t->right, k);
       size_t pos = lower_idx(es, c, k);  // entries [pos, c) are >= k
       A own = pos == 0 ? t->blk->aug : fold_entries(es, pos, c);
@@ -94,8 +97,9 @@ struct aug_ops : map_ops<Entry, Balance> {
   static A aug_range(const node* t, const K& lo, const K& hi) {
     if (t == nullptr) return traits::identity();
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(es[c - 1].first, lo)) return aug_range(t->right, lo, hi);
       if (less(hi, es[0].first)) return aug_range(t->left, lo, hi);
       size_t i = lower_idx(es, c, lo);
@@ -124,9 +128,10 @@ struct aug_ops : map_ops<Entry, Balance> {
       return nullptr;
     }
     if (is_chunk_leaf(t)) {
-      const entry_t* es = t->blk->entries();
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
       std::vector<entry_t> keep;
-      for (uint32_t i = 0; i < t->blk->count; i++) {
+      for (size_t i = 0; i < bv.size(); i++) {
         if (h(traits::base(es[i].first, es[i].second))) keep.push_back(es[i]);
       }
       node* r = MO::build_sorted_seq(keep.data(), keep.size());
@@ -156,8 +161,9 @@ struct aug_ops : map_ops<Entry, Balance> {
                        const K& lo, const K& hi) {
     if (t == nullptr) return id;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(es[c - 1].first, lo)) return aug_project(t->right, g2, f2, id, lo, hi);
       if (less(hi, es[0].first)) return aug_project(t->left, g2, f2, id, lo, hi);
       size_t i = lower_idx(es, c, lo);
@@ -192,8 +198,9 @@ struct aug_ops : map_ops<Entry, Balance> {
                          const K& k) {
     if (t == nullptr) return id;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(es[c - 1].first, k)) return project_right(t->right, g2, f2, id, k);
       size_t pos = lower_idx(es, c, k);
       B left = pos == 0 ? project_right(t->left, g2, f2, id, k) : id;
@@ -214,8 +221,9 @@ struct aug_ops : map_ops<Entry, Balance> {
                         const K& k) {
     if (t == nullptr) return id;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(k, es[0].first)) return project_left(t->left, g2, f2, id, k);
       size_t pos = upper_idx(es, c, k);  // entries [0, pos) are <= k
       B left = t->left == nullptr ? id : g2(t->left->aug);

@@ -121,8 +121,16 @@ class aug_map {
   size_t size() const { return ops::size(root_); }
   bool empty() const { return root_ == nullptr; }
 
-  std::optional<V> find(const K& k) const { return ops::find(root_, k); }
-  bool contains(const K& k) const { return ops::contains(root_, k); }
+  // Heterogeneous: any Key the entry policy can compare against works —
+  // string-keyed maps look up by std::string_view with zero materialization.
+  template <typename Key = K>
+  std::optional<V> find(const Key& k) const {
+    return ops::find(root_, k);
+  }
+  template <typename Key = K>
+  bool contains(const Key& k) const {
+    return ops::contains(root_, k);
+  }
 
   std::optional<entry_t> first() const { return ops::first_entry(root_); }
   std::optional<entry_t> last() const { return ops::last_entry(root_); }

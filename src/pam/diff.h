@@ -49,6 +49,7 @@ struct diff_ops : aug_ops<Entry, Balance> {
   using AO = aug_ops<Entry, Balance>;
   using MO = typename AO::MO;
   using TO = typename MO::TO;
+  using NM = typename TO::NM;
   using node = typename AO::node;
   using K = typename AO::K;
   using V = typename MO::V;
@@ -123,9 +124,11 @@ struct diff_ops : aug_ops<Entry, Balance> {
 
   // Base case: two distinct leaf blocks, one two-pointer merge.
   static diff_trees diff_blocks(node* a, node* b) {
+    auto av = NM::read_block(a->blk);
+    auto bv = NM::read_block(b->blk);
     std::vector<entry_t> before, after;
     MO::merge_runs(
-        a->blk->entries(), a->blk->count, b->blk->entries(), b->blk->count,
+        av.data(), av.size(), bv.data(), bv.size(),
         MO::entry_key, [&](const entry_t& e) { before.push_back(e); },
         [&](const entry_t& e) { after.push_back(e); },
         [&](const entry_t& ea, const entry_t& eb) {
@@ -165,10 +168,11 @@ struct diff_ops : aug_ops<Entry, Balance> {
       return {af, id};
     }
     if (is_chunk_leaf(a) && is_chunk_leaf(b)) {
+      auto av = NM::read_block(a->blk);
+      auto bv = NM::read_block(b->blk);
       std::pair<B, B> out{id, id};
       MO::merge_runs(
-          a->blk->entries(), a->blk->count, b->blk->entries(), b->blk->count,
-          MO::entry_key,
+          av.data(), av.size(), bv.data(), bv.size(), MO::entry_key,
           [&](const entry_t& e) { out.first = f2(out.first, g2(e.first, e.second)); },
           [&](const entry_t& e) { out.second = f2(out.second, g2(e.first, e.second)); },
           [&](const entry_t& ea, const entry_t& eb) {

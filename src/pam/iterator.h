@@ -12,7 +12,11 @@
 //
 //       With blocked leaves the stack holds (node, in-block index) frames,
 //       so stepping through a leaf block is one index bump over a flat
-//       array — the fast path the blocked layout exists for.
+//       array — the fast path the blocked layout exists for. Front-coded
+//       blocks cannot hand out references into their compressed bytes, so
+//       a chunk frame additionally carries a shared decoded copy of its
+//       block (filled once when the frame is pushed); stepping is still an
+//       index bump, and copying the iterator shares the cache.
 //
 //   range_view<Entry, Balance>     a lazy sub-range [lo, hi] of a map (or
 //       the whole map). Holds its own reference to the tree root, so it
@@ -39,7 +43,9 @@
 
 #include <cstddef>
 #include <iterator>
+#include <memory>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -56,6 +62,7 @@ class map_iterator {
   using node = typename ops::node;
   using K = typename Entry::key_t;
   using V = typename Entry::val_t;
+  using entry_t = std::pair<K, V>;
 
   // The reference proxy: two references into the tree (node or leaf block),
   // destructurable as `auto [k, v]` and convertible to a materialized pair.
@@ -103,22 +110,21 @@ class map_iterator {
     } else {
       while (t != nullptr) {
         if (ops::is_chunk(t)) {
-          const auto* es = t->blk->entries();
           size_t c = t->blk->count;
-          size_t pos = ops::lower_idx(es, c, *lo);  // first entry >= *lo
+          size_t pos = ops::blk_lower(t->blk, *lo, nullptr);  // first >= *lo
           if (pos == c) {
             t = t->right;  // whole block (and left subtree) below the range
           } else if (pos == 0) {
-            path_.push_back({t, 0});
+            path_.push_back(make_frame(t, 0));
             t = t->left;  // left subtree may still hold keys >= *lo
           } else {
-            path_.push_back({t, static_cast<uint32_t>(pos)});
+            path_.push_back(make_frame(t, static_cast<uint32_t>(pos)));
             break;  // entries before pos are < *lo, so the left side is too
           }
         } else if (ops::less(t->key, *lo)) {
           t = t->right;  // everything here is below the range
         } else {
-          path_.push_back({t, 0});
+          path_.push_back(make_frame(t, 0));
           t = t->left;
         }
       }
@@ -138,11 +144,10 @@ class map_iterator {
     size_t best_depth = 0;
     while (t != nullptr) {
       if (ops::is_chunk(t)) {
-        const auto* es = t->blk->entries();
         size_t c = t->blk->count;
-        size_t pos = hi != nullptr ? ops::upper_idx(es, c, *hi) : c;  // first > *hi
+        size_t pos = hi != nullptr ? ops::blk_upper(t->blk, *hi) : c;  // first > *hi
         if (pos == 0) {
-          path_.push_back({t, 0});  // block entries are future successors
+          path_.push_back(make_frame(t, 0));  // block entries are future successors
           t = t->left;
         } else {
           best = t;
@@ -152,7 +157,7 @@ class map_iterator {
           t = t->right;
         }
       } else if (hi != nullptr && ops::less(*hi, t->key)) {
-        path_.push_back({t, 0});  // a future in-order successor of the result
+        path_.push_back(make_frame(t, 0));  // a future in-order successor
         t = t->left;
       } else {
         best = t;
@@ -162,20 +167,20 @@ class map_iterator {
       }
     }
     if (best == nullptr ||
-        (lo != nullptr && ops::less(entry_key(best, best_idx), *lo))) {
+        (lo != nullptr && ops::less(entry_key_copy(best, best_idx), *lo))) {
       path_.clear();  // range is empty
       return;
     }
     // Nodes pushed while exploring best's right side are > *hi and sit above
     // the result in in-order; drop them so best is the current node.
     path_.resize(best_depth);
-    path_.push_back({best, best_idx});
+    path_.push_back(make_frame(best, best_idx));
   }
 
   entry_ref operator*() const {
     const frame& f = path_.back();
     if (ops::is_chunk(f.n)) {
-      const auto& e = f.n->blk->entries()[f.idx];
+      const entry_t& e = frame_entry(f);
       return {e.first, e.second};
     }
     return {f.n->key, f.n->value};
@@ -213,24 +218,62 @@ class map_iterator {
   }
 
  private:
+  static constexpr bool kCoded = !ops::NM::flat_layout;
+
+  // Shared decoded copy of a front-coded block; an empty tag type when the
+  // layout is flat (no storage, no decode).
+  using block_cache =
+      std::conditional_t<kCoded, std::shared_ptr<const std::vector<entry_t>>,
+                         unit>;
+
   // Ancestor stack frame: a node plus (for chunk nodes) the index of the
-  // current/next-to-visit entry inside its block.
+  // current/next-to-visit entry inside its block, plus (coded layout only)
+  // the decoded block.
   struct frame {
     const node* n;
     uint32_t idx;
+    block_cache cache;
   };
 
   // Deep enough for every balanced scheme at the 2^32-entry size cap; the
   // stack grows past it only for degenerate treap draws.
   static constexpr size_t kTypicalHeight = 64;
 
-  static const K& entry_key(const node* t, uint32_t idx) {
-    return ops::is_chunk(t) ? t->blk->entries()[idx].first : t->key;
+  static frame make_frame(const node* t, uint32_t idx) {
+    if constexpr (kCoded) {
+      if (ops::is_chunk(t)) {
+        auto bv = ops::NM::read_block(t->blk);
+        return {t, idx,
+                std::make_shared<const std::vector<entry_t>>(std::move(bv.buf))};
+      }
+      return {t, idx, nullptr};
+    } else {
+      return {t, idx, {}};
+    }
+  }
+
+  // The frame's current entry; only valid for chunk frames.
+  static const entry_t& frame_entry(const frame& f) {
+    if constexpr (kCoded) {
+      return (*f.cache)[f.idx];
+    } else {
+      return f.n->blk->entries()[f.idx];
+    }
+  }
+
+  static const K& frame_key(const frame& f) {
+    return ops::is_chunk(f.n) ? frame_entry(f).first : f.n->key;
+  }
+
+  // Key at (t, idx) as an owned copy — for bound checks before a frame (and
+  // its decode cache) exists.
+  static K entry_key_copy(const node* t, uint32_t idx) {
+    return ops::is_chunk(t) ? ops::blk_entry(t->blk, idx).first : t->key;
   }
 
   void push_left(const node* t) {
     while (t != nullptr) {
-      path_.push_back({t, 0});
+      path_.push_back(make_frame(t, 0));
       t = t->left;
     }
   }
@@ -239,8 +282,7 @@ class map_iterator {
   // *hi_, the iterator becomes end().
   void clamp() {
     if (hi_ != nullptr && !path_.empty()) {
-      const frame& f = path_.back();
-      if (ops::less(*hi_, entry_key(f.n, f.idx))) path_.clear();
+      if (ops::less(*hi_, frame_key(path_.back()))) path_.clear();
     }
   }
 
@@ -270,10 +312,20 @@ class tree_cursor {
   using K = typename Entry::key_t;
   using V = typename Entry::val_t;
   using A = typename ops::A;
+  using entry_t = std::pair<K, V>;
 
   tree_cursor() = default;
-  // Internal: obtained via aug_map::root_cursor().
-  explicit tree_cursor(const node* t) : t_(t) {}
+  // Internal: obtained via aug_map::root_cursor(). A cursor on a coded
+  // chunk decodes the block once, up front; key(i)/value(i) then hand out
+  // references into that owned copy.
+  explicit tree_cursor(const node* t) : t_(t) {
+    if constexpr (kCoded) {
+      if (t_ != nullptr && ops::is_chunk(t_)) {
+        auto bv = ops::NM::read_block(t_->blk);
+        cache_ = std::make_shared<const std::vector<entry_t>>(std::move(bv.buf));
+      }
+    }
+  }
 
   bool empty() const { return t_ == nullptr; }
   explicit operator bool() const { return t_ != nullptr; }
@@ -284,10 +336,18 @@ class tree_cursor {
 
   // The i-th entry stored at the root, in key order. i < entry_count().
   const K& key(size_t i) const {
-    return ops::is_chunk(t_) ? t_->blk->entries()[i].first : t_->key;
+    if (ops::is_chunk(t_)) {
+      if constexpr (kCoded) return (*cache_)[i].first;
+      else return t_->blk->entries()[i].first;
+    }
+    return t_->key;
   }
   const V& value(size_t i) const {
-    return ops::is_chunk(t_) ? t_->blk->entries()[i].second : t_->value;
+    if (ops::is_chunk(t_)) {
+      if constexpr (kCoded) return (*cache_)[i].second;
+      else return t_->blk->entries()[i].second;
+    }
+    return t_->value;
   }
 
   // First entry stored at the subtree root.
@@ -309,7 +369,13 @@ class tree_cursor {
   }
 
  private:
+  static constexpr bool kCoded = !ops::NM::flat_layout;
+  using block_cache =
+      std::conditional_t<kCoded, std::shared_ptr<const std::vector<entry_t>>,
+                         unit>;
+
   const node* t_ = nullptr;
+  [[no_unique_address]] block_cache cache_{};
 };
 
 // ------------------------------------------------------------- range view --
@@ -432,8 +498,9 @@ class range_view {
   static void foreach_bounded(const node* t, const K* lo, const K* hi, const F& f) {
     if (t == nullptr) return;
     if (ops::is_chunk(t)) {
-      const auto* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = ops::NM::read_block(t->blk);
+      const auto* es = bv.data();
+      size_t c = bv.size();
       if (lo != nullptr && ops::less(es[c - 1].first, *lo))
         return foreach_bounded(t->right, lo, hi, f);
       if (hi != nullptr && ops::less(*hi, es[0].first))

@@ -111,11 +111,13 @@ struct map_ops : tree_ops<Entry, Balance> {
   // balanced rebuild into fresh blocks.
   template <typename Comb>
   static node* union_blocks(node* a, node* b, const Comb& comb) {
+    auto av = NM::read_block(a->blk);
+    auto bv = NM::read_block(b->blk);
     std::vector<entry_t> out;
-    out.reserve(a->blk->count + b->blk->count);
+    out.reserve(av.size() + bv.size());
     merge_runs(
-        a->blk->entries(), a->blk->count, b->blk->entries(), b->blk->count,
-        entry_key, [&](const entry_t& e) { out.push_back(e); },
+        av.data(), av.size(), bv.data(), bv.size(), entry_key,
+        [&](const entry_t& e) { out.push_back(e); },
         [&](const entry_t& e) { out.push_back(e); },
         [&](const entry_t& ea, const entry_t& eb) {
           out.emplace_back(ea.first, comb(ea.second, eb.second));
@@ -155,10 +157,12 @@ struct map_ops : tree_ops<Entry, Balance> {
 
   template <typename Comb>
   static node* intersect_blocks(node* a, node* b, const Comb& comb) {
+    auto av = NM::read_block(a->blk);
+    auto bv = NM::read_block(b->blk);
     std::vector<entry_t> out;
     merge_runs(
-        a->blk->entries(), a->blk->count, b->blk->entries(), b->blk->count,
-        entry_key, [](const entry_t&) {}, [](const entry_t&) {},
+        av.data(), av.size(), bv.data(), bv.size(), entry_key,
+        [](const entry_t&) {}, [](const entry_t&) {},
         [&](const entry_t& ea, const entry_t& eb) {
           out.emplace_back(ea.first, comb(ea.second, eb.second));
         });
@@ -191,11 +195,13 @@ struct map_ops : tree_ops<Entry, Balance> {
   }
 
   static node* difference_blocks(node* a, node* b) {
+    auto av = NM::read_block(a->blk);
+    auto bv = NM::read_block(b->blk);
     std::vector<entry_t> out;
-    out.reserve(a->blk->count);
+    out.reserve(av.size());
     merge_runs(
-        a->blk->entries(), a->blk->count, b->blk->entries(), b->blk->count,
-        entry_key, [&](const entry_t& e) { out.push_back(e); },
+        av.data(), av.size(), bv.data(), bv.size(), entry_key,
+        [&](const entry_t& e) { out.push_back(e); },
         [](const entry_t&) {}, [](const entry_t&, const entry_t&) {});
     node* r = TO::build_sorted_seq(out.data(), out.size());
     dec(a);
@@ -211,9 +217,10 @@ struct map_ops : tree_ops<Entry, Balance> {
   static node* filter(node* t, const Pred& pred) {
     if (t == nullptr) return nullptr;
     if (is_chunk_leaf(t)) {
-      const entry_t* es = t->blk->entries();
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
       std::vector<entry_t> keep;
-      for (uint32_t i = 0; i < t->blk->count; i++) {
+      for (size_t i = 0; i < bv.size(); i++) {
         if (pred(es[i].first, es[i].second)) keep.push_back(es[i]);
       }
       node* r = TO::build_sorted_seq(keep.data(), keep.size());
@@ -280,10 +287,11 @@ struct map_ops : tree_ops<Entry, Balance> {
     if (n == 0) return t;
     if (t == nullptr) return from_sorted_unique(a, n);
     if (is_chunk_leaf(t)) {
+      auto tv = NM::read_block(t->blk);
       std::vector<entry_t> out;
-      out.reserve(t->blk->count + n);
+      out.reserve(tv.size() + n);
       merge_runs(
-          t->blk->entries(), t->blk->count, a, n, entry_key,
+          tv.data(), tv.size(), a, n, entry_key,
           [&](const entry_t& e) { out.push_back(e); },
           [&](const entry_t& e) { out.push_back(e); },
           [&](const entry_t& old, const entry_t& upd) {
@@ -331,10 +339,11 @@ struct map_ops : tree_ops<Entry, Balance> {
   static node* multi_delete_sorted(node* t, const K* keys, size_t n) {
     if (n == 0 || t == nullptr) return t;
     if (is_chunk_leaf(t)) {
+      auto tv = NM::read_block(t->blk);
       std::vector<entry_t> out;
-      out.reserve(t->blk->count);
+      out.reserve(tv.size());
       merge_runs(
-          t->blk->entries(), t->blk->count, keys, n,
+          tv.data(), tv.size(), keys, n,
           [](const K& k) -> const K& { return k; },
           [&](const entry_t& e) { out.push_back(e); }, [](const K&) {},
           [](const entry_t&, const K&) {});  // key present in both: deleted
@@ -417,15 +426,23 @@ struct map_ops : tree_ops<Entry, Balance> {
         [&] { r = map_values(t->right, f); });
     node* m;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      uint32_t c = t->blk->count;
-      lblock* nb = lstore::allocate(c);
-      entry_t* out = nb->entries();
-      for (uint32_t i = 0; i < c; i++) {
-        new (&out[i]) entry_t(es[i].first, f(es[i].first, es[i].second));
+      if constexpr (NM::flat_layout) {
+        const entry_t* es = t->blk->entries();
+        uint32_t c = t->blk->count;
+        lblock* nb = lstore::allocate(c);
+        entry_t* out = nb->entries();
+        for (uint32_t i = 0; i < c; i++) {
+          new (&out[i]) entry_t(es[i].first, f(es[i].first, es[i].second));
+        }
+        lstore::seal(nb);
+        m = NM::make_chunk(nb);
+      } else {
+        auto bv = NM::read_block(t->blk);
+        std::vector<entry_t> tmp(bv.data(), bv.data() + bv.size());
+        for (entry_t& e : tmp) e.second = f(e.first, e.second);
+        m = NM::make_chunk(
+            lstore::build(tmp.data(), static_cast<uint32_t>(tmp.size())));
       }
-      lstore::seal(nb);
-      m = NM::make_chunk(nb);
     } else {
       m = make_single(t->key, f(t->key, t->value));
     }
@@ -444,8 +461,9 @@ struct map_ops : tree_ops<Entry, Balance> {
     if (t == nullptr) return;
     foreach_inorder(t->left, f);
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      for (uint32_t i = 0; i < t->blk->count; i++) f(es[i].first, es[i].second);
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      for (size_t i = 0; i < bv.size(); i++) f(es[i].first, es[i].second);
     } else {
       f(t->key, t->value);
     }
@@ -464,7 +482,8 @@ struct map_ops : tree_ops<Entry, Balance> {
         t->size >= par_cutoff(), [&] { project_to_array(t->left, out, f); },
         [&] { project_to_array(t->right, out + ls + c, f); });
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
       for (size_t i = 0; i < c; i++) out[ls + i] = f(es[i].first, es[i].second);
     } else {
       out[ls] = f(t->key, t->value);
@@ -483,8 +502,9 @@ struct map_ops : tree_ops<Entry, Balance> {
   template <typename M, typename R, typename B>
   static B fold_own(const node* t, const M& g2, const R& f2, B acc) {
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      for (uint32_t i = 0; i < t->blk->count; i++) {
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      for (size_t i = 0; i < bv.size(); i++) {
         acc = f2(acc, g2(es[i].first, es[i].second));
       }
       return acc;

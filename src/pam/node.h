@@ -36,50 +36,17 @@
 #include <cstdint>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "alloc/leaf_pool.h"
 #include "alloc/type_allocator.h"
+#include "pam/coded_block.h"
+#include "pam/entry_traits.h"
 #include "parallel/parallel.h"
 #include "util/env.h"
 #include "util/thread_annotations.h"
 
 namespace pam {
-
-// Empty placeholder for "no value" (sets) and "no augmentation" (plain maps).
-struct unit {
-  friend constexpr bool operator==(unit, unit) { return true; }
-};
-
-// Normalized view of an Entry policy. An Entry always provides:
-//   key_t, val_t, static bool comp(key_t, key_t)
-// and, for augmented maps, additionally (paper Section 3):
-//   aug_t                                  the augmented value type A
-//   static aug_t identity()                I, the identity of f
-//   static aug_t base(key_t, val_t)        g, entry -> augmented value
-//   static aug_t combine(aug_t, aug_t)     f, associative combine
-template <typename Entry, typename = void>
-struct entry_traits {
-  static constexpr bool has_aug = false;
-  using aug_t = unit;
-  static unit identity() { return {}; }
-  template <typename K, typename V>
-  static unit base(const K&, const V&) {
-    return {};
-  }
-  static unit combine(unit, unit) { return {}; }
-};
-
-template <typename Entry>
-struct entry_traits<Entry, std::void_t<typename Entry::aug_t>> {
-  static constexpr bool has_aug = true;
-  using aug_t = typename Entry::aug_t;
-  static aug_t identity() { return Entry::identity(); }
-  template <typename K, typename V>
-  static aug_t base(const K& k, const V& v) {
-    return Entry::base(k, v);
-  }
-  static aug_t combine(const aug_t& a, const aug_t& b) { return Entry::combine(a, b); }
-};
 
 // Runtime toggle for the refcount==1 in-place reuse optimization (paper §4,
 // "Persistence"). Disabling it forces full path copying; the ablation tests
@@ -94,9 +61,19 @@ inline void set_reuse_enabled(bool on) { reuse_flag().store(on); }
 // ------------------------------------------------------- leaf block knob --
 
 // Maximum entries per leaf block. 0 selects the classic one-entry-per-node
-// layout; >= 1 packs subtrees of up to this many entries into flat blocks.
+// layout; >= 1 packs subtrees of up to this many entries into blocks.
 // Both layouts coexist in one process (existing blocks stay valid when the
 // knob changes), so benchmarks can ablate blocked vs. unblocked at runtime.
+//
+// Interplay with the key_layout trait (entry_traits.h): the knob selects
+// *whether* runs are blocked; the Entry's layout selects *how* a block is
+// encoded (flat fixed-width array vs front-coded strings). B = 0 is valid
+// for every layout, including front-coded string entries — the tree
+// degrades to classic nodes holding one inline std::string key each, blocks
+// are simply never built, and used_leaf_blocks() stays 0. Invalid
+// layout/type combinations (front_coded with a non-string key, or with a
+// non-trivially-copyable value) are rejected at compile time by the
+// contracted static_asserts in node_manager / coded_store.
 inline constexpr size_t kMaxLeafBlock = 2048;
 
 inline std::atomic<uint32_t>& leaf_block_knob() {
@@ -186,18 +163,25 @@ struct leaf_store {
     return b;
   }
 
-  // Compute and cache the block's augmented value from its entries.
+  // Compute and cache the block's augmented value from its entries. The
+  // fold is the grouped associativity-only reduction (entry_traits.h), so
+  // numeric monoids vectorize instead of serializing on one accumulator.
   static void seal(block* b) {
     if constexpr (traits::has_aug) {
-      const entry_t* e = b->entries();
-      A acc = traits::base(e[0].first, e[0].second);
-      for (uint32_t i = 1; i < b->count; i++) {
-        acc = traits::combine(acc, traits::base(e[i].first, e[i].second));
-      }
-      new (&b->aug) A(std::move(acc));
+      new (&b->aug) A(fold_entries_assoc<traits>(b->entries(), 0, b->count));
     } else {
       new (&b->aug) A();
     }
+  }
+
+  // One-shot construction seam shared with coded_store: encode n sorted
+  // entries (here: copy them flat) into a fresh sealed block.
+  static block* build(const entry_t* es, uint32_t n) {
+    block* b = allocate(n);
+    entry_t* out = b->entries();
+    for (uint32_t i = 0; i < n; i++) new (&out[i]) entry_t(es[i]);
+    seal(b);
+    return b;
   }
 
   static block* retain(block* b) {
@@ -271,6 +255,12 @@ struct leaf_store {
 // key-based heuristics like treap priorities stay well-defined). With 64-bit
 // keys/values/augmentation this is 56 bytes — 8 more than the paper's Table 4
 // node for the block pointer; the blocked layout wins it back ~20x over.
+// Which block type an Entry's chunks carry follows its key_layout trait.
+template <typename Entry>
+using leaf_block_of =
+    std::conditional_t<entry_layout_v<Entry> == key_layout::flat,
+                       leaf_block<Entry>, coded_block<Entry>>;
+
 template <typename Entry, typename BalData>
 struct tree_node {
   using K = typename Entry::key_t;
@@ -281,11 +271,32 @@ struct tree_node {
   uint32_t size;  // subtree entry count (bounds maps to 2^32-1 entries)
   tree_node* left;
   tree_node* right;
-  leaf_block<Entry>* blk;  // non-null => this node carries a leaf block
+  leaf_block_of<Entry>* blk;  // non-null => this node carries a leaf block
   K key;
   [[no_unique_address]] V value;
   [[no_unique_address]] A aug;
   [[no_unique_address]] BalData bal;
+};
+
+// Uniform read access to one block's sorted entries, switched by layout:
+// the flat view is a zero-copy pointer into the sealed array; the coded
+// view owns a materialized decode (used by the cold multi-entry paths —
+// point searches go through the coded store's native in-block search).
+template <typename Entry>
+struct flat_block_view {
+  using entry_t = std::pair<typename Entry::key_t, typename Entry::val_t>;
+  const entry_t* es;
+  size_t n;
+  const entry_t* data() const { return es; }
+  size_t size() const { return n; }
+};
+
+template <typename Entry>
+struct coded_block_view {
+  using entry_t = std::pair<typename Entry::key_t, typename Entry::val_t>;
+  std::vector<entry_t> buf;
+  const entry_t* data() const { return buf.data(); }
+  size_t size() const { return buf.size(); }
 };
 
 template <typename Entry, typename Balance>
@@ -297,12 +308,48 @@ struct node_manager {
   using A = typename traits::aug_t;
   using node = tree_node<Entry, typename Balance::data>;
   using allocator = type_allocator<node>;
-  using lblock = leaf_block<Entry>;
-  using lstore = leaf_store<Entry>;
   using entry_t = std::pair<K, V>;
 
-  static bool less(const K& a, const K& b) { return Entry::comp(a, b); }
-  static bool keys_equal(const K& a, const K& b) { return !less(a, b) && !less(b, a); }
+  // The Entry's key_layout trait selects the block encoding; everything
+  // above this seam (tree_ops and up) is layout-generic.
+  static constexpr key_layout layout = entry_layout_v<Entry>;
+  static constexpr bool flat_layout = layout == key_layout::flat;
+  using lblock = leaf_block_of<Entry>;
+  using lstore =
+      std::conditional_t<flat_layout, leaf_store<Entry>, coded_store<Entry>>;
+  using block_view =
+      std::conditional_t<flat_layout, flat_block_view<Entry>, coded_block_view<Entry>>;
+
+  // The layout/type contract, stated where every map instantiation passes.
+  static_assert(flat_layout || std::is_same_v<K, std::string>,
+                "PAM leaf-layout contract: key_layout::front_coded requires "
+                "key_t = std::string; fixed-width keys must use "
+                "key_layout::flat");
+  static_assert(flat_layout || std::is_trivially_copyable_v<V>,
+                "PAM leaf-layout contract: key_layout::front_coded requires a "
+                "trivially copyable val_t (values are stored raw inside "
+                "sealed blocks)");
+
+  // Comparisons are heterogeneous: string-keyed policies take string_views,
+  // so lookups and in-block decoding compare without materializing keys.
+  template <typename KA, typename KB>
+  static bool less(const KA& a, const KB& b) { return Entry::comp(a, b); }
+  template <typename KA, typename KB>
+  static bool keys_equal(const KA& a, const KB& b) {
+    return !less(a, b) && !less(b, a);
+  }
+
+  // Materialize (flat: point at) the entries of a sealed block.
+  static block_view read_block(const lblock* b) {
+    if constexpr (flat_layout) {
+      return {b->entries(), b->count};
+    } else {
+      block_view v;
+      v.buf.reserve(b->count);
+      lstore::decode_all(b, v.buf);
+      return v;
+    }
+  }
   static size_t size(const node* t) { return t == nullptr ? 0 : t->size; }
   static A aug_of(const node* t) { return t == nullptr ? traits::identity() : t->aug; }
 
@@ -389,14 +436,19 @@ struct node_manager {
   // Wrap a sealed leaf block (ownership transfers) into a fresh leaf-chunk
   // node. key/value mirror the first entry.
   static node* make_chunk(lblock* b) {
-    const entry_t* e = b->entries();
     node* t = allocator::allocate();
     new (&t->ref_cnt) std::atomic<uint32_t>(1);
     t->left = nullptr;
     t->right = nullptr;
     t->blk = b;
-    new (&t->key) K(e[0].first);
-    new (&t->value) V(e[0].second);
+    if constexpr (flat_layout) {
+      const entry_t* e = b->entries();
+      new (&t->key) K(e[0].first);
+      new (&t->value) V(e[0].second);
+    } else {
+      new (&t->key) K(lstore::first_key(b));
+      new (&t->value) V(lstore::vals(b)[0]);
+    }
     new (&t->aug) A(b->aug);
     new (&t->bal) typename Balance::data();
     update(t);

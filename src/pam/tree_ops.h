@@ -3,20 +3,30 @@
 // expressed purely in terms of JOIN (paper §4), so it works unchanged for
 // all four balancing schemes.
 //
-// This layer is also the seam where the blocked-leaf layout (node.h) is
+// This layer is also the seam where the blocked-leaf layouts (node.h) are
 // integrated: JOIN re-packs results of up to leaf_block_size() entries into
-// one flat chunk, and split/expose/insert/delete materialize chunk contents
+// one chunk, and split/expose/insert/delete materialize chunk contents
 // back into trees at the boundary they touch. The balance schemes above
 // never see a block: a chunk node is an ordinary node to them. Every
 // algorithm below treats a node as "1..B sorted entries plus two subtrees",
 // which is exactly the generalized invariant chunk nodes satisfy.
+//
+// Two block encodings live behind this seam (selected per Entry policy by
+// the key_layout trait): flat fixed-width arrays, read zero-copy and point-
+// searched by the vectorized kernels of pam/block_search.h, and front-coded
+// string blocks (pam/coded_block.h), point-searched by incremental decode
+// and materialized through NM::read_block on the multi-entry paths. The
+// blk_* helpers below are the only places that dispatch on the layout;
+// everything else works on materialized entry runs.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "pam/block_search.h"
 #include "pam/node.h"
 
 namespace pam {
@@ -45,31 +55,63 @@ struct tree_ops : node_manager<Entry, Balance> {
   using NM::size;
 
   // First index in es[0, n) whose key is >= k (all keys before it are < k).
-  static size_t lower_idx(const entry_t* es, size_t n, const K& k) {
-    size_t lo = 0, hi = n;
-    while (lo < hi) {
-      size_t mid = lo + (hi - lo) / 2;
-      if (less(es[mid].first, k)) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+  // Dispatches to the branch-free/SIMD counting kernel for short integral-key
+  // runs (pam/block_search.h), classic binary search otherwise.
+  template <typename Key>
+  static size_t lower_idx(const entry_t* es, size_t n, const Key& k) {
+    return block_lower_idx<Entry>(es, n, k);
   }
 
   // First index in es[0, n) whose key is > k.
-  static size_t upper_idx(const entry_t* es, size_t n, const K& k) {
-    size_t lo = 0, hi = n;
-    while (lo < hi) {
-      size_t mid = lo + (hi - lo) / 2;
-      if (less(k, es[mid].first)) {
-        hi = mid;
-      } else {
-        lo = mid + 1;
+  template <typename Key>
+  static size_t upper_idx(const entry_t* es, size_t n, const Key& k) {
+    return block_upper_idx<Entry>(es, n, k);
+  }
+
+  // ------------------------------------------- layout-dispatched block ops --
+  // The only functions below tree_ops that look inside a sealed block. Flat
+  // blocks answer zero-copy; front-coded blocks search by incremental decode
+  // (coded_store) without materializing more than a scratch key.
+
+  // First slot with key >= k; *eq (optional) reports an exact hit.
+  template <typename Key>
+  static size_t blk_lower(const lblock* b, const Key& k, bool* eq) {
+    if constexpr (NM::flat_layout) {
+      size_t pos = block_lower_idx<Entry>(b->entries(), b->count, k);
+      if (eq != nullptr) {
+        *eq = pos < b->count && !less(k, b->entries()[pos].first);
       }
+      return pos;
+    } else {
+      return lstore::lower_idx(b, std::string_view(k), eq);
     }
-    return lo;
+  }
+
+  // First slot with key > k.
+  template <typename Key>
+  static size_t blk_upper(const lblock* b, const Key& k) {
+    if constexpr (NM::flat_layout) {
+      return block_upper_idx<Entry>(b->entries(), b->count, k);
+    } else {
+      return lstore::upper_idx(b, std::string_view(k));
+    }
+  }
+
+  static V blk_value(const lblock* b, size_t i) {
+    if constexpr (NM::flat_layout) {
+      return b->entries()[i].second;
+    } else {
+      return lstore::vals(b)[i];
+    }
+  }
+
+  // Slot i as a materialized entry (coded blocks decode the prefix chain).
+  static entry_t blk_entry(const lblock* b, size_t i) {
+    if constexpr (NM::flat_layout) {
+      return b->entries()[i];
+    } else {
+      return lstore::entry_at(b, static_cast<uint32_t>(i));
+    }
   }
 
   // Is t a leaf chunk (block with no subtrees) — the fast-path shape?
@@ -93,7 +135,8 @@ struct tree_ops : node_manager<Entry, Balance> {
   // --------------------------------------------------- chunk construction --
 
   // In-order copy of every entry under t (borrowed) into out via placement
-  // new, advancing i. Used to fill freshly allocated leaf blocks.
+  // new, advancing i. Used to fill freshly allocated flat leaf blocks (the
+  // coded layout collects into a vector instead; see collect_entries).
   static void write_entries(const node* t, entry_t* out, size_t& i) {
     if (t == nullptr) return;
     write_entries(t->left, out, i);
@@ -106,13 +149,25 @@ struct tree_ops : node_manager<Entry, Balance> {
     write_entries(t->right, out, i);
   }
 
-  // A fresh leaf-chunk node over es[0, n), 1 <= n <= kMaxLeafBlock.
+  // In-order append of every entry under t (borrowed) onto out; the
+  // layout-generic sibling of write_entries.
+  static void collect_entries(const node* t, std::vector<entry_t>& out) {
+    if (t == nullptr) return;
+    collect_entries(t->left, out);
+    if (is_chunk(t)) {
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      for (size_t j = 0; j < bv.size(); j++) out.push_back(es[j]);
+    } else {
+      out.emplace_back(t->key, t->value);
+    }
+    collect_entries(t->right, out);
+  }
+
+  // A fresh leaf-chunk node over es[0, n), 1 <= n <= kMaxLeafBlock. The
+  // store's build() encodes per the Entry's layout (flat copy / front-coded).
   static node* make_chunk_leaf(const entry_t* es, size_t n) {
-    lblock* b = lstore::allocate(static_cast<uint32_t>(n));
-    entry_t* out = b->entries();
-    for (size_t i = 0; i < n; i++) new (&out[i]) entry_t(es[i]);
-    lstore::seal(b);
-    return NM::make_chunk(b);
+    return NM::make_chunk(lstore::build(es, static_cast<uint32_t>(n)));
   }
 
   // Sequential balanced build from sorted unique entries. With blocking on,
@@ -166,17 +221,28 @@ struct tree_ops : node_manager<Entry, Balance> {
     return BO::node_join(l, m, r);
   }
 
-  // Flatten l ++ m ++ r (all owned, m singleton) into one leaf chunk.
+  // Flatten l ++ m ++ r (all owned, m singleton) into one leaf chunk. Flat
+  // blocks are filled in place; coded blocks encode from a collected run.
   static node* pack_chunk(node* l, node* m, node* r) {
     uint32_t total = static_cast<uint32_t>(size(l) + 1 + size(r));
-    lblock* b = lstore::allocate(total);
-    entry_t* out = b->entries();
-    size_t i = 0;
-    write_entries(l, out, i);
-    new (&out[i++]) entry_t(m->key, m->value);
-    write_entries(r, out, i);
-    lstore::seal(b);
-    node* c = NM::make_chunk(b);
+    node* c;
+    if constexpr (NM::flat_layout) {
+      lblock* b = lstore::allocate(total);
+      entry_t* out = b->entries();
+      size_t i = 0;
+      write_entries(l, out, i);
+      new (&out[i++]) entry_t(m->key, m->value);
+      write_entries(r, out, i);
+      lstore::seal(b);
+      c = NM::make_chunk(b);
+    } else {
+      std::vector<entry_t> tmp;
+      tmp.reserve(total);
+      collect_entries(l, tmp);
+      tmp.emplace_back(m->key, m->value);
+      collect_entries(r, tmp);
+      c = NM::make_chunk(lstore::build(tmp.data(), total));
+    }
     dec(l);
     dec(m);
     dec(r);
@@ -192,16 +258,16 @@ struct tree_ops : node_manager<Entry, Balance> {
       NM::expose_own(t, l, m, r);
       return;
     }
-    const lblock* b = t->blk;
-    const entry_t* es = b->entries();
-    size_t c = b->count;
+    auto bv = NM::read_block(t->blk);
+    const entry_t* es = bv.data();
+    size_t c = bv.size();
     size_t j = c / 2;
     node* cl = inc(t->left);
     node* cr = inc(t->right);
     m = make_single(es[j].first, es[j].second);
     l = rebuild(cl, es, 0, j, nullptr);
     r = rebuild(nullptr, es, j + 1, c, cr);
-    dec(t);  // after the copies: es points into t's block
+    dec(t);  // after the copies: a flat view's es points into t's block
   }
 
   // ------------------------------------------------------ split / join2 --
@@ -233,9 +299,9 @@ struct tree_ops : node_manager<Entry, Balance> {
   }
 
   static split_t split_chunk(node* t, const K& k) {
-    const lblock* b = t->blk;
-    const entry_t* es = b->entries();
-    size_t c = b->count;
+    auto bv = NM::read_block(t->blk);
+    const entry_t* es = bv.data();
+    size_t c = bv.size();
     node* cl = inc(t->left);
     node* cr = inc(t->right);
     split_t s;
@@ -267,9 +333,9 @@ struct tree_ops : node_manager<Entry, Balance> {
   // Remove and return the last (maximum) entry: (rest, last-as-singleton).
   static std::pair<node*, node*> split_last(node* t) {
     if (is_chunk(t)) {
-      const lblock* b = t->blk;
-      const entry_t* es = b->entries();
-      size_t c = b->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       node* cl = inc(t->left);
       node* cr = inc(t->right);
       if (cr != nullptr) {
@@ -327,32 +393,35 @@ struct tree_ops : node_manager<Entry, Balance> {
 
   template <typename Comb>
   static node* chunk_leaf_insert(node* t, const K& k, const V& v, const Comb& comb) {
-    const lblock* b = t->blk;
-    const entry_t* es = b->entries();
-    size_t c = b->count;
+    auto bv = NM::read_block(t->blk);
+    const entry_t* es = bv.data();
+    size_t c = bv.size();
     size_t pos = lower_idx(es, c, k);
     bool hit = pos < c && !less(k, es[pos].first);
     size_t nc = hit ? c : c + 1;
     size_t B = leaf_block_size();
-    if (B >= 1 && nc <= B) {
-      // Block-at-a-time rebuild: one new block, no tree surgery.
-      lblock* nb = lstore::allocate(static_cast<uint32_t>(nc));
-      entry_t* out = nb->entries();
-      size_t i = 0;
-      for (; i < pos; i++) new (&out[i]) entry_t(es[i]);
-      if (hit) {
-        new (&out[i++]) entry_t(k, comb(es[pos].second, v));
-      } else {
-        new (&out[i++]) entry_t(k, v);
+    if constexpr (NM::flat_layout) {
+      if (B >= 1 && nc <= B) {
+        // Block-at-a-time rebuild: one new block, no tree surgery.
+        lblock* nb = lstore::allocate(static_cast<uint32_t>(nc));
+        entry_t* out = nb->entries();
+        size_t i = 0;
+        for (; i < pos; i++) new (&out[i]) entry_t(es[i]);
+        if (hit) {
+          new (&out[i++]) entry_t(k, comb(es[pos].second, v));
+        } else {
+          new (&out[i++]) entry_t(k, v);
+        }
+        for (size_t j = pos + (hit ? 1 : 0); j < c; j++) new (&out[i++]) entry_t(es[j]);
+        lstore::seal(nb);
+        node* nn = NM::make_chunk(nb);
+        dec(t);
+        return nn;
       }
-      for (size_t j = pos + (hit ? 1 : 0); j < c; j++) new (&out[i++]) entry_t(es[j]);
-      lstore::seal(nb);
-      node* nn = NM::make_chunk(nb);
-      dec(t);
-      return nn;
     }
-    // Overflow (or blocking now disabled): materialize and rebuild, which
-    // splits into correctly sized blocks (or plain nodes) as needed.
+    // Coded blocks, overflow, or blocking now disabled: materialize and
+    // rebuild — build_sorted_seq re-encodes one block when nc <= B and
+    // splits into correctly sized blocks (or plain nodes) otherwise.
     std::vector<entry_t> tmp;
     tmp.reserve(nc);
     for (size_t i = 0; i < pos; i++) tmp.push_back(es[i]);
@@ -370,9 +439,9 @@ struct tree_ops : node_manager<Entry, Balance> {
   static node* remove(node* t, const K& k) {
     if (t == nullptr) return nullptr;
     if (is_chunk_leaf(t)) {
-      const lblock* b = t->blk;
-      const entry_t* es = b->entries();
-      size_t c = b->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       size_t pos = lower_idx(es, c, k);
       if (pos == c || less(k, es[pos].first)) return t;  // absent: unchanged
       if (c == 1) {
@@ -380,17 +449,22 @@ struct tree_ops : node_manager<Entry, Balance> {
         return nullptr;
       }
       size_t B = leaf_block_size();
-      node* nn;
-      if (B >= 1 && c - 1 <= B) {
-        lblock* nb = lstore::allocate(static_cast<uint32_t>(c - 1));
-        entry_t* out = nb->entries();
-        size_t i = 0;
-        for (size_t j = 0; j < c; j++) {
-          if (j != pos) new (&out[i++]) entry_t(es[j]);
+      node* nn = nullptr;
+      bool direct = false;
+      if constexpr (NM::flat_layout) {
+        if (B >= 1 && c - 1 <= B) {
+          lblock* nb = lstore::allocate(static_cast<uint32_t>(c - 1));
+          entry_t* out = nb->entries();
+          size_t i = 0;
+          for (size_t j = 0; j < c; j++) {
+            if (j != pos) new (&out[i++]) entry_t(es[j]);
+          }
+          lstore::seal(nb);
+          nn = NM::make_chunk(nb);
+          direct = true;
         }
-        lstore::seal(nb);
-        nn = NM::make_chunk(nb);
-      } else {
+      }
+      if (!direct) {
         std::vector<entry_t> tmp;
         tmp.reserve(c - 1);
         for (size_t j = 0; j < c; j++) {
@@ -411,22 +485,26 @@ struct tree_ops : node_manager<Entry, Balance> {
 
   // ------------------------------------------------------------ search --
 
-  static std::optional<V> find(const node* t, const K& k) {
+  // Point lookup. Key is heterogeneous: string-keyed maps accept anything
+  // comparable through Entry::comp (string_view, const char*) without
+  // materializing a std::string.
+  template <typename Key>
+  static std::optional<V> find(const node* t, const Key& k) {
     while (t != nullptr) {
       if (is_chunk(t)) {
-        const entry_t* es = t->blk->entries();
-        size_t c = t->blk->count;
-        if (less(k, es[0].first)) {
+        const lblock* b = t->blk;
+        bool eq = false;
+        size_t pos = blk_lower(b, k, &eq);
+        if (eq) return blk_value(b, pos);
+        if (pos == 0) {
           t = t->left;
           continue;
         }
-        if (less(es[c - 1].first, k)) {
+        if (pos == b->count) {
           t = t->right;
           continue;
         }
-        size_t pos = lower_idx(es, c, k);
-        if (pos < c && !less(k, es[pos].first)) return es[pos].second;
-        return std::nullopt;
+        return std::nullopt;  // k falls strictly between two block entries
       }
       if (less(k, t->key)) {
         t = t->left;
@@ -439,19 +517,20 @@ struct tree_ops : node_manager<Entry, Balance> {
     return std::nullopt;
   }
 
-  static bool contains(const node* t, const K& k) { return find(t, k).has_value(); }
+  template <typename Key>
+  static bool contains(const node* t, const Key& k) { return find(t, k).has_value(); }
 
   static std::optional<entry_t> first_entry(const node* t) {
     if (t == nullptr) return std::nullopt;
     while (t->left != nullptr) t = t->left;
-    if (is_chunk(t)) return t->blk->entries()[0];
+    if (is_chunk(t)) return blk_entry(t->blk, 0);
     return entry_t(t->key, t->value);
   }
 
   static std::optional<entry_t> last_entry(const node* t) {
     if (t == nullptr) return std::nullopt;
     while (t->right != nullptr) t = t->right;
-    if (is_chunk(t)) return t->blk->entries()[t->blk->count - 1];
+    if (is_chunk(t)) return blk_entry(t->blk, t->blk->count - 1);
     return entry_t(t->key, t->value);
   }
 
@@ -460,14 +539,14 @@ struct tree_ops : node_manager<Entry, Balance> {
     std::optional<entry_t> best;
     while (t != nullptr) {
       if (is_chunk(t)) {
-        const entry_t* es = t->blk->entries();
-        size_t c = t->blk->count;
-        size_t pos = lower_idx(es, c, k);  // entries [0, pos) are < k
+        const lblock* b = t->blk;
+        size_t c = b->count;
+        size_t pos = blk_lower(b, k, nullptr);  // entries [0, pos) are < k
         if (pos == 0) {
           t = t->left;
           continue;
         }
-        best = es[pos - 1];
+        best = blk_entry(b, pos - 1);
         if (pos < c) return best;  // everything further right is >= k
         t = t->right;
         continue;
@@ -487,14 +566,14 @@ struct tree_ops : node_manager<Entry, Balance> {
     std::optional<entry_t> best;
     while (t != nullptr) {
       if (is_chunk(t)) {
-        const entry_t* es = t->blk->entries();
-        size_t c = t->blk->count;
-        size_t pos = upper_idx(es, c, k);  // entries [pos, c) are > k
+        const lblock* b = t->blk;
+        size_t c = b->count;
+        size_t pos = blk_upper(b, k);  // entries [pos, c) are > k
         if (pos == c) {
           t = t->right;
           continue;
         }
-        best = es[pos];
+        best = blk_entry(b, pos);
         if (pos > 0) return best;  // everything further left is <= k
         t = t->left;
         continue;
@@ -516,9 +595,9 @@ struct tree_ops : node_manager<Entry, Balance> {
     size_t acc = 0;
     while (t != nullptr) {
       if (is_chunk(t)) {
-        const entry_t* es = t->blk->entries();
-        size_t c = t->blk->count;
-        size_t pos = lower_idx(es, c, k);
+        const lblock* b = t->blk;
+        size_t c = b->count;
+        size_t pos = blk_lower(b, k, nullptr);
         if (pos == 0) {
           t = t->left;
           continue;
@@ -543,9 +622,9 @@ struct tree_ops : node_manager<Entry, Balance> {
     size_t acc = 0;
     while (t != nullptr) {
       if (is_chunk(t)) {
-        const entry_t* es = t->blk->entries();
-        size_t c = t->blk->count;
-        size_t pos = upper_idx(es, c, k);
+        const lblock* b = t->blk;
+        size_t c = b->count;
+        size_t pos = blk_upper(b, k);
         if (pos == 0) {
           t = t->left;
           continue;
@@ -582,7 +661,7 @@ struct tree_ops : node_manager<Entry, Balance> {
       if (i < ls) {
         t = t->left;
       } else if (i < ls + c) {
-        if (is_chunk(t)) return t->blk->entries()[i - ls];
+        if (is_chunk(t)) return blk_entry(t->blk, i - ls);
         return entry_t(t->key, t->value);
       } else {
         i -= ls + c;
@@ -600,8 +679,9 @@ struct tree_ops : node_manager<Entry, Balance> {
   static node* take_leq(const node* t, const K& k) {
     if (t == nullptr) return nullptr;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(k, es[0].first)) return take_leq(t->left, k);
       size_t pos = upper_idx(es, c, k);  // entries [0, pos) are <= k
       if (pos == c) {
@@ -618,8 +698,9 @@ struct tree_ops : node_manager<Entry, Balance> {
   static node* take_geq(const node* t, const K& k) {
     if (t == nullptr) return nullptr;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(es[c - 1].first, k)) return take_geq(t->right, k);
       size_t pos = lower_idx(es, c, k);  // entries [pos, c) are >= k
       if (pos == 0) {
@@ -636,8 +717,9 @@ struct tree_ops : node_manager<Entry, Balance> {
   static node* range_copy(const node* t, const K& lo, const K& hi) {
     if (t == nullptr) return nullptr;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      size_t c = t->blk->count;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      size_t c = bv.size();
       if (less(es[c - 1].first, lo)) return range_copy(t->right, lo, hi);
       if (less(hi, es[0].first)) return range_copy(t->left, lo, hi);
       size_t i = lower_idx(es, c, lo);
@@ -666,7 +748,7 @@ struct tree_ops : node_manager<Entry, Balance> {
   static bool check_valid(const node* t) {
     if (!check_chunks(t)) return false;
     if (!check_sizes(t)) return false;
-    const K* prev = nullptr;
+    std::optional<K> prev;
     if (!check_order(t, prev)) return false;
     if constexpr (traits::has_aug && requires(const A& a, const A& b) {
                     { a == b } -> std::convertible_to<bool>;
@@ -688,10 +770,16 @@ struct tree_ops : node_manager<Entry, Balance> {
     if (t == nullptr) return true;
     if (is_chunk(t)) {
       const lblock* b = t->blk;
-      if (b->count == 0 || b->count > b->capacity) return false;
       if (b->ref_cnt.load(std::memory_order_relaxed) == 0) return false;
-      // The node's inline key/value mirror the first block entry.
-      if (!NM::keys_equal(t->key, b->entries()[0].first)) return false;
+      if constexpr (NM::flat_layout) {
+        if (b->count == 0 || b->count > b->capacity) return false;
+        // The node's inline key/value mirror the first block entry.
+        if (!NM::keys_equal(t->key, b->entries()[0].first)) return false;
+      } else {
+        if (b->count == 0) return false;
+        if (!NM::keys_equal(std::string_view(t->key), lstore::first_key(b)))
+          return false;
+      }
     }
     return check_chunks(t->left) && check_chunks(t->right);
   }
@@ -702,18 +790,21 @@ struct tree_ops : node_manager<Entry, Balance> {
     return check_sizes(t->left) && check_sizes(t->right);
   }
 
-  static bool check_order(const node* t, const K*& prev) {
+  // prev is an owning copy, not a pointer: for front-coded blocks the
+  // decoded view dies at scope exit, so a pointer into it would dangle.
+  static bool check_order(const node* t, std::optional<K>& prev) {
     if (t == nullptr) return true;
     if (!check_order(t->left, prev)) return false;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      for (uint32_t i = 0; i < t->blk->count; i++) {
-        if (prev != nullptr && !less(*prev, es[i].first)) return false;
-        prev = &es[i].first;
+      auto bv = NM::read_block(t->blk);
+      const entry_t* es = bv.data();
+      for (size_t i = 0; i < bv.size(); i++) {
+        if (prev.has_value() && !less(*prev, es[i].first)) return false;
+        prev = es[i].first;
       }
     } else {
-      if (prev != nullptr && !less(*prev, t->key)) return false;
-      prev = &t->key;
+      if (prev.has_value() && !less(*prev, t->key)) return false;
+      prev = t->key;
     }
     return check_order(t->right, prev);
   }
@@ -721,12 +812,10 @@ struct tree_ops : node_manager<Entry, Balance> {
   static bool check_aug(const node* t) {
     if (t == nullptr) return true;
     if (is_chunk(t)) {
-      const entry_t* es = t->blk->entries();
-      A block_expect = traits::base(es[0].first, es[0].second);
-      for (uint32_t i = 1; i < t->blk->count; i++) {
-        block_expect =
-            traits::combine(block_expect, traits::base(es[i].first, es[i].second));
-      }
+      auto bv = NM::read_block(t->blk);
+      // Must fold with the same grouping the stores use (seal/build), so
+      // non-exactly-associative combines (floats) compare equal.
+      A block_expect = fold_entries_assoc<traits>(bv.data(), 0, bv.size());
       if (!(t->blk->aug == block_expect)) return false;
     }
     A expect = traits::combine(aug_of(t->left),

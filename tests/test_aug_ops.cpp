@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "pam/pam.h"
@@ -292,6 +293,33 @@ TEST(MapConvenience, MinEntryAugmentation) {
   EXPECT_EQ(m.aug_val(), -3);
   EXPECT_EQ(m.aug_range(3, 3), 7);
   EXPECT_EQ(min_map().aug_val(), std::numeric_limits<int64_t>::max());
+}
+
+TEST(MapConvenience, MaxEntryOverStringValues) {
+  // max_entry with a non-numeric value type: std::numeric_limits<V> is not
+  // specialized, so the identity dispatches through extreme_values<V> to
+  // V{} — which for max over std::string ("" sorts below everything) is the
+  // true identity. This must compile and fold correctly.
+  using smax_map = pam::aug_map<pam::max_entry<uint64_t, std::string>>;
+  smax_map m = {{1, "ant"}, {2, "zebra"}, {3, "mole"}};
+  EXPECT_EQ(m.aug_val(), "zebra");
+  EXPECT_EQ(m.aug_range(1, 1), "ant");
+  EXPECT_EQ(m.aug_range(2, 3), "zebra");
+  EXPECT_EQ(m.aug_left(1), "ant");
+  EXPECT_EQ(smax_map().aug_val(), "");  // identity = V{}
+  m = smax_map::insert(std::move(m), 4, "aardvark");
+  EXPECT_EQ(m.aug_range(3, 4), "mole");
+  EXPECT_TRUE(m.check_valid());
+}
+
+TEST(MapConvenience, StringKeyedMaxAugmentation) {
+  // Both ends string: front-coded keys with a string-valued max fold.
+  using str_max_map = pam::aug_map<pam::str_max_entry<uint64_t>>;
+  str_max_map m = {{"a/1", 3}, {"a/2", 9}, {"b/1", 5}};
+  EXPECT_EQ(m.aug_val(), 9u);
+  EXPECT_EQ(m.aug_range(std::string("a/"), std::string("a/z")), 9u);
+  EXPECT_EQ(m.aug_range(std::string("b/"), std::string("b/z")), 5u);
+  EXPECT_TRUE(m.check_valid());
 }
 
 }  // namespace

@@ -4,12 +4,17 @@
 Rules (each can be waived per-site with a comment on the offending line or
 on the comment line(s) immediately above it: `pam-lint: allow(<rule>)`):
 
-  naked-new           `new` expressions in src/** outside the pool layer
-                      (src/alloc/**). Tree nodes, leaf blocks and payloads
-                      must come from the pools so epoch reclamation and the
-                      space accounting (Table 4) see every allocation.
-  naked-delete        `delete` in src/** outside src/alloc/**: frees must go
-                      through epoch::retire or a pool, never directly.
+  naked-new           `new` expressions in src/** outside the sanctioned
+                      allocation surface: the pool layer (src/alloc/**) plus
+                      the variable-length block encoder
+                      (src/pam/coded_block.h), which owns the byte-class
+                      pool table and the counted overflow path for oversized
+                      blocks. Tree nodes, leaf blocks and payloads must come
+                      from these so epoch reclamation and the space
+                      accounting (Table 4) see every allocation.
+  naked-delete        `delete` in src/** outside the same surface: frees
+                      must go through epoch::retire or a pool, never
+                      directly.
   unguarded-mutex     a mutex member in src/** must be referenced by at
                       least one thread-safety annotation in the same file
                       (PAM_GUARDED_BY companion, PAM_REQUIRES(mu) method,
@@ -154,7 +159,11 @@ def lint_file(relpath, text):
     unix = relpath.replace(os.sep, "/")
 
     in_src = unix.startswith("src/")
-    in_pool_layer = unix.startswith("src/alloc/")
+    # The sanctioned allocation surface: the pool layer itself, plus the
+    # coded-block encoder, which owns the byte-granular pool table and the
+    # atomically counted overflow allocations for oversized blocks.
+    in_pool_layer = (unix.startswith("src/alloc/")
+                     or unix == "src/pam/coded_block.h")
     is_wrapper = unix == "src/util/thread_annotations.h"
 
     if in_src and not in_pool_layer and not is_wrapper:
