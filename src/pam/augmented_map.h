@@ -50,6 +50,11 @@
 
 namespace pam {
 
+// Byte-stream codec for maps (pam/serialize.h); befriended so it can walk
+// roots and rebuild maps without widening the public node surface.
+template <typename Map>
+struct map_codec;
+
 template <typename Entry, typename Balance = weight_balanced>
 class aug_map {
  public:
@@ -430,6 +435,22 @@ class aug_map {
   }
   void remove_inplace(const K& k) { root_ = ops::remove(release(), k); }
 
+  // ------------------------------------------------------ serialization --
+  // Byte-exact snapshot codec (pam/serialize.h): append this map's entries
+  // to `out` as a self-framing record stream — sealed leaf blocks travel as
+  // raw payloads (flat: one memcpy; front-coded: the encoded region) — and
+  // rebuild a map from such bytes. Integrity of the bytes is the caller's
+  // contract: the durability layer (src/store/) wraps streams in
+  // CRC32C-checked pages, and deserialize throws pam::wire::error on any
+  // framing it cannot prove consistent. Rebuilt blocks recompute their
+  // augmented values; they are never trusted from the payload.
+  void serialize(std::vector<char>& out) const {
+    map_codec<aug_map>::serialize(*this, out);
+  }
+  static aug_map deserialize(const char* data, size_t n) {
+    return map_codec<aug_map>::deserialize(data, n);
+  }
+
   // ------------------------------------------------------ introspection --
 
   // Full structural validation (balance invariant, sizes, order, cached
@@ -451,6 +472,9 @@ class aug_map {
   static const char* balance_name() { return Balance::name; }
 
  private:
+  template <typename M>
+  friend struct map_codec;
+
   explicit aug_map(node* owned_root) : root_(owned_root) {}
 
   node* release() {

@@ -181,6 +181,78 @@ struct coded_store {
     return b;
   }
 
+  // ------------------------------------------------- serialization hooks --
+  // A sealed coded block serializes as its raw encoded region — directory,
+  // records and values exactly as laid out in memory, [dir_offset, bytes) —
+  // because the front-coded encoding is position-independent past the
+  // header. The header fields {count, bytes, val_off} travel in the frame;
+  // the augmented value is recomputed on rebuild, never trusted from disk.
+  static size_t payload_bytes(const block* b) {
+    return size_t{b->bytes} - block::dir_offset();
+  }
+
+  static void write_payload(const block* b, char* dst) {
+    std::memcpy(dst, reinterpret_cast<const char*>(b) + block::dir_offset(),
+                payload_bytes(b));
+  }
+
+  // Rebuild a sealed block from its encoded region (`region` holds
+  // bytes - dir_offset() bytes). Returns nullptr when the framing is
+  // internally inconsistent — directory not strictly increasing, value
+  // array not aligned where the record region ends — so a decoder can
+  // never be walked outside the slot. CRC checks at the store layer catch
+  // torn media; this guards the in-memory decode paths.
+  static block* from_payload(const char* region, uint32_t count,
+                             uint32_t bytes, uint32_t val_off) {
+    const size_t dir_off = block::dir_offset();
+    const size_t rec_off = dir_off + size_t{count} * sizeof(uint32_t);
+    if (count == 0 || size_t{bytes} < rec_off || size_t{val_off} < rec_off ||
+        val_off > bytes ||
+        size_t{bytes} - val_off != size_t{count} * sizeof(V) ||
+        val_off % alignof(V) != 0) {
+      return nullptr;
+    }
+    // The directory must be strictly increasing (every record carries at
+    // least its u16 prefix_len) and stay inside [rec_off, val_off).
+    uint32_t prev = 0;
+    for (uint32_t i = 0; i < count; i++) {
+      uint32_t d;
+      std::memcpy(&d, region + size_t{i} * sizeof(uint32_t), sizeof(d));
+      if (d < prev + uint32_t{sizeof(uint16_t)} || rec_off + d > val_off) {
+        return nullptr;
+      }
+      prev = d;
+    }
+
+    int cls = byte_class_of(bytes);
+    block* b;
+    if (cls < kByteClasses) {
+      b = static_cast<block*>(pool(cls).allocate());
+    } else {
+      b = static_cast<block*>(
+          ::operator new(bytes, std::align_val_t{kSlotAlign}));
+      table().overflow_blocks.fetch_add(1, std::memory_order_relaxed);
+      table().overflow_bytes.fetch_add(static_cast<int64_t>(bytes),
+                                       std::memory_order_relaxed);
+    }
+    new (&b->ref_cnt) std::atomic<uint32_t>(1);
+    b->count = count;
+    b->cls = cls < kByteClasses ? cls : block::kOverflowClass;
+    b->bytes = bytes;
+    b->val_off = val_off;
+    std::memcpy(reinterpret_cast<char*>(b) + dir_off, region,
+                size_t{bytes} - dir_off);
+    if constexpr (traits::has_aug) {
+      std::vector<entry_t> es;
+      es.reserve(count);
+      decode_all(b, es);
+      new (&b->aug) A(fold_entries_assoc<traits>(es.data(), 0, count));
+    } else {
+      new (&b->aug) A();
+    }
+    return b;
+  }
+
   static block* retain(block* b) {
     b->ref_cnt.fetch_add(1, std::memory_order_relaxed);
     return b;

@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -180,6 +181,37 @@ struct leaf_store {
     block* b = allocate(n);
     entry_t* out = b->entries();
     for (uint32_t i = 0; i < n; i++) new (&out[i]) entry_t(es[i]);
+    seal(b);
+    return b;
+  }
+
+  // ------------------------------------------------- serialization hooks --
+  // Sealed flat blocks with trivially copyable entries round-trip as one
+  // memcpy of the entry array — the near-memcpy checkpoint path used by
+  // pam/serialize.h. Blocks whose entries own heap state (std::string keys
+  // forced flat) take the per-entry encoded path instead and never reach
+  // these hooks. Integrity is the caller's problem (the durability layer
+  // wraps payloads in CRC32C-checked pages); the augmented value is always
+  // recomputed by seal(), never trusted from the payload.
+  static constexpr bool raw_payload = std::is_trivially_copyable_v<entry_t>;
+
+  static size_t payload_bytes(const block* b) {
+    return size_t{b->count} * sizeof(entry_t);
+  }
+
+  static void write_payload(const block* b, char* dst) {
+    static_assert(raw_payload);
+    std::memcpy(dst, b->entries(), payload_bytes(b));
+  }
+
+  // Rebuild a sealed block from a raw entry payload. The caller validates
+  // the frame (1 <= count <= kMaxLeafBlock, payload spans exactly count
+  // entries) before handing bytes over.
+  static block* from_payload(const char* src, uint32_t count) {
+    static_assert(raw_payload);
+    block* b = allocate(count);
+    std::memcpy(static_cast<void*>(b->entries()), src,
+                size_t{count} * sizeof(entry_t));
     seal(b);
     return b;
   }

@@ -24,5 +24,6 @@
 #include "pam/balance/weight_balanced.h"
 #include "pam/entries.h"
 #include "pam/iterator.h"
+#include "pam/serialize.h"
 #include "pam/snapshot.h"
 #include "parallel/parallel.h"

@@ -1,0 +1,401 @@
+// Byte-exact map serialization: the kernel half of the durability layer.
+//
+// map_codec<Map> turns a map into a self-framing record stream and back:
+//
+//   [ u32 magic | u8 layout | u8 reserved | u16 entry_abi |
+//     u64 total_entries | u32 record_count | records... ]
+//
+//   record := u8 kind | u32 count | u32 payload_len | payload
+//
+// Three record kinds, chosen per tree region during an in-order walk:
+//
+//   kRun       per-field encoded entries (wire::field_codec) — inline nodes
+//              between chunks, and any layout whose entries cannot travel
+//              raw (std::string keys forced flat at B = 0);
+//   kFlatRaw   a sealed flat leaf block as one memcpy of its entry array
+//              (the near-memcpy checkpoint path; trivially copyable
+//              entries only);
+//   kCodedRaw  a sealed front-coded block as its raw encoded region
+//              ({u32 bytes, u32 val_off} + directory/records/values).
+//
+// Deserialization rebuilds each record into a map piece (blocks through the
+// stores' from_payload hooks, runs through from_sorted_unique) and folds
+// the pieces left-to-right with join2, checking key ordering at every
+// boundary. The augmented values of rebuilt blocks are recomputed, never
+// read from the payload. Integrity of the bytes themselves is the caller's
+// contract: the durability layer (src/store/) wraps these streams in
+// CRC32C-checked pages, and deserialize throws pam::wire::error on any
+// framing it cannot prove consistent (truncation, bad counts, out-of-order
+// keys, undecodable blocks).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "pam/augmented_map.h"
+#include "pam/node.h"
+
+namespace pam {
+
+// ------------------------------------------------------------------ wire --
+// Little-endian plain-data framing helpers shared by the map codec and the
+// store layer's WAL/manifest formats (reached through pam/pam.h).
+
+namespace wire {
+
+class error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline void put_bytes(std::vector<char>& out, const void* p, size_t n) {
+  const char* c = static_cast<const char*>(p);
+  out.insert(out.end(), c, c + n);
+}
+
+template <typename T>
+void put_pod(std::vector<char>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(out, &v, sizeof(T));
+}
+
+inline void put_u8(std::vector<char>& out, uint8_t v) { put_pod(out, v); }
+inline void put_u16(std::vector<char>& out, uint16_t v) { put_pod(out, v); }
+inline void put_u32(std::vector<char>& out, uint32_t v) { put_pod(out, v); }
+inline void put_u64(std::vector<char>& out, uint64_t v) { put_pod(out, v); }
+
+// Bounds-checked sequential reader over a byte range; every primitive
+// throws wire::error instead of reading past `end`.
+struct reader {
+  const char* p;
+  const char* end;
+
+  reader(const char* data, size_t n) : p(data), end(data + n) {}
+
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+
+  void require(size_t n) const {
+    if (remaining() < n) throw error("pam::wire: truncated input");
+  }
+
+  const char* skip(size_t n) {
+    require(n);
+    const char* at = p;
+    p += n;
+    return at;
+  }
+
+  void read_bytes(void* dst, size_t n) { std::memcpy(dst, skip(n), n); }
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    read_bytes(&v, sizeof(T));
+    return v;
+  }
+
+  uint8_t u8() { return pod<uint8_t>(); }
+  uint16_t u16() { return pod<uint16_t>(); }
+  uint32_t u32() { return pod<uint32_t>(); }
+  uint64_t u64() { return pod<uint64_t>(); }
+};
+
+// Per-field value codec: trivially copyable types travel raw; std::string
+// as u32 length + bytes; pairs member-wise. This is the encoding of kRun
+// records and of the store layer's WAL batch payloads.
+template <typename T, typename = void>
+struct field_codec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "wire::field_codec: provide a specialization for "
+                "non-trivially-copyable fields");
+  static void write(const T& v, std::vector<char>& out) { put_pod(out, v); }
+  static T read(reader& r) { return r.template pod<T>(); }
+};
+
+template <>
+struct field_codec<std::string> {
+  static void write(const std::string& s, std::vector<char>& out) {
+    put_u32(out, static_cast<uint32_t>(s.size()));
+    put_bytes(out, s.data(), s.size());
+  }
+  static std::string read(reader& r) {
+    uint32_t n = r.u32();
+    const char* at = r.skip(n);
+    return std::string(at, n);
+  }
+};
+
+template <typename A, typename B>
+struct field_codec<std::pair<A, B>> {
+  static void write(const std::pair<A, B>& v, std::vector<char>& out) {
+    field_codec<A>::write(v.first, out);
+    field_codec<B>::write(v.second, out);
+  }
+  static std::pair<A, B> read(reader& r) {
+    // Braced init pins left-to-right evaluation of the two reads.
+    return {field_codec<A>::read(r), field_codec<B>::read(r)};
+  }
+};
+
+}  // namespace wire
+
+// ------------------------------------------------------------- map codec --
+
+template <typename Map>
+struct map_codec {
+  using ops = typename Map::ops;
+  using node = typename Map::node;
+  using K = typename Map::K;
+  using V = typename Map::V;
+  using entry_t = typename Map::entry_t;
+  using lstore = typename ops::lstore;
+  using lblock = typename ops::lblock;
+
+  static constexpr uint32_t kMagic = 0x314D4150;  // "PAM1"
+  static constexpr uint8_t kRun = 1;
+  static constexpr uint8_t kFlatRaw = 2;
+  static constexpr uint8_t kCodedRaw = 3;
+  // Inline-node runs flush at this many entries so one record never grows
+  // unbounded (the store layer re-chunks streams into fixed-size pages).
+  static constexpr size_t kRunFlush = 4096;
+
+  static constexpr bool flat = ops::flat_layout;
+  // Can this layout's sealed blocks travel as raw payloads?
+  static constexpr bool raw_blocks = [] {
+    if constexpr (flat) {
+      return lstore::raw_payload;
+    } else {
+      return true;  // coded blocks are raw by construction
+    }
+  }();
+  // The ABI stamp pins sizeof(entry_t) wherever kFlatRaw records can occur,
+  // so a stream written by one build cannot be misread by another.
+  static constexpr uint16_t entry_abi =
+      flat && raw_blocks ? static_cast<uint16_t>(sizeof(entry_t)) : 0;
+
+  // ------------------------------------------------------------ writing --
+
+  static void serialize(const Map& m, std::vector<char>& out) {
+    wire::put_u32(out, kMagic);
+    wire::put_u8(out, flat ? 0 : 1);
+    wire::put_u8(out, 0);
+    wire::put_u16(out, entry_abi);
+    wire::put_u64(out, static_cast<uint64_t>(m.size()));
+    size_t count_at = out.size();
+    wire::put_u32(out, 0);  // record_count, patched below
+
+    state s{&out, {}, 0};
+    walk(m.root_, s);
+    flush_run(s);
+
+    uint32_t records = s.records;
+    std::memcpy(out.data() + count_at, &records, sizeof(records));
+  }
+
+  // ------------------------------------------------------------ reading --
+
+  static Map deserialize(const char* data, size_t n) {
+    wire::reader r(data, n);
+    if (r.u32() != kMagic) throw wire::error("map_codec: bad magic");
+    uint8_t layout = r.u8();
+    if (layout != (flat ? 0 : 1)) {
+      throw wire::error("map_codec: layout mismatch");
+    }
+    r.u8();  // reserved
+    if (r.u16() != entry_abi) {
+      throw wire::error("map_codec: entry ABI mismatch");
+    }
+    uint64_t total = r.u64();
+    uint32_t records = r.u32();
+
+    node* acc = nullptr;
+    bool have_last = false;
+    K last_key{};
+    try {
+      for (uint32_t i = 0; i < records; i++) {
+        uint8_t kind = r.u8();
+        uint32_t count = r.u32();
+        uint32_t len = r.u32();
+        const char* payload = r.skip(len);
+        K first{}, last{};
+        node* piece = read_record(kind, count, payload, len, first, last);
+        if (have_last && !ops::less(last_key, first)) {
+          ops::dec(piece);
+          throw wire::error("map_codec: records out of key order");
+        }
+        last_key = std::move(last);
+        have_last = true;
+        acc = ops::join2(acc, piece);
+      }
+    } catch (...) {
+      ops::dec(acc);
+      throw;
+    }
+    if (ops::size(acc) != total) {
+      ops::dec(acc);
+      throw wire::error("map_codec: entry count mismatch");
+    }
+    return Map(acc);
+  }
+
+ private:
+  struct state {
+    std::vector<char>* out;
+    std::vector<entry_t> run;
+    uint32_t records;
+  };
+
+  static void put_record_header(state& s, uint8_t kind, uint32_t count,
+                                uint32_t len) {
+    wire::put_u8(*s.out, kind);
+    wire::put_u32(*s.out, count);
+    wire::put_u32(*s.out, len);
+    s.records++;
+  }
+
+  static void flush_run(state& s) {
+    if (s.run.empty()) return;
+    std::vector<char> payload;
+    for (const entry_t& e : s.run) {
+      wire::field_codec<entry_t>::write(e, payload);
+    }
+    put_record_header(s, kRun, static_cast<uint32_t>(s.run.size()),
+                      static_cast<uint32_t>(payload.size()));
+    wire::put_bytes(*s.out, payload.data(), payload.size());
+    s.run.clear();
+  }
+
+  static void emit_chunk(const lblock* b, state& s) {
+    if constexpr (flat) {
+      flush_run(s);
+      size_t len = lstore::payload_bytes(b);
+      put_record_header(s, kFlatRaw, b->count, static_cast<uint32_t>(len));
+      size_t at = s.out->size();
+      s.out->resize(at + len);
+      lstore::write_payload(b, s.out->data() + at);
+    } else {
+      flush_run(s);
+      size_t len = lstore::payload_bytes(b);
+      put_record_header(s, kCodedRaw, b->count,
+                        static_cast<uint32_t>(len + 2 * sizeof(uint32_t)));
+      wire::put_u32(*s.out, b->bytes);
+      wire::put_u32(*s.out, b->val_off);
+      size_t at = s.out->size();
+      s.out->resize(at + len);
+      lstore::write_payload(b, s.out->data() + at);
+    }
+  }
+
+  static void walk(const node* t, state& s) {
+    if (t == nullptr) return;
+    walk(t->left, s);
+    if (ops::is_chunk(t)) {
+      if constexpr (raw_blocks) {
+        emit_chunk(t->blk, s);
+      } else {
+        // std::string keys forced flat: decode and ride the encoded run.
+        auto bv = ops::read_block(t->blk);
+        for (size_t i = 0; i < bv.size(); i++) {
+          s.run.push_back(bv.data()[i]);
+          if (s.run.size() >= kRunFlush) flush_run(s);
+        }
+      }
+    } else {
+      s.run.emplace_back(t->key, t->value);
+      if (s.run.size() >= kRunFlush) flush_run(s);
+    }
+    walk(t->right, s);
+  }
+
+  // Rebuild one record into an owned map piece; reports the piece's first
+  // and last key for the cross-record ordering check.
+  static node* read_record(uint8_t kind, uint32_t count, const char* payload,
+                           uint32_t len, K& first, K& last) {
+    if (count == 0) throw wire::error("map_codec: empty record");
+    switch (kind) {
+      case kRun: {
+        wire::reader pr(payload, len);
+        std::vector<entry_t> es;
+        es.reserve(count);
+        for (uint32_t i = 0; i < count; i++) {
+          entry_t e = wire::field_codec<entry_t>::read(pr);
+          if (i != 0 && !ops::less(es.back().first, e.first)) {
+            throw wire::error("map_codec: run entries out of key order");
+          }
+          es.push_back(std::move(e));
+        }
+        if (pr.remaining() != 0) {
+          throw wire::error("map_codec: run payload length mismatch");
+        }
+        first = es.front().first;
+        last = es.back().first;
+        return ops::from_sorted_unique(es.data(), es.size());
+      }
+      case kFlatRaw: {
+        if constexpr (flat && raw_blocks) {
+          if (count > kMaxLeafBlock ||
+              size_t{len} != size_t{count} * sizeof(entry_t)) {
+            throw wire::error("map_codec: bad flat block frame");
+          }
+          lblock* b = lstore::from_payload(payload, count);
+          const entry_t* es = b->entries();
+          for (uint32_t i = 1; i < count; i++) {
+            if (!ops::less(es[i - 1].first, es[i].first)) {
+              lstore::release(b);
+              throw wire::error("map_codec: block entries out of key order");
+            }
+          }
+          first = es[0].first;
+          last = es[count - 1].first;
+          return ops::make_chunk(b);
+        } else {
+          throw wire::error("map_codec: flat block in non-flat stream");
+        }
+      }
+      case kCodedRaw: {
+        if constexpr (!flat) {
+          if (count > kMaxLeafBlock || len < 2 * sizeof(uint32_t)) {
+            throw wire::error("map_codec: bad coded block frame");
+          }
+          wire::reader pr(payload, len);
+          uint32_t bytes = pr.u32();
+          uint32_t val_off = pr.u32();
+          if (pr.remaining() !=
+              size_t{bytes} - lblock::dir_offset()) {
+            throw wire::error("map_codec: coded block length mismatch");
+          }
+          lblock* b = lstore::from_payload(pr.p, count, bytes, val_off);
+          if (b == nullptr) {
+            throw wire::error("map_codec: inconsistent coded block");
+          }
+          // Decoded keys are checked for order; the decode itself is
+          // bounds-safe after from_payload's directory validation.
+          std::vector<entry_t> es;
+          es.reserve(count);
+          lstore::decode_all(b, es);
+          for (uint32_t i = 1; i < count; i++) {
+            if (!ops::less(es[i - 1].first, es[i].first)) {
+              lstore::release(b);
+              throw wire::error("map_codec: block entries out of key order");
+            }
+          }
+          first = es.front().first;
+          last = es.back().first;
+          return ops::make_chunk(b);
+        } else {
+          throw wire::error("map_codec: coded block in flat stream");
+        }
+      }
+      default:
+        throw wire::error("map_codec: unknown record kind");
+    }
+  }
+};
+
+}  // namespace pam

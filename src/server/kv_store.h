@@ -24,6 +24,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -34,6 +36,7 @@
 #include "server/sharded_map.h"
 #include "server/version_store.h"
 #include "server/write_combiner.h"
+#include "store/durability.h"
 #include "util/thread_annotations.h"
 
 namespace pam {
@@ -62,6 +65,14 @@ class kv_store {
     // history() exposes time-travel reads / diffs / change feeds.
     size_t retain_versions = 0;
     typename version_store<Map>::config history{};
+    // Durability: when set, the store owns a store::durability manager
+    // rooted at durability->dir — every flushed batch is WAL-logged before
+    // it becomes visible (write_combiner::config::batch_sink),
+    // save_checkpoint() persists consistent cuts, and recover() rebuilds a
+    // store from the directory after a crash. Constructing with this set
+    // immediately commits a full checkpoint of the initial contents (the
+    // splitters are durable from the first instant).
+    std::optional<store::durability_options> durability{};
   };
 
   explicit kv_store(Map initial = Map{}, options opt = {})
@@ -69,13 +80,13 @@ class kv_store {
                     ? sharded_map<Map>(std::move(initial), opt.num_shards)
                     : sharded_map<Map>(std::move(initial),
                                        std::move(opt.splitters))),
-        combiner_(shards_, opt.combiner) {
-    if (opt.retain_versions > 0) {
-      auto hcfg = opt.history;
-      hcfg.max_versions = opt.retain_versions;
-      history_.emplace(shards_, hcfg);
-      history_->capture();  // version 1: the initial contents
-    }
+        durable_(opt.durability.has_value()
+                     ? std::make_unique<store::durability<Map>>(
+                           std::move(*opt.durability), shards_.snapshot_all(),
+                           shards_.splitters())
+                     : nullptr),
+        combiner_(shards_, wire_sink(std::move(opt.combiner))) {
+    init_history(opt);
   }
 
   // ------------------------------------------------------------- writes --
@@ -85,16 +96,25 @@ class kv_store {
   void put(const K& k, const V& v) { combiner_.upsert(k, v); }
   void erase(const K& k) { combiner_.erase(k); }
 
-  // Barrier: every put/erase issued before this call is committed on return.
-  void flush() { combiner_.flush_all(); }
+  // Barrier: every put/erase issued before this call is committed on
+  // return — and, on a durable store, on the medium (WAL group-sync flushed).
+  void flush() {
+    combiner_.flush_all();
+    if (durable_) durable_->sync_wal();
+  }
 
   // Bulk writes bypass the combiner: they are already batches, and commit
   // before returning. Mixing bulk and buffered writes to the same key is
-  // racy by construction — flush() first if ordering matters.
+  // racy by construction — flush() first if ordering matters. On a durable
+  // store each bulk call is one WAL record, logged before it is applied.
   void put_batch(std::vector<entry_t> updates) {
+    log_bulk(updates, {});
     shards_.multi_insert(std::move(updates));
   }
-  void erase_batch(std::vector<K> keys) { shards_.multi_delete(std::move(keys)); }
+  void erase_batch(std::vector<K> keys) {
+    log_bulk({}, keys);
+    shards_.multi_delete(std::move(keys));
+  }
 
   // -------------------------------------------------------------- reads --
   // All reads see committed state only (pending buffered writes excluded).
@@ -133,6 +153,67 @@ class kv_store {
   // entry deltas between checkpoints.
   change_feed<Map> feed() { return change_feed<Map>(require_history()); }
 
+  // ---------------------------------------------------------- durability --
+  // Available when options::durability is set; the others throw
+  // std::logic_error on a store constructed without it.
+
+  bool has_durability() const { return durable_ != nullptr; }
+
+  // True once the WAL writer died (an append threw mid-record): later
+  // batches are silently unacked and the store should be replaced — by
+  // recover(), which replays only what actually reached the medium.
+  bool failed() const { return durable_ != nullptr && durable_->failed(); }
+
+  // Flush every pending write, make the WAL durable, then persist the
+  // resulting consistent cut — full or incremental per ckpt_config policy
+  // (a committed checkpoint truncates the WAL prefix it covers). When
+  // version history is on, the persisted cut is byte-identical to the
+  // version retained by the ring (version_store::capture_snapshot).
+  typename store::durability<Map>::ckpt_result save_checkpoint() {
+    require_durable();
+    combiner_.flush_all();
+    durable_->sync_wal();
+    uint64_t covered = durable_->durable_seq();
+    snapshot_type cut = history_.has_value()
+                            ? history_->capture_snapshot().snapshot
+                            : shards_.snapshot_all();
+    return durable_->save_checkpoint(cut, covered);
+  }
+
+  store::durability<Map>& durable() {
+    require_durable();
+    return *durable_;
+  }
+
+  struct recovery_stats {
+    bool recovered = false;  // false: fresh directory, nothing durable yet
+    uint64_t checkpoint_files = 0;
+    uint64_t wal_records = 0;
+    bool wal_tail_truncated = false;
+  };
+
+  // Rebuild a store from a durability directory: load the committed
+  // checkpoint chain, replay the WAL tail (repairing any torn tail in
+  // place), then open for serving with durability resumed — the recovered
+  // state is immediately re-checkpointed in full, so a second crash cannot
+  // lose it. Shard splitters come from the manifest; opt.splitters /
+  // opt.num_shards are ignored unless the directory is fresh.
+  static kv_store recover(store::durability_options dopts, options opt = {},
+                          recovery_stats* stats = nullptr) {
+    auto rec = store::durability<Map>::recover(dopts);
+    if (!rec.has_value()) {
+      if (stats != nullptr) *stats = {};
+      opt.durability = std::move(dopts);
+      return kv_store(Map{}, std::move(opt));
+    }
+    if (stats != nullptr) {
+      *stats = {true, rec->checkpoint_files, rec->wal_records,
+                rec->wal_tail_truncated};
+    }
+    return kv_store(recovered_tag{}, std::move(*rec), std::move(dopts),
+                    std::move(opt));
+  }
+
   // ------------------------------------------------------ introspection --
 
   sharded_map<Map>& shards() { return shards_; }
@@ -167,6 +248,65 @@ class kv_store {
   }
 
  private:
+  struct recovered_tag {};
+
+  kv_store(recovered_tag, typename store::durability<Map>::recovered_t rec,
+           store::durability_options dopts, options opt)
+      : shards_(std::move(rec.contents), std::move(rec.splitters)),
+        durable_(std::make_unique<store::durability<Map>>(
+            std::move(dopts), shards_.snapshot_all(), shards_.splitters(),
+            rec.next_seq - 1, rec.next_seq)),
+        combiner_(shards_, wire_sink(std::move(opt.combiner))) {
+    init_history(opt);
+  }
+
+  void init_history(const options& opt) {
+    if (opt.retain_versions > 0) {
+      auto hcfg = opt.history;
+      hcfg.max_versions = opt.retain_versions;
+      history_.emplace(shards_, hcfg);
+      history_->capture();  // version 1: the initial contents
+    }
+  }
+
+  // Chain the WAL onto the combiner's pre-visibility hook: a batch that
+  // cannot be logged is never applied (the sink throws, the combiner drops
+  // it and counts a sink_failure). A user-supplied sink still runs, before
+  // the log — its failure also keeps the batch out of both.
+  typename write_combiner<Map>::config wire_sink(
+      typename write_combiner<Map>::config cfg) {
+    if (durable_) {
+      auto prior = std::move(cfg.batch_sink);
+      auto* d = durable_.get();
+      cfg.batch_sink = [d, prior = std::move(prior)](
+                           size_t s, const std::vector<entry_t>& ups,
+                           const std::vector<K>& dels) {
+        if (prior) prior(s, ups, dels);
+        if (d->log_batch(static_cast<uint32_t>(s), ups, dels) == 0) {
+          throw store::io_error("kv_store: WAL writer is dead, batch unacked");
+        }
+      };
+    }
+    return cfg;
+  }
+
+  // Bulk writes don't ride the combiner, so they log their own record
+  // (shard field = ~0: routing is rederived from splitters at recovery).
+  void log_bulk(const std::vector<entry_t>& ups, const std::vector<K>& dels) {
+    if (!durable_) return;
+    if (durable_->log_batch(~uint32_t{0}, ups, dels) == 0) {
+      throw store::io_error("kv_store: WAL writer is dead, batch unacked");
+    }
+  }
+
+  void require_durable() const {
+    if (!durable_) {
+      throw std::logic_error(
+          "kv_store: durability disabled — construct with "
+          "options::durability set");
+    }
+  }
+
   version_store<Map>& require_history() {
     check_history();
     return *history_;
@@ -183,7 +323,11 @@ class kv_store {
   }
 
   sharded_map<Map> shards_;
-  write_combiner<Map> combiner_;  // declared after shards_: drains first
+  // Declaration order is the teardown contract run in reverse: history_
+  // releases its retained cuts, combiner_ drains (its final batches still
+  // logging through durable_), then durable_ closes the WAL, then shards_.
+  std::unique_ptr<store::durability<Map>> durable_;
+  write_combiner<Map> combiner_;
   std::optional<version_store<Map>> history_;
 };
 

@@ -234,6 +234,11 @@ class sharded_map {
 
   size_t num_shards() const { return boxes_.size(); }
 
+  // The (immutable) shard boundaries, S-1 keys for S shards. The durability
+  // layer persists these in every checkpoint manifest so recovery rebuilds
+  // the exact same partitioning.
+  const std::vector<K>& splitters() const { return *splitters_; }
+
   // Index of the shard owning key k.
   size_t shard_of(const K& k) const {
     return server_internal::shard_index(*splitters_, k, entry_policy::comp);

@@ -79,7 +79,19 @@ class version_store {
   // (ids are assigned 1, 2, ... and never reused). If no shard committed
   // since the last capture, the existing latest id is returned and nothing
   // is retained — capture is idempotent on a quiescent store.
-  uint64_t capture() {
+  uint64_t capture() { return capture_snapshot().version; }
+
+  // What a captured version retains: its id and the exact consistent cut.
+  struct captured {
+    uint64_t version;
+    snapshot_type snapshot;
+  };
+
+  // capture(), but hands back the retained cut itself. The durability layer
+  // uses this so the cut it serializes into a checkpoint is byte-for-byte
+  // the version the ring retained — not a second snapshot racing with
+  // concurrent flushes.
+  captured capture_snapshot() {
     auto cut = target_.snapshot_all_versioned();
     std::vector<entry> dropped;  // destroyed outside the lock (GC can fork)
     mutex_guard lock(mu_);
@@ -96,13 +108,13 @@ class version_store {
       bool advanced = false;
       for (size_t s = 0; s < cut.versions.size() && !advanced; s++)
         advanced = cut.versions[s] > back[s];
-      if (!advanced) return ring_.back().version;
+      if (!advanced) return {ring_.back().version, ring_.back().cut};
     }
     uint64_t v = next_version_++;
     ring_.push_back({v, std::move(cut.snapshot), std::move(cut.versions),
                      clock::now()});
     trim_locked(clock::now(), dropped);
-    return v;
+    return {v, ring_.back().cut};
   }
 
   // 0 when nothing has been captured yet.

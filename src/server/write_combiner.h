@@ -48,6 +48,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -74,12 +75,22 @@ class write_combiner {
     // Background flusher period; zero disables the flusher thread (flushes
     // then happen only on batch_size overflow and explicit flush_all).
     std::chrono::milliseconds flush_interval{2};
+    // Durability hook: called with each coalesced batch under the shard's
+    // flush lock, BEFORE the batch is applied to the target — so a batch is
+    // never visible to readers unless it was offered to the log first. A
+    // throwing sink aborts the commit (the batch is dropped, the exception
+    // propagates to whoever drove the flush): crash semantics, exercised by
+    // the fault-injection tests. Empty = no durability (the default).
+    std::function<void(size_t shard, const std::vector<entry_t>& upserts,
+                       const std::vector<K>& deletes)>
+        batch_sink{};
   };
 
   struct stats_snapshot {
     uint64_t ops_enqueued;    // upserts + erases accepted
     uint64_t ops_committed;   // ops surviving coalescing, applied to shards
     uint64_t batches_flushed; // non-empty batch commits
+    uint64_t sink_failures;   // batches dropped because batch_sink threw
   };
 
   explicit write_combiner(sharded_map<Map>& target, config cfg = {})
@@ -89,7 +100,14 @@ class write_combiner {
       flusher_ = std::thread([this] { flusher_loop(); });
   }
 
-  ~write_combiner() { shutdown(); }
+  ~write_combiner() {
+    try {
+      shutdown();
+    } catch (...) {
+      // The final drain hit a batch_sink failure: the undrained ops were
+      // never acked, and a destructor must not throw.
+    }
+  }
 
   // Stop the background flusher and drain every queued batch into the
   // target. Safe to call repeatedly and from any thread; the first call
@@ -127,7 +145,8 @@ class write_combiner {
   stats_snapshot stats() const {
     return {ops_enqueued_.load(std::memory_order_relaxed),
             ops_committed_.load(std::memory_order_relaxed),
-            batches_flushed_.load(std::memory_order_relaxed)};
+            batches_flushed_.load(std::memory_order_relaxed),
+            sink_failures_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -188,6 +207,17 @@ class write_combiner {
     (void)q;
     if (batch.empty()) return;
     auto [upserts, deletes] = coalesce(std::move(batch));
+    if (cfg_.batch_sink) {
+      // Still under q.flush_mu: the log sees this shard's batches in the
+      // same order readers will, and a sink failure keeps the batch out of
+      // the target entirely — it was never acked, so losing it is correct.
+      try {
+        cfg_.batch_sink(s, upserts, deletes);
+      } catch (...) {
+        sink_failures_.fetch_add(1, std::memory_order_relaxed);
+        throw;
+      }
+    }
     ops_committed_.fetch_add(upserts.size() + deletes.size(),
                              std::memory_order_relaxed);
     batches_flushed_.fetch_add(1, std::memory_order_relaxed);
@@ -237,7 +267,13 @@ class write_combiner {
       flusher_cv_.wait_for(lock, cfg_.flush_interval);
       if (stop_) break;
       lock.unlock();
-      flush_all();
+      try {
+        flush_all();
+      } catch (...) {
+        // A batch_sink failure on the background thread must not terminate
+        // the process: the batch was dropped (counted in sink_failures_),
+        // the WAL writer is dead, and the owner observes it via failed().
+      }
       lock.lock();
     }
   }
@@ -249,6 +285,7 @@ class write_combiner {
   std::atomic<uint64_t> ops_enqueued_{0};
   std::atomic<uint64_t> ops_committed_{0};
   std::atomic<uint64_t> batches_flushed_{0};
+  std::atomic<uint64_t> sink_failures_{0};
 
   std::thread flusher_;
   mutex flusher_mu_;

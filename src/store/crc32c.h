@@ -1,0 +1,70 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// WAL record, checkpoint page and manifest in the durability layer.
+//
+// Software slice-by-8: eight 256-entry tables generated once at first use,
+// processing 8 input bytes per step (~1 GB/s on commodity cores — ample for
+// a durability path that is fsync-bound, and portable with no ISA
+// dependency). The choice of CRC32C over plain CRC32 follows what storage
+// systems standardized on (iSCSI, ext4, LevelDB/RocksDB): better burst
+// error detection and hardware assist available if this ever needs it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace pam::store {
+
+namespace detail {
+
+struct crc32c_tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  crc32c_tables() {
+    constexpr uint32_t kPoly = 0x82F63B78;  // 0x1EDC6F41 bit-reflected
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = t[0][i];
+      for (size_t s = 1; s < 8; s++) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+inline const crc32c_tables& crc_tables() {
+  static const crc32c_tables tables;
+  return tables;
+}
+
+}  // namespace detail
+
+// CRC32C of `n` bytes. `seed` chains incremental computation: pass the
+// previous result to extend a running checksum over multiple spans.
+inline uint32_t crc32c(const void* data, size_t n, uint32_t seed = 0) {
+  const auto& t = detail::crc_tables().t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace pam::store

@@ -1,0 +1,270 @@
+// The durability manager: glues the WAL and the checkpoint writer into one
+// object the server owns.
+//
+//   log_batch        encode one write-combiner batch as a WAL record and
+//                    append it (group fsync per wal_config); the returned
+//                    seq is what "acked" means
+//   save_checkpoint  persist a consistent cut — full or incremental per
+//                    policy — commit it, then truncate WAL segments the
+//                    new checkpoint covers
+//   recover          static: load the committed checkpoint chain, replay
+//                    the WAL tail (repairing torn records), return the
+//                    reconstructed contents + splitters + resume seqs
+//
+// Incremental policy: a checkpoint is a delta (aug_map::diff against the
+// previous cut, so only changed blocks are serialized) unless (a) there is
+// no previous cut, (b) the chain already has max_chain deltas, or (c) the
+// delta stream's bytes exceed incr_max_ratio of the last full checkpoint —
+// the decision is made on the actual encoded delta, so the byte-footprint
+// guarantee tests assert on is exact, not an estimate.
+//
+// Crash safety: every mutation of manager state happens only after
+// commit_current() returns. An injected crash anywhere inside
+// save_checkpoint leaves the previous checkpoint current and the manager's
+// in-memory chain state untouched; the dead attempt's files are garbage
+// that the next successful commit's GC pass sweeps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/checkpoint.h"
+#include "store/file.h"
+#include "store/wal.h"
+#include "util/thread_annotations.h"
+
+namespace pam::store {
+
+struct durability_options {
+  std::string dir;
+  wal_config wal = wal_config::from_env();
+  ckpt_config ckpt = ckpt_config::from_env();
+  std::shared_ptr<file_system> io = posix_fs();
+};
+
+template <typename Map>
+class durability {
+ public:
+  using K = typename Map::K;
+  using V = typename Map::V;
+  using entry_t = typename Map::entry_t;
+  using snapshot_t = sharded_snapshot<Map>;
+  using cio = checkpoint_io<Map>;
+  using manifest_t = typename cio::manifest_t;
+
+  // Open a durable store rooted at opts.dir and immediately commit a full
+  // checkpoint of `cut` covering `covered_seq` — a fresh store passes the
+  // (possibly empty) initial cut with covered_seq 0 / next_seq 1, recovery
+  // passes the reconstructed cut with the seqs wal_replay reported. Either
+  // way the splitters are durable from the first commit onward, and any
+  // WAL prefix the checkpoint covers is truncated.
+  durability(durability_options opts, const snapshot_t& cut,
+             std::vector<K> splitters, uint64_t covered_seq = 0,
+             uint64_t next_seq = 1)
+      : opts_(std::move(opts)), splitters_(std::move(splitters)) {
+    opts_.io->mkdirs(opts_.dir);
+    wal_ = std::make_unique<wal_writer>(opts_.io, opts_.dir, opts_.wal,
+                                        next_seq);
+    mutex_guard g(mu_);
+    commit_locked(cut, covered_seq, /*force_full=*/true);
+  }
+
+  durability(const durability&) = delete;
+  durability& operator=(const durability&) = delete;
+
+  // ------------------------------------------------------------- logging --
+
+  // WAL record payload for one batch:
+  //   [ u32 shard | u32 n_ups | u32 n_dels | entries... | keys... ]
+  // Returns the record's seq, or 0 when the writer is dead (batch unacked).
+  uint64_t log_batch(uint32_t shard, const std::vector<entry_t>& upserts,
+                     const std::vector<K>& deletes) {
+    std::vector<char> buf;
+    wire::put_u32(buf, shard);
+    wire::put_u32(buf, static_cast<uint32_t>(upserts.size()));
+    wire::put_u32(buf, static_cast<uint32_t>(deletes.size()));
+    for (const entry_t& e : upserts) {
+      wire::field_codec<entry_t>::write(e, buf);
+    }
+    for (const K& k : deletes) wire::field_codec<K>::write(k, buf);
+    return wal_->append(buf.data(), buf.size());
+  }
+
+  // Durability barrier over everything logged so far.
+  void sync_wal() { wal_->sync(); }
+
+  uint64_t last_seq() const { return wal_->last_seq(); }
+  uint64_t durable_seq() const { return wal_->durable_seq(); }
+
+  // True once a WAL append has thrown: further batches are silently
+  // unacked and the store should be considered failed.
+  bool failed() const { return wal_->dead(); }
+
+  // --------------------------------------------------------- checkpoints --
+
+  struct ckpt_result {
+    uint64_t id = 0;
+    bool full = false;
+    uint64_t bytes = 0;  // data file bytes written (pages + headers)
+  };
+
+  // Persist `cut`, which must reflect every record with seq <= covered_seq
+  // (the caller flushes and syncs before snapshotting, then passes
+  // durable_seq() — replay of any seq in (covered, last] is idempotent
+  // because records carry absolute upserts/deletes).
+  ckpt_result save_checkpoint(const snapshot_t& cut, uint64_t covered_seq)
+      PAM_EXCLUDES(mu_) {
+    mutex_guard g(mu_);
+    return commit_locked(cut, covered_seq, /*force_full=*/false);
+  }
+
+  // ------------------------------------------------------------ recovery --
+
+  struct recovered_t {
+    Map contents;
+    std::vector<K> splitters;
+    uint64_t covered_seq = 0;     // what the checkpoint chain covered
+    uint64_t next_seq = 1;        // seq the resumed writer should assign
+    uint64_t wal_records = 0;     // WAL records replayed past the chain
+    uint64_t checkpoint_files = 0;
+    bool wal_tail_truncated = false;
+  };
+
+  // Load the committed chain and replay the WAL tail (repairing torn
+  // records in place). Returns nullopt when the directory has no committed
+  // checkpoint — i.e. nothing durable ever existed there.
+  static std::optional<recovered_t> recover(const durability_options& opts) {
+    file_system& fs = *opts.io;
+    if (!fs.exists(opts.dir)) return std::nullopt;
+    std::optional<typename cio::loaded_t> loaded = cio::load(fs, opts.dir);
+    if (!loaded.has_value()) return std::nullopt;
+    recovered_t out;
+    out.contents = std::move(loaded->contents);
+    out.splitters = std::move(loaded->manifest.splitters);
+    out.covered_seq = loaded->manifest.covered_wal_seq;
+    out.checkpoint_files = loaded->files_applied;
+    wal_replay_stats st = wal_replay(
+        fs, opts.dir, out.covered_seq,
+        [&](uint64_t, const char* payload, size_t n) {
+          apply_record(out.contents, payload, n);
+        },
+        /*repair=*/true);
+    out.next_seq = st.next_seq;
+    out.wal_records = st.records;
+    out.wal_tail_truncated = st.tail_truncated;
+    return out;
+  }
+
+  // Decode one WAL batch record and apply it (absolute ops → idempotent).
+  static void apply_record(Map& m, const char* payload, size_t n) {
+    wire::reader r(payload, n);
+    r.u32();  // shard routing is rederived from splitters on reload
+    uint32_t n_ups = r.u32();
+    uint32_t n_dels = r.u32();
+    std::vector<entry_t> ups;
+    ups.reserve(n_ups);
+    for (uint32_t i = 0; i < n_ups; i++) {
+      ups.push_back(wire::field_codec<entry_t>::read(r));
+    }
+    std::vector<K> dels;
+    dels.reserve(n_dels);
+    for (uint32_t i = 0; i < n_dels; i++) {
+      dels.push_back(wire::field_codec<K>::read(r));
+    }
+    if (r.remaining() != 0) {
+      throw wire::error("wal: batch record length mismatch");
+    }
+    if (!ups.empty()) m = Map::multi_insert(std::move(m), std::move(ups));
+    if (!dels.empty()) m = Map::multi_delete(std::move(m), std::move(dels));
+  }
+
+ private:
+  ckpt_result commit_locked(const snapshot_t& cut, uint64_t covered_seq,
+                            bool force_full) PAM_REQUIRES(mu_) {
+    ckpt_result res;
+    res.id = next_id_++;
+    res.full = force_full || !prev_cut_.has_value() ||
+               chain_len_ >= opts_.ckpt.max_chain;
+    std::vector<char> delta;
+    if (!res.full) {
+      delta = cio::build_delta_stream(*prev_cut_, cut);
+      if (static_cast<double>(delta.size()) >
+          opts_.ckpt.incr_max_ratio * static_cast<double>(last_full_bytes_)) {
+        res.full = true;
+      }
+    }
+    manifest_t m;
+    std::string data_name = ckpt_file_name(res.id, res.full);
+    if (res.full) {
+      std::vector<std::vector<char>> streams = cio::build_full_streams(cut);
+      std::vector<std::pair<uint32_t, const std::vector<char>*>> sp;
+      sp.reserve(streams.size());
+      for (size_t s = 0; s < streams.size(); s++) {
+        sp.emplace_back(static_cast<uint32_t>(s), &streams[s]);
+      }
+      res.bytes = cio::write_data_file(*opts_.io, opts_.dir, data_name, sp,
+                                       opts_.ckpt.page_bytes);
+      m.files.emplace_back(uint8_t{0}, data_name);
+    } else {
+      res.bytes = cio::write_data_file(*opts_.io, opts_.dir, data_name,
+                                       {{kDeltaShard, &delta}},
+                                       opts_.ckpt.page_bytes);
+      m = cur_manifest_;
+      m.files.emplace_back(uint8_t{1}, data_name);
+    }
+    m.id = res.id;
+    m.covered_wal_seq = covered_seq;
+    m.splitters = splitters_;
+    cio::write_manifest(*opts_.io, opts_.dir, m);
+    opts_.io->sync_dir(opts_.dir);
+    cio::commit_current(*opts_.io, opts_.dir, manifest_file_name(res.id));
+    // -- commit point passed: only now may manager state change. --
+    cur_manifest_ = std::move(m);
+    prev_cut_ = cut;
+    if (res.full) {
+      last_full_bytes_ = res.bytes;
+      chain_len_ = 0;
+    } else {
+      chain_len_++;
+    }
+    wal_->truncate_through(covered_seq);
+    gc_locked();
+    return res;
+  }
+
+  // Sweep checkpoint/manifest files not referenced by the live chain —
+  // superseded checkpoints and partial files from crashed attempts.
+  void gc_locked() PAM_REQUIRES(mu_) {
+    std::set<std::string> live;
+    live.insert(manifest_file_name(cur_manifest_.id));
+    for (const auto& [kind, name] : cur_manifest_.files) {
+      (void)kind;
+      live.insert(name);
+    }
+    for (const std::string& name : opts_.io->list(opts_.dir)) {
+      bool sweepable = name.rfind("ckpt-", 0) == 0 ||
+                       name.rfind("manifest-", 0) == 0;
+      if (sweepable && live.count(name) == 0) {
+        opts_.io->remove(opts_.dir + "/" + name);
+      }
+    }
+  }
+
+  durability_options opts_;
+  const std::vector<K> splitters_;
+  std::unique_ptr<wal_writer> wal_;
+
+  mutable mutex mu_;
+  std::optional<snapshot_t> prev_cut_ PAM_GUARDED_BY(mu_);
+  manifest_t cur_manifest_ PAM_GUARDED_BY(mu_);
+  uint64_t next_id_ PAM_GUARDED_BY(mu_) = 1;
+  uint64_t last_full_bytes_ PAM_GUARDED_BY(mu_) = 0;
+  long chain_len_ PAM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pam::store

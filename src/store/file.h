@@ -1,0 +1,365 @@
+// The durability layer's I/O seam: a minimal file/file-system interface
+// with a POSIX implementation and a fault-injecting wrapper.
+//
+// Everything the WAL and checkpoint writers touch goes through store::file
+// and store::file_system — append-only writes, positional reads, fsync,
+// truncate, atomic rename, directory listing. That narrow seam is what
+// makes crash testing honest: faulty_fs wraps any base file system and
+// injects the classic storage failure modes at the Nth operation —
+//
+//   short write    the tail of an append never reaches the medium
+//   torn page      the tail is replaced with garbage (a page torn across
+//                  a power cut)
+//   fsync failure  the barrier itself dies before the data is durable
+//   rename crash   the process dies just before the atomic commit rename
+//
+// — each followed by a store::crash_error, which models the process dying
+// at exactly that point. Tests run a workload against a mutexed oracle,
+// arm one failpoint, catch the crash, then recover from the surviving
+// bytes and compare (tests/test_crash_recovery.cpp).
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <dirent.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pam::store {
+
+// A real I/O failure (POSIX errno paths).
+class io_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// An injected crash point: the simulated process death thrown by faulty_fs
+// after a failpoint fires. Distinct from io_error so tests can tell "the
+// fault we armed" from "the environment actually broke".
+class crash_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// One open file. Writers treat it append-only; readers are positional.
+// Instances are NOT thread-safe — callers serialize (the WAL writer holds
+// its mutex across every touch of the segment handle).
+class file {
+ public:
+  virtual ~file() = default;
+  file() = default;
+  file(const file&) = delete;
+  file& operator=(const file&) = delete;
+
+  virtual void append(const void* data, size_t n) = 0;
+  // Bytes actually read (short at EOF).
+  virtual size_t read_at(uint64_t off, void* buf, size_t n) const = 0;
+  virtual uint64_t size() const = 0;
+  virtual void sync() = 0;
+  virtual void truncate(uint64_t new_size) = 0;
+};
+
+class file_system {
+ public:
+  virtual ~file_system() = default;
+  file_system() = default;
+  file_system(const file_system&) = delete;
+  file_system& operator=(const file_system&) = delete;
+
+  virtual std::unique_ptr<file> create(const std::string& path) = 0;
+  virtual std::unique_ptr<file> open_append(const std::string& path) = 0;
+  virtual std::unique_ptr<file> open_read(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  virtual void remove(const std::string& path) = 0;
+  // Atomic within a directory: the commit primitive of the manifest.
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  virtual void mkdirs(const std::string& path) = 0;
+  // Plain (non-directory) entry names, unsorted.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+  // Make a completed rename/create durable.
+  virtual void sync_dir(const std::string& dir) = 0;
+};
+
+// ------------------------------------------------------------- POSIX impl --
+
+namespace detail {
+
+class posix_file final : public file {
+ public:
+  posix_file(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~posix_file() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        throw io_error("write(" + path_ + "): " + std::strerror(errno));
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+  }
+
+  size_t read_at(uint64_t off, void* buf, size_t n) const override {
+    char* p = static_cast<char*>(buf);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, p + got, n - got,
+                          static_cast<off_t>(off + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw io_error("pread(" + path_ + "): " + std::strerror(errno));
+      }
+      if (r == 0) break;  // EOF
+      got += static_cast<size_t>(r);
+    }
+    return got;
+  }
+
+  uint64_t size() const override {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+      throw io_error("fstat(" + path_ + "): " + std::strerror(errno));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) {
+      throw io_error("fsync(" + path_ + "): " + std::strerror(errno));
+    }
+  }
+
+  void truncate(uint64_t new_size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+      throw io_error("ftruncate(" + path_ + "): " + std::strerror(errno));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace detail
+
+class posix_file_system final : public file_system {
+ public:
+  std::unique_ptr<file> create(const std::string& path) override {
+    return open_fd(path, O_CREAT | O_TRUNC | O_WRONLY);
+  }
+  std::unique_ptr<file> open_append(const std::string& path) override {
+    return open_fd(path, O_CREAT | O_WRONLY | O_APPEND);
+  }
+  std::unique_ptr<file> open_read(const std::string& path) override {
+    return open_fd(path, O_RDONLY);
+  }
+
+  bool exists(const std::string& path) override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  void remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      throw io_error("unlink(" + path + "): " + std::strerror(errno));
+    }
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      throw io_error("rename(" + from + " -> " + to + "): " +
+                     std::strerror(errno));
+    }
+  }
+
+  void mkdirs(const std::string& path) override {
+    std::string cur;
+    for (size_t i = 0; i <= path.size(); i++) {
+      if (i < path.size() && path[i] != '/') continue;
+      cur = path.substr(0, i == path.size() ? i : i + 1);
+      if (cur.empty() || cur == "/") continue;
+      if (::mkdir(cur.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw io_error("mkdir(" + cur + "): " + std::strerror(errno));
+      }
+    }
+  }
+
+  std::vector<std::string> list(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      throw io_error("opendir(" + dir + "): " + std::strerror(errno));
+    }
+    std::vector<std::string> out;
+    while (dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      out.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return out;
+  }
+
+  void sync_dir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      throw io_error("open(" + dir + "): " + std::strerror(errno));
+    }
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      throw io_error("fsync(" + dir + "): " + std::strerror(errno));
+    }
+  }
+
+ private:
+  static std::unique_ptr<file> open_fd(const std::string& path, int flags) {
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      throw io_error("open(" + path + "): " + std::strerror(errno));
+    }
+    return std::make_unique<detail::posix_file>(fd, path);
+  }
+};
+
+inline std::shared_ptr<file_system> posix_fs() {
+  return std::make_shared<posix_file_system>();
+}
+
+// -------------------------------------------------------- fault injection --
+
+// Armed counters: a value N > 0 means "the Nth subsequent operation of that
+// kind trips the fault"; 0 or negative means disarmed. Counters are
+// atomics so a test can arm them while a flusher thread is running.
+struct failpoints {
+  std::atomic<long> writes_until_short{0};
+  std::atomic<long> writes_until_torn{0};
+  std::atomic<long> fsyncs_until_fail{0};
+  std::atomic<long> renames_until_crash{0};
+  std::atomic<long> crashes_injected{0};
+
+  void disarm() {
+    writes_until_short.store(0);
+    writes_until_torn.store(0);
+    fsyncs_until_fail.store(0);
+    renames_until_crash.store(0);
+  }
+
+  // Decrement an armed counter; true exactly when it hits zero (the Nth op).
+  bool trip(std::atomic<long>& c) {
+    long v = c.load(std::memory_order_relaxed);
+    while (v > 0) {
+      if (c.compare_exchange_weak(v, v - 1, std::memory_order_relaxed)) {
+        if (v == 1) {
+          crashes_injected.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+};
+
+namespace detail {
+
+class faulty_file final : public file {
+ public:
+  faulty_file(std::unique_ptr<file> base, std::shared_ptr<failpoints> fp)
+      : base_(std::move(base)), fp_(std::move(fp)) {}
+
+  void append(const void* data, size_t n) override {
+    if (fp_->trip(fp_->writes_until_short)) {
+      // Half the bytes reach the medium, then the process dies.
+      base_->append(data, n / 2);
+      throw crash_error("injected short write");
+    }
+    if (fp_->trip(fp_->writes_until_torn)) {
+      // The first half lands, the rest is a torn page of garbage.
+      size_t half = n / 2;
+      base_->append(data, half);
+      std::vector<char> junk(n - half, '\xA5');
+      base_->append(junk.data(), junk.size());
+      throw crash_error("injected torn write");
+    }
+    base_->append(data, n);
+  }
+
+  size_t read_at(uint64_t off, void* buf, size_t n) const override {
+    return base_->read_at(off, buf, n);
+  }
+  uint64_t size() const override { return base_->size(); }
+
+  void sync() override {
+    if (fp_->trip(fp_->fsyncs_until_fail)) {
+      throw crash_error("injected fsync failure");
+    }
+    base_->sync();
+  }
+
+  void truncate(uint64_t new_size) override { base_->truncate(new_size); }
+
+ private:
+  std::unique_ptr<file> base_;
+  std::shared_ptr<failpoints> fp_;
+};
+
+}  // namespace detail
+
+// Wraps a base file system and injects the armed faults on every file it
+// opens. Reads are never failed — recovery always runs against a clean fs.
+class faulty_fs final : public file_system {
+ public:
+  faulty_fs(std::shared_ptr<file_system> base, std::shared_ptr<failpoints> fp)
+      : base_(std::move(base)), fp_(std::move(fp)) {}
+
+  std::unique_ptr<file> create(const std::string& path) override {
+    return wrap(base_->create(path));
+  }
+  std::unique_ptr<file> open_append(const std::string& path) override {
+    return wrap(base_->open_append(path));
+  }
+  std::unique_ptr<file> open_read(const std::string& path) override {
+    return base_->open_read(path);
+  }
+  bool exists(const std::string& path) override { return base_->exists(path); }
+  void remove(const std::string& path) override { base_->remove(path); }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (fp_->trip(fp_->renames_until_crash)) {
+      throw crash_error("injected crash before rename");
+    }
+    base_->rename(from, to);
+  }
+
+  void mkdirs(const std::string& path) override { base_->mkdirs(path); }
+  std::vector<std::string> list(const std::string& dir) override {
+    return base_->list(dir);
+  }
+  void sync_dir(const std::string& dir) override { base_->sync_dir(dir); }
+
+ private:
+  std::unique_ptr<file> wrap(std::unique_ptr<file> f) {
+    return std::make_unique<detail::faulty_file>(std::move(f), fp_);
+  }
+
+  std::shared_ptr<file_system> base_;
+  std::shared_ptr<failpoints> fp_;
+};
+
+}  // namespace pam::store

@@ -1,0 +1,19 @@
+// Concurrency-contract compile-fail fixture: wal_writer::append_locked
+// writes through the segment handle seg_, which rotation closes and
+// replaces — so the handle is only valid under mu_. An unlocked append
+// could write a record into a closed (already-renamed-past) segment file,
+// silently splitting the log. append_locked declares PAM_REQUIRES(mu_);
+// clang -Werror=thread-safety must reject this translation unit.
+//
+// expect-error: mu_
+// pam-lint: allow(include-discipline) — the fixture targets the WAL directly.
+#include "store/wal.h"
+
+int main() {
+  auto fs = pam::store::posix_fs();
+  pam::store::wal_writer w(fs, "/tmp/pam_compile_fail_wal",
+                           pam::store::wal_config{}, 1);
+  const char payload[] = "rec";
+  w.append_locked(payload, sizeof payload);  // BAD: mu_ not held
+  return 0;
+}

@@ -141,6 +141,26 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
         ASSERT_TRUE(it == m.end());
       }
       {
+        // Serialization round-trip of the live map: the wire stream must
+        // rebuild an equal, valid map — with its augmentation recomputed,
+        // never trusted from the stream — at whatever balance scheme and
+        // leaf block size this harness is sweeping.
+        std::vector<char> wire;
+        m.serialize(wire);
+        map_t rt = map_t::deserialize(wire.data(), wire.size());
+        ASSERT_TRUE(rt.check_valid()) << "seed " << seed << " phase " << phase;
+        ASSERT_EQ(rt.size(), oracle.size());
+        ASSERT_EQ(rt.aug_val(), m.aug_val());
+        auto it = rt.begin();
+        for (auto& [k, v] : oracle) {
+          ASSERT_TRUE(it != rt.end());
+          ASSERT_EQ(it->key, k);
+          ASSERT_EQ(it->value, v);
+          ++it;
+        }
+        ASSERT_TRUE(it == rt.end());
+      }
+      {
         // A random bounded view walked in lockstep with the oracle's
         // equivalent range, plus its O(log n) size/aug_val summaries.
         K a = g.next() % kKeyRange, b = g.next() % kKeyRange;
@@ -348,6 +368,24 @@ void fuzz_run_str(uint64_t seed, int phases, int ops_per_phase) {
         ASSERT_TRUE(it == m.end());
       }
       {
+        // Serialization round-trip: front-coded blocks travel as raw
+        // prefix-compressed regions and must decode back to the same keys.
+        std::vector<char> wire;
+        m.serialize(wire);
+        map_t rt = map_t::deserialize(wire.data(), wire.size());
+        ASSERT_TRUE(rt.check_valid()) << "seed " << seed << " phase " << phase;
+        ASSERT_EQ(rt.size(), oracle.size());
+        ASSERT_EQ(rt.aug_val(), m.aug_val());
+        auto it = rt.begin();
+        for (auto& [k, v] : oracle) {
+          ASSERT_TRUE(it != rt.end());
+          ASSERT_EQ(it->key, k);
+          ASSERT_EQ(it->value, v);
+          ++it;
+        }
+        ASSERT_TRUE(it == rt.end());
+      }
+      {
         // A random bounded view in lockstep with the oracle's range.
         std::string a = str_key(g.next() % kKeyRange);
         std::string b = str_key(g.next() % kKeyRange);
@@ -439,14 +477,14 @@ TEST_P(FuzzSeeds, Avl) { fuzz_run<pam::avl_tree>(GetParam(), 3, 300); }
 TEST_P(FuzzSeeds, Treap) { fuzz_run<pam::treap>(GetParam(), 3, 300); }
 
 // The blocked-leaf sweep: the same randomized mixed-operation run against
-// the oracle at every leaf block size (1 and 2 exercise the block-edge
-// cases, 32 the default, 256 multi-class pooling), across all four balance
-// schemes. check_valid() at every phase boundary covers block integrity
+// the oracle at every leaf block size (0 disables blocks entirely — classic
+// one-entry-per-node trees — 1 and 2 exercise the block-edge cases, 32 the
+// default, 256 multi-class pooling), across all four balance schemes. check_valid() at every phase boundary covers block integrity
 // (sorted entries, counts, cached block augs) and the leak accounting
 // covers the leaf pools.
 TEST_P(FuzzSeeds, BlockSizeSweepAllSchemes) {
   size_t saved_b = pam::leaf_block_size();
-  for (size_t b : {size_t{1}, size_t{2}, size_t{32}, size_t{256}}) {
+  for (size_t b : {size_t{0}, size_t{1}, size_t{2}, size_t{32}, size_t{256}}) {
     pam::set_leaf_block_size(b);
     fuzz_run<pam::weight_balanced>(GetParam() * 31 + b, 2, 150);
     fuzz_run<pam::avl_tree>(GetParam() * 37 + b, 2, 150);
@@ -458,11 +496,11 @@ TEST_P(FuzzSeeds, BlockSizeSweepAllSchemes) {
 
 // The string-key sweep: the same mixed-operation lockstep run over
 // front-coded leaf blocks, across all four balance schemes and the block
-// sizes that stress block-edge cases (1, 2), the default (32), and
-// multi-byte-class encoding (256).
+// sizes that disable blocks entirely (0), stress block-edge cases (1, 2),
+// the default (32), and multi-byte-class encoding (256).
 TEST_P(FuzzSeeds, StringKeysBlockSweepAllSchemes) {
   size_t saved_b = pam::leaf_block_size();
-  for (size_t b : {size_t{1}, size_t{2}, size_t{32}, size_t{256}}) {
+  for (size_t b : {size_t{0}, size_t{1}, size_t{2}, size_t{32}, size_t{256}}) {
     pam::set_leaf_block_size(b);
     fuzz_run_str<pam::weight_balanced>(GetParam() * 51 + b, 2, 120);
     fuzz_run_str<pam::avl_tree>(GetParam() * 53 + b, 2, 120);

@@ -1,0 +1,568 @@
+// Tests for the durability layer (src/store/): CRC32C vectors, the file
+// shim and its failpoints, WAL append/replay/rotation/repair, checkpoint
+// pages and manifest commit, the map wire codec across every balance
+// scheme and leaf layout, and the incremental-checkpoint byte footprint.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pam/pam.h"
+#include "store/durability.h"
+#include "util/random.h"
+
+namespace {
+
+using u64_map = pam::aug_map<pam::sum_entry<uint64_t, uint64_t>>;
+using str_map = pam::aug_map<pam::str_sum_entry<uint64_t>>;
+
+// A fresh scratch directory per test, removed on destruction.
+struct temp_dir {
+  std::string path;
+  explicit temp_dir(const std::string& tag) {
+    path = ::testing::TempDir() + "pam_store_" + tag + "_" +
+           std::to_string(::getpid());
+    std::string cmd = "rm -rf " + path;
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+  }
+  ~temp_dir() {
+    std::string cmd = "rm -rf " + path;
+    (void)std::system(cmd.c_str());
+  }
+};
+
+// ----------------------------------------------------------------- crc32c --
+
+TEST(Crc32c, KnownVectors) {
+  // The canonical CRC32C check value (RFC 3720 appendix / every storage
+  // system's self-test): "123456789" -> 0xE3069283.
+  EXPECT_EQ(pam::store::crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(pam::store::crc32c("", 0), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  unsigned char zeros[32] = {};
+  EXPECT_EQ(pam::store::crc32c(zeros, sizeof zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, SeedChainingMatchesOneShot) {
+  const char* data = "the quick brown fox jumps over the lazy dog";
+  size_t n = std::strlen(data);
+  uint32_t whole = pam::store::crc32c(data, n);
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, n}) {
+    uint32_t a = pam::store::crc32c(data, split);
+    uint32_t chained = pam::store::crc32c(data + split, n - split, a);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::vector<char> buf(256);
+  pam::random_gen g(7);
+  for (auto& c : buf) c = static_cast<char>(g.next());
+  uint32_t base = pam::store::crc32c(buf.data(), buf.size());
+  for (size_t bit : {size_t{0}, size_t{77}, size_t{2047}}) {
+    buf[bit / 8] = static_cast<char>(buf[bit / 8] ^ (1 << (bit % 8)));
+    EXPECT_NE(pam::store::crc32c(buf.data(), buf.size()), base);
+    buf[bit / 8] = static_cast<char>(buf[bit / 8] ^ (1 << (bit % 8)));
+  }
+}
+
+// -------------------------------------------------------------- file shim --
+
+TEST(FileShim, PosixRoundTrip) {
+  temp_dir td("posix");
+  auto fs = pam::store::posix_fs();
+  fs->mkdirs(td.path + "/a/b");
+  EXPECT_TRUE(fs->exists(td.path + "/a/b"));
+
+  auto f = fs->create(td.path + "/a/b/x");
+  f->append("hello ", 6);
+  f->append("world", 5);
+  f->sync();
+  EXPECT_EQ(f->size(), 11u);
+  f.reset();
+
+  auto r = fs->open_read(td.path + "/a/b/x");
+  char buf[16] = {};
+  EXPECT_EQ(r->read_at(0, buf, sizeof buf), 11u);  // short at EOF
+  EXPECT_EQ(std::string(buf, 11), "hello world");
+  EXPECT_EQ(r->read_at(6, buf, 5), 5u);
+  EXPECT_EQ(std::string(buf, 5), "world");
+
+  auto w = fs->open_append(td.path + "/a/b/x");
+  w->truncate(5);
+  EXPECT_EQ(w->size(), 5u);
+  w.reset();
+
+  fs->rename(td.path + "/a/b/x", td.path + "/a/b/y");
+  EXPECT_FALSE(fs->exists(td.path + "/a/b/x"));
+  EXPECT_TRUE(fs->exists(td.path + "/a/b/y"));
+  fs->sync_dir(td.path + "/a/b");
+  auto names = fs->list(td.path + "/a/b");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "y");
+  fs->remove(td.path + "/a/b/y");
+  fs->remove(td.path + "/a/b/y");  // ENOENT-tolerant
+  EXPECT_FALSE(fs->exists(td.path + "/a/b/y"));
+}
+
+TEST(FileShim, FailpointsTripOnNthOperation) {
+  temp_dir td("faults");
+  auto fp = std::make_shared<pam::store::failpoints>();
+  auto fs = std::make_shared<pam::store::faulty_fs>(pam::store::posix_fs(), fp);
+  fs->mkdirs(td.path);
+
+  // Third write trips a short write: half the bytes land, then crash.
+  fp->writes_until_short.store(3);
+  auto f = fs->create(td.path + "/f");
+  f->append("aaaa", 4);
+  f->append("bbbb", 4);
+  EXPECT_THROW(f->append("cccc", 4), pam::store::crash_error);
+  EXPECT_EQ(f->size(), 10u);  // 4 + 4 + 2
+  EXPECT_EQ(fp->crashes_injected.load(), 1);
+  fp->disarm();
+  f->append("dddd", 4);  // disarmed: full write goes through
+  EXPECT_EQ(f->size(), 14u);
+
+  // Torn write: all bytes present but the tail is garbage.
+  fp->writes_until_torn.store(1);
+  auto g = fs->create(td.path + "/g");
+  EXPECT_THROW(g->append("ABCDEFGH", 8), pam::store::crash_error);
+  EXPECT_EQ(g->size(), 8u);
+  char buf[8];
+  ASSERT_EQ(fs->open_read(td.path + "/g")->read_at(0, buf, 8), 8u);
+  EXPECT_EQ(std::memcmp(buf, "ABCD", 4), 0);
+  EXPECT_EQ(std::memcmp(buf + 4, "\xA5\xA5\xA5\xA5", 4), 0);
+  fp->disarm();
+
+  // fsync failure and rename crash.
+  fp->fsyncs_until_fail.store(1);
+  EXPECT_THROW(g->sync(), pam::store::crash_error);
+  g->sync();  // self-disarms after firing
+  fp->renames_until_crash.store(1);
+  EXPECT_THROW(fs->rename(td.path + "/g", td.path + "/h"),
+               pam::store::crash_error);
+  EXPECT_TRUE(fs->exists(td.path + "/g"));  // the rename never happened
+  fp->disarm();
+}
+
+// -------------------------------------------------------------------- wal --
+
+pam::store::wal_config small_wal(size_t segment_bytes = 64 * 1024) {
+  pam::store::wal_config cfg;
+  cfg.segment_bytes = segment_bytes;
+  cfg.sync_every = 1;
+  return cfg;
+}
+
+TEST(Wal, AppendReplayRoundTrip) {
+  temp_dir td("wal_rt");
+  auto fs = pam::store::posix_fs();
+  fs->mkdirs(td.path);
+  {
+    pam::store::wal_writer w(fs, td.path, small_wal(), 1);
+    for (int i = 0; i < 100; i++) {
+      std::string payload = "record-" + std::to_string(i);
+      EXPECT_EQ(w.append(payload.data(), payload.size()),
+                static_cast<uint64_t>(i + 1));
+    }
+    EXPECT_EQ(w.last_seq(), 100u);
+    EXPECT_EQ(w.durable_seq(), 100u);  // sync_every = 1
+    EXPECT_FALSE(w.dead());
+  }
+  uint64_t next = 0;
+  auto st = pam::store::wal_replay(
+      *fs, td.path, 0,
+      [&](uint64_t seq, const char* p, size_t n) {
+        EXPECT_EQ(seq, ++next);
+        EXPECT_EQ(std::string(p, n), "record-" + std::to_string(seq - 1));
+      },
+      /*repair=*/false);
+  EXPECT_EQ(st.records, 100u);
+  EXPECT_EQ(st.next_seq, 101u);
+  EXPECT_FALSE(st.tail_truncated);
+
+  // after_seq skips the covered prefix.
+  uint64_t seen = 0;
+  auto st2 = pam::store::wal_replay(
+      *fs, td.path, 90, [&](uint64_t, const char*, size_t) { seen++; }, false);
+  EXPECT_EQ(seen, 10u);
+  EXPECT_EQ(st2.next_seq, 101u);
+}
+
+TEST(Wal, RotationAndTruncateThrough) {
+  temp_dir td("wal_rot");
+  auto fs = pam::store::posix_fs();
+  fs->mkdirs(td.path);
+  std::vector<char> big(8 * 1024, 'x');
+  pam::store::wal_writer w(fs, td.path, small_wal(16 * 1024), 1);
+  for (int i = 0; i < 20; i++) w.append(big.data(), big.size());
+  auto segs = pam::store::wal_segments(*fs, td.path);
+  ASSERT_GE(segs.size(), 3u) << "rotation never happened";
+  for (size_t i = 1; i < segs.size(); i++) {
+    EXPECT_GT(segs[i].first, segs[i - 1].first);
+  }
+
+  // Truncating through a mid-log seq unlinks fully-covered segments only;
+  // the active segment always survives.
+  w.truncate_through(10);
+  auto after = pam::store::wal_segments(*fs, td.path);
+  EXPECT_LT(after.size(), segs.size());
+  ASSERT_FALSE(after.empty());
+  // Replay of what remains still yields every record after the cut.
+  uint64_t seen = 0;
+  auto st = pam::store::wal_replay(
+      *fs, td.path, 10, [&](uint64_t, const char*, size_t) { seen++; }, false);
+  EXPECT_EQ(seen, 10u);
+  EXPECT_EQ(st.next_seq, 21u);
+}
+
+TEST(Wal, TornTailStopsReplayAndRepairTruncates) {
+  temp_dir td("wal_torn");
+  auto fs = pam::store::posix_fs();
+  fs->mkdirs(td.path);
+  {
+    pam::store::wal_writer w(fs, td.path, small_wal(), 1);
+    for (int i = 0; i < 10; i++) {
+      std::string payload = "payload-" + std::to_string(i);
+      w.append(payload.data(), payload.size());
+    }
+  }
+  // Corrupt the last record's payload byte on disk.
+  auto segs = pam::store::wal_segments(*fs, td.path);
+  ASSERT_EQ(segs.size(), 1u);
+  const std::string path = td.path + "/" + segs[0].second;
+  uint64_t fsize = fs->open_read(path)->size();
+  {
+    auto f = fs->open_append(path);
+    std::vector<char> all(fsize);
+    fs->open_read(path)->read_at(0, all.data(), all.size());
+    all.back() = static_cast<char>(all.back() ^ 0xFF);
+    f->truncate(0);
+    f->append(all.data(), all.size());
+  }
+  // Replay: 9 good records, the corrupted tail cut; repair truncates it.
+  uint64_t seen = 0;
+  auto st = pam::store::wal_replay(
+      *fs, td.path, 0, [&](uint64_t, const char*, size_t) { seen++; }, true);
+  EXPECT_EQ(seen, 9u);
+  EXPECT_TRUE(st.tail_truncated);
+  EXPECT_EQ(st.next_seq, 10u);
+  EXPECT_LT(fs->open_read(path)->size(), fsize);
+
+  // A writer resumed at next_seq appends over the repaired tail seamlessly.
+  pam::store::wal_writer w2(fs, td.path, small_wal(), st.next_seq);
+  std::string payload = "after-repair";
+  EXPECT_EQ(w2.append(payload.data(), payload.size()), 10u);
+  seen = 0;
+  pam::store::wal_replay(
+      *fs, td.path, 0, [&](uint64_t, const char*, size_t) { seen++; }, false);
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(Wal, DeadWriterUnacksSilently) {
+  temp_dir td("wal_dead");
+  auto fp = std::make_shared<pam::store::failpoints>();
+  auto fs = std::make_shared<pam::store::faulty_fs>(pam::store::posix_fs(), fp);
+  fs->mkdirs(td.path);
+  pam::store::wal_writer w(fs, td.path, small_wal(), 1);
+  EXPECT_EQ(w.append("ok", 2), 1u);
+  fp->writes_until_short.store(1);
+  EXPECT_THROW(w.append("boom", 4), pam::store::crash_error);
+  EXPECT_TRUE(w.dead());
+  fp->disarm();
+  EXPECT_EQ(w.append("late", 4), 0u);  // dead: unacked, no side effects
+  EXPECT_EQ(w.last_seq(), 1u);
+}
+
+// ------------------------------------------------- checkpoint page format --
+
+TEST(CheckpointPages, MultiPageStreamsRoundTrip) {
+  temp_dir td("pages");
+  auto fs = pam::store::posix_fs();
+  fs->mkdirs(td.path);
+  pam::random_gen g(11);
+  std::vector<char> s0(10000), s1(3), s2;  // multi-page, tiny, empty
+  for (auto& c : s0) c = static_cast<char>(g.next());
+  for (auto& c : s1) c = static_cast<char>(g.next());
+
+  std::vector<char> out;
+  pam::store::append_pages(out, 0, s0, 4096);
+  pam::store::append_pages(out, 1, s1, 4096);
+  pam::store::append_pages(out, 2, s2, 4096);
+  auto f = fs->create(td.path + "/p");
+  f->append(out.data(), out.size());
+  f.reset();
+
+  auto streams = pam::store::read_page_streams(*fs, td.path + "/p");
+  ASSERT_EQ(streams.size(), 3u);
+  EXPECT_EQ(streams[0].first, 0u);
+  EXPECT_EQ(streams[0].second, s0);
+  EXPECT_EQ(streams[1].second, s1);
+  EXPECT_TRUE(streams[2].second.empty());
+}
+
+TEST(CheckpointPages, CorruptPageOrMissingTailRejected) {
+  temp_dir td("pages_bad");
+  auto fs = pam::store::posix_fs();
+  fs->mkdirs(td.path);
+  std::vector<char> stream(9000, 'q');
+  std::vector<char> out;
+  pam::store::append_pages(out, 0, stream, 4096);
+
+  // Flip one payload byte: checksum mismatch.
+  auto bad = out;
+  bad[bad.size() - 1] = static_cast<char>(bad.back() ^ 1);
+  auto f = fs->create(td.path + "/bad");
+  f->append(bad.data(), bad.size());
+  f.reset();
+  EXPECT_THROW(pam::store::read_page_streams(*fs, td.path + "/bad"),
+               pam::wire::error);
+
+  // Drop the closing page: the stream never completes.
+  auto cut = out;
+  cut.resize(pam::store::kCkptPageHeader + 4096);  // first page only
+  f = fs->create(td.path + "/cut");
+  f->append(cut.data(), cut.size());
+  f.reset();
+  EXPECT_THROW(pam::store::read_page_streams(*fs, td.path + "/cut"),
+               pam::wire::error);
+}
+
+// ------------------------------------------------------ manifest + commit --
+
+TEST(Manifest, RoundTripAndCommitPoint) {
+  temp_dir td("manifest");
+  auto fs = pam::store::posix_fs();
+  fs->mkdirs(td.path);
+  using cio = pam::store::checkpoint_io<str_map>;
+  cio::manifest_t m;
+  m.id = 42;
+  m.covered_wal_seq = 1234;
+  m.splitters = {"alpha", "omega"};
+  m.files = {{0, "ckpt-000000000000002a-full.pam"},
+             {1, "ckpt-000000000000002b-delta.pam"}};
+  cio::write_manifest(*fs, td.path, m);
+
+  EXPECT_FALSE(cio::read_current(*fs, td.path).has_value());
+  cio::commit_current(*fs, td.path, pam::store::manifest_file_name(42));
+  auto cur = cio::read_current(*fs, td.path);
+  ASSERT_TRUE(cur.has_value());
+  auto back = cio::read_manifest(*fs, td.path, *cur);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.covered_wal_seq, 1234u);
+  EXPECT_EQ(back.splitters, m.splitters);
+  EXPECT_EQ(back.files, m.files);
+
+  // A corrupted manifest byte fails its trailing CRC.
+  const std::string mpath = td.path + "/" + *cur;
+  uint64_t fsize = fs->open_read(mpath)->size();
+  std::vector<char> all(fsize);
+  fs->open_read(mpath)->read_at(0, all.data(), all.size());
+  all[8] = static_cast<char>(all[8] ^ 1);
+  auto f = fs->create(mpath);
+  f->append(all.data(), all.size());
+  f.reset();
+  EXPECT_THROW(cio::read_manifest(*fs, td.path, *cur), pam::wire::error);
+}
+
+// ------------------------------------------------------------ wire codec --
+
+// Round-trip `m` through the wire format and compare against the oracle.
+template <typename Map, typename Oracle>
+void expect_round_trip(const Map& m, const Oracle& oracle) {
+  std::vector<char> wire;
+  m.serialize(wire);
+  Map rt = Map::deserialize(wire.data(), wire.size());
+  ASSERT_TRUE(rt.check_valid());
+  ASSERT_EQ(rt.size(), oracle.size());
+  auto it = rt.begin();
+  for (auto& [k, v] : oracle) {
+    ASSERT_TRUE(it != rt.end());
+    ASSERT_EQ(it->key, k);
+    ASSERT_EQ(it->value, v);
+    ++it;
+  }
+  ASSERT_TRUE(it == rt.end());
+  ASSERT_EQ(rt.aug_val(), m.aug_val());  // recomputed, not read from disk
+}
+
+template <typename Balance>
+void codec_sweep_u64(uint64_t seed) {
+  using map_t = pam::aug_map<pam::sum_entry<uint64_t, uint64_t>, Balance>;
+  pam::random_gen g(seed);
+  map_t m;
+  std::map<uint64_t, uint64_t> oracle;
+  expect_round_trip(m, oracle);  // empty map
+  for (int i = 0; i < 2000; i++) {
+    uint64_t k = g.next() % 4096, v = g.next() % 100000;
+    m = map_t::insert(std::move(m), k, v);
+    oracle[k] = v;
+  }
+  for (int i = 0; i < 500; i++) {
+    uint64_t k = g.next() % 4096;
+    m = map_t::remove(std::move(m), k);
+    oracle.erase(k);
+  }
+  expect_round_trip(m, oracle);
+}
+
+template <typename Balance>
+void codec_sweep_str(uint64_t seed) {
+  using map_t = pam::aug_map<pam::str_sum_entry<uint64_t>, Balance>;
+  pam::random_gen g(seed);
+  map_t m;
+  std::map<std::string, uint64_t> oracle;
+  for (int i = 0; i < 1500; i++) {
+    std::string k = "user/profile/" + std::to_string(g.next() % 2048);
+    uint64_t v = g.next() % 100000;
+    m = map_t::insert(std::move(m), k, v);
+    oracle[k] = v;
+  }
+  expect_round_trip(m, oracle);
+}
+
+// All four balance schemes x flat/front-coded leaves x block sizes 0 (no
+// blocks), 1 (degenerate), 32 (default), 256 (multi byte-class).
+TEST(WireCodec, AllSchemesAllLayoutsAllBlockSizes) {
+  size_t saved_b = pam::leaf_block_size();
+  for (size_t b : {size_t{0}, size_t{1}, size_t{32}, size_t{256}}) {
+    pam::set_leaf_block_size(b);
+    codec_sweep_u64<pam::weight_balanced>(100 + b);
+    codec_sweep_u64<pam::red_black>(200 + b);
+    codec_sweep_u64<pam::avl_tree>(300 + b);
+    codec_sweep_u64<pam::treap>(400 + b);
+    codec_sweep_str<pam::weight_balanced>(500 + b);
+    codec_sweep_str<pam::red_black>(600 + b);
+    codec_sweep_str<pam::avl_tree>(700 + b);
+    codec_sweep_str<pam::treap>(800 + b);
+  }
+  pam::set_leaf_block_size(saved_b);
+}
+
+TEST(WireCodec, CorruptStreamsThrowNeverCrash) {
+  pam::random_gen g(3);
+  u64_map m;
+  for (int i = 0; i < 1000; i++) {
+    m = u64_map::insert(std::move(m), g.next() % 2048, g.next());
+  }
+  std::vector<char> wire;
+  m.serialize(wire);
+
+  // Truncations at every prefix length of the header region and a sample
+  // of interior cuts: must throw wire::error, never crash or misparse.
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{10}, size_t{19},
+                     wire.size() / 2, wire.size() - 1}) {
+    EXPECT_THROW(u64_map::deserialize(wire.data(), cut), pam::wire::error)
+        << "cut " << cut;
+  }
+  // Bit flips across the stream: either a clean wire::error or (for flips
+  // confined to value bytes) a map that still validates.
+  for (size_t at = 0; at < wire.size(); at += 97) {
+    auto bad = wire;
+    bad[at] = static_cast<char>(bad[at] ^ 0x10);
+    try {
+      u64_map rt = u64_map::deserialize(bad.data(), bad.size());
+      EXPECT_TRUE(rt.check_valid());
+    } catch (const pam::wire::error&) {
+      // rejected — the expected common case
+    }
+  }
+}
+
+// -------------------------------------------- durability manager + deltas --
+
+TEST(Durability, IncrementalCheckpointPersistsOnlyChangedBlocks) {
+  temp_dir td("incr");
+  pam::store::durability_options opts;
+  opts.dir = td.path;
+  opts.ckpt.page_bytes = 4096;
+
+  std::vector<uint64_t> splitters = {50000};
+  pam::sharded_map<u64_map> shards(splitters);
+  // The ctor commits a full checkpoint of the (empty) initial contents.
+  pam::store::durability<u64_map> d(opts, shards.snapshot_all(), splitters);
+
+  std::vector<u64_map::entry_t> bulk;
+  for (uint64_t i = 0; i < 100000; i++) bulk.emplace_back(i, i);
+  shards.multi_insert(std::move(bulk));
+  // 100k fresh keys dwarf the empty baseline: the ratio policy forces full.
+  auto full = d.save_checkpoint(shards.snapshot_all(), 0);
+  EXPECT_TRUE(full.full);
+
+  // Touch 20 of 100k keys: the delta must be proportional to the churn,
+  // not the map — the byte-footprint guarantee of diff-driven checkpoints.
+  std::vector<u64_map::entry_t> churn;
+  for (uint64_t i = 0; i < 20; i++) churn.emplace_back(i * 977, 1);
+  shards.multi_insert(std::move(churn));
+  auto delta = d.save_checkpoint(shards.snapshot_all(), 0);
+  EXPECT_FALSE(delta.full);
+  EXPECT_LT(delta.bytes * 100, full.bytes)
+      << "delta " << delta.bytes << "B should be <1% of full " << full.bytes
+      << "B for 20/100k churn";
+
+  // The chain (full + delta) still loads to the exact contents.
+  auto rec = pam::store::durability<u64_map>::recover(opts);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->checkpoint_files, 2u);
+  EXPECT_EQ(rec->contents.size(), 100000u);
+  for (uint64_t i = 0; i < 20; i++) {
+    auto got = rec->contents.find(i * 977);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 1u);
+  }
+}
+
+TEST(Durability, FullCheckpointForcedPastMaxChainAndGcSweeps) {
+  temp_dir td("chain");
+  pam::store::durability_options opts;
+  opts.dir = td.path;
+  opts.ckpt.max_chain = 2;
+  opts.ckpt.incr_max_ratio = 1.0;
+
+  std::vector<uint64_t> splitters;
+  pam::sharded_map<u64_map> shards(u64_map{}, size_t{1});
+  std::vector<u64_map::entry_t> bulk;
+  for (uint64_t i = 0; i < 5000; i++) bulk.emplace_back(i, i);
+  shards.multi_insert(std::move(bulk));
+
+  pam::store::durability<u64_map> d(opts, shards.snapshot_all(), splitters);
+  int fulls = 0, deltas = 0;
+  for (int round = 0; round < 8; round++) {
+    std::vector<u64_map::entry_t> churn = {{uint64_t(round), 99u}};
+    shards.multi_insert(std::move(churn));
+    auto r = d.save_checkpoint(shards.snapshot_all(), 0);
+    (r.full ? fulls : deltas)++;
+  }
+  EXPECT_GE(fulls, 2) << "max_chain=2 must force periodic fulls";
+  EXPECT_GE(deltas, 4);
+
+  // GC: only the live chain (<= 1 full + max_chain deltas + manifest +
+  // CURRENT) remains on disk after eight commits.
+  auto fs = pam::store::posix_fs();
+  size_t ckpt_files = 0, manifests = 0;
+  for (const auto& name : fs->list(td.path)) {
+    ckpt_files += name.rfind("ckpt-", 0) == 0;
+    manifests += name.rfind("manifest-", 0) == 0;
+  }
+  EXPECT_LE(ckpt_files, size_t{1} + 2);
+  EXPECT_EQ(manifests, 1u);
+
+  auto rec = pam::store::durability<u64_map>::recover(opts);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->contents.size(), 5000u);
+}
+
+TEST(Durability, RecoverOnEmptyDirectoryIsNullopt) {
+  temp_dir td("empty");
+  pam::store::durability_options opts;
+  opts.dir = td.path;
+  EXPECT_FALSE(pam::store::durability<u64_map>::recover(opts).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,9 @@
+// pam-lint-fixture-path: src/store/example.h
+// pam-lint-fixture-expect: include-discipline
+// The durability layer is a consumer of the tree kernel: reaching into
+// pam/ internals would couple the on-disk format to node layout.
+#include "pam/node.h"  // tree-kernel internal: flagged even inside src/
+
+namespace pam::store {
+inline int example() { return 0; }
+}  // namespace pam::store

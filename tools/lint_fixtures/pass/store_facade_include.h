@@ -1,0 +1,10 @@
+// pam-lint-fixture-path: src/store/example.h
+// src/store/ reaches the tree kernel through the pam.h facade only; its
+// own headers and the public subsystem surface are fine.
+#include "pam/pam.h"
+#include "store/crc32c.h"
+#include "util/env.h"
+
+namespace pam::store {
+inline int example() { return 0; }
+}  // namespace pam::store
