@@ -2,7 +2,7 @@
 //
 // map_codec<Map> turns a map into a self-framing record stream and back:
 //
-//   [ u32 magic | u8 layout | u8 reserved | u16 entry_abi |
+//   [ u32 magic | u8 layout | u8 byte_order | u16 entry_abi |
 //     u64 total_entries | u32 record_count | records... ]
 //
 //   record := u8 kind | u32 count | u32 payload_len | payload
@@ -43,10 +43,26 @@
 namespace pam {
 
 // ------------------------------------------------------------------ wire --
-// Little-endian plain-data framing helpers shared by the map codec and the
-// store layer's WAL/manifest formats (reached through pam/pam.h).
+// Plain-data framing helpers shared by the map codec and the store layer's
+// WAL/manifest formats (reached through pam/pam.h). Multi-byte fields
+// travel in the writing host's NATIVE byte order (put_pod/reader::pod are
+// memcpys, and CRCs are seeded over in-memory values), so on-disk files
+// are not portable across hosts of different endianness. The map codec
+// stamps kHostByteOrder in its header so a cross-endian load fails loudly
+// there; manifest and page CRCs fail closed before anything else is
+// interpreted.
 
 namespace wire {
+
+// 1 = little-endian, 2 = big-endian: the byte-order stamp written into
+// every map_codec stream header and checked on deserialize.
+inline constexpr uint8_t kHostByteOrder =
+#if defined(__BYTE_ORDER__) && defined(__ORDER_BIG_ENDIAN__) && \
+    (__BYTE_ORDER__ == __ORDER_BIG_ENDIAN__)
+    2;
+#else
+    1;
+#endif
 
 class error : public std::runtime_error {
  public:
@@ -184,7 +200,7 @@ struct map_codec {
   static void serialize(const Map& m, std::vector<char>& out) {
     wire::put_u32(out, kMagic);
     wire::put_u8(out, flat ? 0 : 1);
-    wire::put_u8(out, 0);
+    wire::put_u8(out, wire::kHostByteOrder);
     wire::put_u16(out, entry_abi);
     wire::put_u64(out, static_cast<uint64_t>(m.size()));
     size_t count_at = out.size();
@@ -207,7 +223,11 @@ struct map_codec {
     if (layout != (flat ? 0 : 1)) {
       throw wire::error("map_codec: layout mismatch");
     }
-    r.u8();  // reserved
+    if (r.u8() != wire::kHostByteOrder) {
+      throw wire::error(
+          "map_codec: byte-order mismatch — stream written on a host of "
+          "different endianness");
+    }
     if (r.u16() != entry_abi) {
       throw wire::error("map_codec: entry ABI mismatch");
     }

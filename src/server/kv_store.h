@@ -107,11 +107,13 @@ class kv_store {
   // before returning. Mixing bulk and buffered writes to the same key is
   // racy by construction — flush() first if ordering matters. On a durable
   // store each bulk call is one WAL record, logged before it is applied.
-  void put_batch(std::vector<entry_t> updates) {
+  void put_batch(std::vector<entry_t> updates) PAM_EXCLUDES(cut_mu_) {
+    shared_guard fence(cut_mu_);
     log_bulk(updates, {});
     shards_.multi_insert(std::move(updates));
   }
-  void erase_batch(std::vector<K> keys) {
+  void erase_batch(std::vector<K> keys) PAM_EXCLUDES(cut_mu_) {
+    shared_guard fence(cut_mu_);
     log_bulk({}, keys);
     shards_.multi_delete(std::move(keys));
   }
@@ -169,15 +171,39 @@ class kv_store {
   // (a committed checkpoint truncates the WAL prefix it covers). When
   // version history is on, the persisted cut is byte-identical to the
   // version retained by the ring (version_store::capture_snapshot).
-  typename store::durability<Map>::ckpt_result save_checkpoint() {
+  //
+  // The (sync → read covered → snapshot) triple runs inside a writer
+  // fence: every shard flush lock is held (write_combiner::quiesced) and
+  // cut_mu_ is held exclusive, so no batch — combiner or bulk — can sit
+  // between its WAL append and its apply while the cut is taken. Without
+  // the fence a record with seq <= covered could be durable but not yet
+  // applied, and the committed checkpoint would claim coverage of a batch
+  // it lacks — wal_replay skips seq <= covered, silently losing the acked
+  // batch after the next crash. Writers are only blocked for the cut
+  // itself (O(shards) root grabs + one group fsync); serialization and
+  // commit run outside the fence, concurrent with new writes.
+  typename store::durability<Map>::ckpt_result save_checkpoint()
+      PAM_EXCLUDES(cut_mu_, ckpt_mu_) {
     require_durable();
-    combiner_.flush_all();
-    durable_->sync_wal();
-    uint64_t covered = durable_->durable_seq();
-    snapshot_type cut = history_.has_value()
-                            ? history_->capture_snapshot().snapshot
-                            : shards_.snapshot_all();
-    return durable_->save_checkpoint(cut, covered);
+    // Serializing checkpoints end-to-end keeps covered_wal_seq monotone
+    // across the durability manager's commits: were two cuts to commit in
+    // opposite order, the later cut's truncate could unlink WAL records
+    // the finally-current (earlier) manifest does not cover.
+    mutex_guard order(ckpt_mu_);
+    combiner_.flush_all();  // drain the bulk of the backlog outside the fence
+    uint64_t covered = 0;
+    std::optional<snapshot_type> cut;
+    {
+      exclusive_guard fence(cut_mu_);
+      combiner_.quiesced([&] {
+        durable_->sync_wal();
+        covered = durable_->durable_seq();
+        cut.emplace(history_.has_value()
+                        ? history_->capture_snapshot().snapshot
+                        : shards_.snapshot_all());
+      });
+    }
+    return durable_->save_checkpoint(*cut, covered);
   }
 
   store::durability<Map>& durable() {
@@ -323,6 +349,17 @@ class kv_store {
   }
 
   sharded_map<Map> shards_;
+  // The checkpoint-cut writer fence. Bulk writes hold it shared across
+  // their [WAL log → apply] pair; save_checkpoint holds it exclusive while
+  // it reads durable_seq and snapshots (combiner batches need no share —
+  // their log→apply pair lives under the shard flush locks, which the
+  // exclusive section also holds via write_combiner::quiesced). Ordered
+  // before the flush locks; nothing is PAM_GUARDED_BY it — it fences an
+  // ordering, not data.
+  mutable shared_mutex cut_mu_;
+  // Serializes save_checkpoint callers so coverage claims reach the
+  // durability manager in monotone order (see save_checkpoint).
+  mutex ckpt_mu_;
   // Declaration order is the teardown contract run in reverse: history_
   // releases its retained cuts, combiner_ drains (its final batches still
   // logging through durable_), then durable_ closes the WAL, then shards_.

@@ -142,6 +142,20 @@ class write_combiner {
     for (size_t s = 0; s < queues_.size(); s++) flush_shard(s);
   }
 
+  // Flush every shard, then run `fn` while ALL shard flush locks are held.
+  // While `fn` runs no batch can sit between its batch_sink call (the WAL
+  // append) and its apply to the target — the two happen under the same
+  // per-shard flush lock — and no new batch can commit until it returns.
+  // This is the consistency fence kv_store::save_checkpoint cuts its
+  // durable checkpoint on: inside `fn`, the target reflects exactly the
+  // batches the sink has seen. Locks are taken in shard-index order (the
+  // only place more than one flush lock is ever held); `fn` must not
+  // re-enter the combiner.
+  template <typename Fn>
+  void quiesced(Fn&& fn) {
+    quiesce_from(0, fn);
+  }
+
   stats_snapshot stats() const {
     return {ops_enqueued_.load(std::memory_order_relaxed),
             ops_committed_.load(std::memory_order_relaxed),
@@ -226,6 +240,22 @@ class write_combiner {
       if (!deletes.empty()) m = Map::multi_delete(std::move(m), std::move(deletes));
       return m;
     });
+  }
+
+  // quiesced()'s lock-accumulating walk: flush shard s under its flush
+  // lock, keep the lock, recurse to s+1, and run fn once every shard's
+  // lock is held. Recursion keeps each acquisition lexical, so clang's
+  // thread-safety analysis tracks the whole dynamic lock set.
+  template <typename Fn>
+  void quiesce_from(size_t s, Fn& fn) {
+    if (s == queues_.size()) {
+      fn();
+      return;
+    }
+    shard_queue& q = *queues_[s];
+    mutex_guard serialize(q.flush_mu);
+    commit_batch(q, s, swap_out(q));
+    quiesce_from(s + 1, fn);
   }
 
   void flush_shard(size_t s) {

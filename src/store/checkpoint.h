@@ -13,7 +13,10 @@
 //                         data files to apply in order (full, then deltas)
 //   CURRENT               the name of the committed manifest
 //
-// Page framing (little-endian):
+// Page framing (native byte order — see the wire note in pam/serialize.h;
+// checkpoint files are not portable across hosts of different endianness,
+// and a cross-endian load fails closed on the manifest CRC / the map
+// codec's byte-order stamp):
 //
 //   [ u32 magic | u32 shard | u32 index | u32 len | u8 last | u32 crc |
 //     payload(len) ]

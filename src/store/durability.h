@@ -29,6 +29,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,10 +114,16 @@ class durability {
     uint64_t bytes = 0;  // data file bytes written (pages + headers)
   };
 
-  // Persist `cut`, which must reflect every record with seq <= covered_seq
-  // (the caller flushes and syncs before snapshotting, then passes
-  // durable_seq() — replay of any seq in (covered, last] is idempotent
-  // because records carry absolute upserts/deletes).
+  // Persist `cut`, which must reflect every record with seq <= covered_seq.
+  // The caller is responsible for making that true under concurrency: the
+  // (sync, read durable_seq, snapshot) triple must be fenced against
+  // writers so no record with seq <= covered_seq is still between its WAL
+  // append and its apply when the cut is taken — kv_store::save_checkpoint
+  // does this by quiescing the combiner's flush locks and excluding bulk
+  // writes. Replay of any seq in (covered, last] is idempotent because
+  // records carry absolute upserts/deletes. covered_seq must be monotone
+  // across calls (a regressing claim would follow a truncate that already
+  // unlinked records the older manifest needs).
   ckpt_result save_checkpoint(const snapshot_t& cut, uint64_t covered_seq)
       PAM_EXCLUDES(mu_) {
     mutex_guard g(mu_);
@@ -186,6 +193,14 @@ class durability {
  private:
   ckpt_result commit_locked(const snapshot_t& cut, uint64_t covered_seq,
                             bool force_full) PAM_REQUIRES(mu_) {
+    if (covered_seq < cur_manifest_.covered_wal_seq) {
+      // A cut older than the committed one: committing it would move
+      // CURRENT backwards past a truncate that may already have unlinked
+      // the WAL records bridging the gap. kv_store serializes its callers
+      // (ckpt_mu_), so only a direct misuse of this API can get here.
+      throw std::logic_error(
+          "durability: checkpoint coverage must be monotone");
+    }
     ckpt_result res;
     res.id = next_id_++;
     res.full = force_full || !prev_cut_.has_value() ||

@@ -1,7 +1,8 @@
 // Write-ahead log: checksummed, length-prefixed records in rotating
 // segments, with group fsync and truncation once a checkpoint covers them.
 //
-// Record framing (little-endian):
+// Record framing (native byte order — see the wire note in pam/serialize.h;
+// WAL files are not portable across hosts of different endianness):
 //
 //   [ u32 magic | u64 seq | u32 len | u32 crc | payload(len) ]
 //
@@ -287,20 +288,34 @@ struct wal_replay_stats {
 // are unlinked, leaving the directory ready for a resuming wal_writer.
 // Records with seq <= after_seq are validated and skipped (a checkpoint
 // may cover a prefix of a segment that cannot be unlinked whole).
+//
+// Contiguity holds across segment boundaries too: a segment whose first
+// seq jumps past the next seq recovery still needs (a lost or manually
+// deleted middle segment) is corruption, not splice material — replay
+// stops there exactly like a bad record. A boundary gap lying entirely
+// within the covered prefix (every missing seq <= after_seq) is tolerated,
+// since nothing the checkpoint chain needs is absent.
 template <typename Fn>
 wal_replay_stats wal_replay(file_system& fs, const std::string& dir,
                             uint64_t after_seq, Fn&& fn, bool repair) {
   wal_replay_stats st;
   auto segs = wal_segments(fs, dir);
-  uint64_t expect = segs.empty() ? after_seq + 1 : 0;  // set per segment
+  // The next seq replay must deliver: starts right past the covered
+  // prefix, advances only on delivery. Any segment starting beyond it has
+  // a hole in needed history in front of it.
+  uint64_t next_needed = after_seq + 1;
   bool stopped = false;
   for (size_t si = 0; si < segs.size(); si++) {
     const std::string path = dir + "/" + segs[si].second;
+    if (!stopped && segs[si].first > next_needed) {
+      st.tail_truncated = true;  // broken seq chain at a segment boundary
+      stopped = true;
+    }
     if (stopped) {
       if (repair) fs.remove(path);
       continue;
     }
-    expect = segs[si].first;
+    uint64_t expect = segs[si].first;
     std::unique_ptr<file> f = fs.open_read(path);
     uint64_t fsize = f->size();
     std::vector<char> buf(fsize);
@@ -324,14 +339,17 @@ wal_replay_stats wal_replay(file_system& fs, const std::string& dir,
       actual = crc32c(&len, sizeof(len), actual);
       actual = crc32c(payload, len, actual);
       if (actual != crc) break;
-      if (seq > after_seq) {
+      // The in-segment chain starts at first <= next_needed and steps by
+      // one, so seq can never jump past next_needed — records below it are
+      // covered (or already delivered by an earlier segment) and skipped.
+      if (seq >= next_needed) {
         fn(seq, payload, size_t{len});
         st.records++;
+        next_needed = seq + 1;
       }
       off += kWalHeaderBytes + len;
       good = off;
       expect = seq + 1;
-      st.next_seq = seq + 1;
     }
     if (good < fsize) {
       st.tail_truncated = true;
@@ -344,7 +362,7 @@ wal_replay_stats wal_replay(file_system& fs, const std::string& dir,
       }
     }
   }
-  if (st.next_seq <= after_seq) st.next_seq = after_seq + 1;
+  st.next_seq = next_needed;
   if (repair && !segs.empty()) fs.sync_dir(dir);
   return st;
 }

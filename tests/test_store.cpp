@@ -265,6 +265,58 @@ TEST(Wal, TornTailStopsReplayAndRepairTruncates) {
   EXPECT_EQ(seen, 10u);
 }
 
+TEST(Wal, MissingMiddleSegmentIsCorruptionNotSplice) {
+  temp_dir td("wal_gap");
+  auto fs = pam::store::posix_fs();
+  fs->mkdirs(td.path);
+  std::vector<char> big(8 * 1024, 'x');
+  {
+    pam::store::wal_writer w(fs, td.path, small_wal(16 * 1024), 1);
+    for (int i = 0; i < 20; i++) w.append(big.data(), big.size());
+  }
+  auto segs = pam::store::wal_segments(*fs, td.path);
+  ASSERT_GE(segs.size(), 3u);
+  // Lose a middle segment: records [gap_first, gap_end) vanish from the
+  // chain while later segments survive intact.
+  const uint64_t gap_first = segs[1].first;
+  const uint64_t gap_end = segs[2].first;
+  fs->remove(td.path + "/" + segs[1].second);
+
+  // Replay from 0 must stop at the boundary and flag the break — splicing
+  // over the hole would present non-contiguous history as contiguous.
+  uint64_t last = 0, seen = 0;
+  auto st = pam::store::wal_replay(
+      *fs, td.path, 0,
+      [&](uint64_t seq, const char*, size_t) {
+        last = seq;
+        seen++;
+      },
+      /*repair=*/false);
+  EXPECT_EQ(seen, gap_first - 1);
+  EXPECT_EQ(last, gap_first - 1);
+  EXPECT_TRUE(st.tail_truncated);
+  EXPECT_EQ(st.next_seq, gap_first);
+
+  // A boundary gap lying entirely inside the covered prefix is fine:
+  // nothing the checkpoint chain needs is absent.
+  seen = 0;
+  auto st2 = pam::store::wal_replay(
+      *fs, td.path, gap_end - 1,
+      [&](uint64_t, const char*, size_t) { seen++; }, /*repair=*/false);
+  EXPECT_EQ(seen, 21 - gap_end);
+  EXPECT_FALSE(st2.tail_truncated);
+  EXPECT_EQ(st2.next_seq, 21u);
+
+  // Repair mode unlinks the segments stranded past the break.
+  auto st3 = pam::store::wal_replay(
+      *fs, td.path, 0, [](uint64_t, const char*, size_t) {}, /*repair=*/true);
+  EXPECT_TRUE(st3.tail_truncated);
+  EXPECT_EQ(st3.next_seq, gap_first);
+  auto after = pam::store::wal_segments(*fs, td.path);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].first, segs[0].first);
+}
+
 TEST(Wal, DeadWriterUnacksSilently) {
   temp_dir td("wal_dead");
   auto fp = std::make_shared<pam::store::failpoints>();
@@ -473,6 +525,23 @@ TEST(WireCodec, CorruptStreamsThrowNeverCrash) {
       // rejected — the expected common case
     }
   }
+}
+
+TEST(WireCodec, CrossEndianStreamRejected) {
+  u64_map m;
+  for (uint64_t k = 0; k < 100; k++) {
+    m = u64_map::insert(std::move(m), k, k * 3);
+  }
+  std::vector<char> wire;
+  m.serialize(wire);
+  // Header: u32 magic | u8 layout | u8 byte_order | ... — the stamp pins
+  // the writing host's endianness so a cross-endian load fails loudly
+  // instead of misparsing raw block payloads.
+  ASSERT_GT(wire.size(), 6u);
+  EXPECT_EQ(static_cast<uint8_t>(wire[5]), pam::wire::kHostByteOrder);
+  wire[5] = static_cast<char>(wire[5] == 1 ? 2 : 1);
+  EXPECT_THROW(u64_map::deserialize(wire.data(), wire.size()),
+               pam::wire::error);
 }
 
 // -------------------------------------------- durability manager + deltas --
