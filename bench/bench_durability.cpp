@@ -125,23 +125,36 @@ int main() {
     }
   }
   const std::vector<K> no_dels;
+  std::vector<double> batch_lat_ns;
+  batch_lat_ns.reserve(kBatches);
   double t_append = timed([&] {
     for (size_t b = 0; b < kBatches; b++) {
+      uint64_t t0 = obs::now_ns();
       if (d.log_batch(~uint32_t{0}, batches[b], no_dels) == 0) {
         std::printf("ERROR: WAL writer died mid-bench\n");
         std::exit(2);
       }
+      batch_lat_ns.push_back(double(obs::now_ns() - t0));
     }
     d.sync_wal();
   });
   const size_t wal_ops = kBatches * kBatchOps;
   double append_ops_s = t_append > 0 ? double(wal_ops) / t_append : 0.0;
-  std::printf("%-26s %10.4fs   %8zu ops  %10.0f ops/s  (sync_every=16)\n",
-              "WAL append", t_append, wal_ops, append_ops_s);
+  std::sort(batch_lat_ns.begin(), batch_lat_ns.end());
+  double append_p50 = percentile_sorted(batch_lat_ns, 0.5);
+  double append_p99 = percentile_sorted(batch_lat_ns, 0.99);
+  std::printf("%-26s %10.4fs   %8zu ops  %10.0f ops/s  (sync_every=16, "
+              "batch p50=%.0fns p99=%.0fns)\n",
+              "WAL append", t_append, wal_ops, append_ops_s, append_p50,
+              append_p99);
   bench_json("bench_durability", "wal_ops=" + std::to_string(wal_ops), "t_s",
              t_append);
   bench_json("bench_durability", "wal_ops=" + std::to_string(wal_ops),
              "append_ops_s", append_ops_s);
+  bench_json("bench_durability", "wal_ops=" + std::to_string(wal_ops),
+             "p50_ns", append_p50);
+  bench_json("bench_durability", "wal_ops=" + std::to_string(wal_ops),
+             "p99_ns", append_p99);
 
   // --------------------------------------------------------- recovery --
   // Load the full+delta chain, then replay the WAL tail; verified against
@@ -172,6 +185,7 @@ int main() {
               "[acceptance target <= 0.10, enforcing <= %.2f]\n",
               ratio, gate);
   bench_json("bench_durability", "gate", "incr_ratio", ratio);
+  dump_observability();  // PAM_METRICS_DUMP / PAM_TRACE_JSON artifacts
   if (env_long("PAM_PERF_GATE", 0) != 0 && ratio > gate) {
     std::printf("PERF GATE FAILED: %.4f > %.2f\n", ratio, gate);
     return 1;

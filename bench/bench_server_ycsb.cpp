@@ -49,6 +49,8 @@ using entry_t = map_t::entry_t;
 struct mix_result {
   double ops_per_sec;
   double write_ops_per_sec;
+  double p50_ns;  // sampled per-op latency percentiles (reads and writes)
+  double p99_ns;
 };
 
 // One pre-generated request: read k, or write (k, v).
@@ -87,18 +89,30 @@ template <typename Req, typename Read, typename Write, typename Barrier>
 mix_result run_mix(const std::vector<std::vector<Req>>& streams,
                    int read_pct, const Read& do_read, const Write& do_write,
                    const Barrier& barrier) {
+  // Per-op latency is sampled 1-in-8 per client: two clock reads on a
+  // sampled op only, so the tail percentiles come out of the same run the
+  // throughput gates assert on without distorting it.
+  constexpr size_t kSampleEvery = 8;
   std::atomic<size_t> sink{0};
   std::vector<std::thread> clients;
+  std::vector<std::vector<double>> samples(streams.size());
   timer t;
-  for (const auto& stream : streams) {
-    clients.emplace_back([&] {
+  for (size_t ci = 0; ci < streams.size(); ci++) {
+    clients.emplace_back([&, ci] {
+      const auto& stream = streams[ci];
+      auto& lat = samples[ci];
+      lat.reserve(stream.size() / kSampleEvery + 1);
       size_t hits = 0;
+      size_t i = 0;
       for (const Req& r : stream) {
+        bool sampled = (i++ % kSampleEvery) == 0;
+        uint64_t t0 = sampled ? obs::now_ns() : 0;
         if (r.is_read) {
           if (do_read(r.key)) hits++;
         } else {
           do_write(r.key, r.value);
         }
+        if (sampled) lat.push_back(double(obs::now_ns() - t0));
       }
       sink.fetch_add(hits);
     });
@@ -109,7 +123,11 @@ mix_result run_mix(const std::vector<std::vector<Req>>& streams,
   double total = 0;
   for (const auto& s : streams) total += double(s.size());
   double writes = total * (100 - read_pct) / 100.0;
-  return {total / secs, writes / secs};
+  std::vector<double> all;
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  return {total / secs, writes / secs, percentile_sorted(all, 0.5),
+          percentile_sorted(all, 0.99)};
 }
 
 }  // namespace
@@ -174,6 +192,17 @@ int main() {
                combined.ops_per_sec);
     bench_json("bench_server_ycsb", std::string(label) + "_sharded_wc",
                "write_speedup", ratio);
+    bench_json("bench_server_ycsb", std::string(label) + "_single_box",
+               "p50_ns", single.p50_ns);
+    bench_json("bench_server_ycsb", std::string(label) + "_single_box",
+               "p99_ns", single.p99_ns);
+    bench_json("bench_server_ycsb", std::string(label) + "_sharded_wc",
+               "p50_ns", combined.p50_ns);
+    bench_json("bench_server_ycsb", std::string(label) + "_sharded_wc",
+               "p99_ns", combined.p99_ns);
+    std::printf("%-12s %-14s p50=%.0fns p99=%.0fns | p50=%.0fns p99=%.0fns\n",
+                "", "  latency", single.p50_ns, single.p99_ns,
+                combined.p50_ns, combined.p99_ns);
 
     auto st = store.ingest_stats();
     std::printf("%-12s %-14s enqueued=%llu committed=%llu batches=%llu "
@@ -277,9 +306,14 @@ int main() {
         [&](const std::string& k, V v) { store.put(k, v); },
         [&] { store.flush(); });
     std::printf("string keys (front-coded leaves), 95/5 sharded+wc: "
-                "%12.0f ops/s\n\n", res.ops_per_sec);
+                "%12.0f ops/s  p50=%.0fns p99=%.0fns\n\n",
+                res.ops_per_sec, res.p50_ns, res.p99_ns);
     bench_json("bench_server_ycsb", "str_95_5_sharded_wc", "ops_per_s",
                res.ops_per_sec);
+    bench_json("bench_server_ycsb", "str_95_5_sharded_wc", "p50_ns",
+               res.p50_ns);
+    bench_json("bench_server_ycsb", "str_95_5_sharded_wc", "p99_ns",
+               res.p99_ns);
   }
 
   // The acceptance target on dedicated hardware is 5x; PAM_YCSB_GATE lets
@@ -305,5 +339,6 @@ int main() {
               "churning): %.1fx  [acceptance target >= 4x, enforcing >= "
               "%.2fx]\n",
               scale_ratio, read_gate);
+  dump_observability();  // PAM_METRICS_DUMP / PAM_TRACE_JSON artifacts
   return (gate_ratio >= gate && scale_ratio >= read_gate) ? 0 : 1;
 }

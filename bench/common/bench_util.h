@@ -14,10 +14,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel.h"
 #include "util/env.h"
 #include "util/random.h"
@@ -32,6 +36,8 @@ inline std::string& current_bench() {
   return name;
 }
 
+inline void emit_env_provenance();  // defined with the JSON helpers below
+
 inline void print_header(const char* experiment, const char* paper_ref) {
   current_bench() = experiment;
   std::printf("==================================================================\n");
@@ -41,6 +47,7 @@ inline void print_header(const char* experiment, const char* paper_ref) {
               num_workers(), env_double("PAM_BENCH_SCALE", 1.0),
               std::thread::hardware_concurrency());
   std::printf("==================================================================\n");
+  emit_env_provenance();
 }
 
 // Time one run of f (seconds). For bulk operations a single run is stable
@@ -75,6 +82,42 @@ double timed_median(int warmup, int reps, const F& f) {
   return ts[ts.size() / 2];
 }
 
+// Distribution of per-iteration times (seconds). The perf gates keep
+// asserting on `median` — the stable statistic — while p99/max surface tail
+// behavior in the JSON trajectory without being load-bearing.
+struct run_stats {
+  double min = 0;
+  double median = 0;  // p50
+  double p99 = 0;
+  double max = 0;
+};
+
+// Nearest-rank percentile over an already-sorted sample.
+inline double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t idx = static_cast<size_t>(rank + 0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+// timed_median's bigger sibling: same warmup/reps protocol, whole
+// distribution back. run_stats.median is bit-identical to what
+// timed_median(warmup, reps, f) would return for the same runs.
+template <typename F>
+run_stats timed_stats(int warmup, int reps, const F& f) {
+  for (int i = 0; i < warmup; i++) f();
+  std::vector<double> ts(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; i++) ts[static_cast<size_t>(i)] = timed(f);
+  std::sort(ts.begin(), ts.end());
+  run_stats st;
+  st.min = ts.front();
+  st.median = ts[ts.size() / 2];
+  st.p99 = percentile_sorted(ts, 0.99);
+  st.max = ts.back();
+  return st;
+}
+
 // ---------------------------------------------- machine-readable results --
 // PAM_BENCH_JSON=<path>: every bench binary appends one JSON line per
 // reported metric, {"bench":…,"config":…,"metric":…,"value":…}, so a sweep
@@ -90,6 +133,43 @@ inline void bench_json(const char* bench, const std::string& config,
                "{\"bench\":\"%s\",\"config\":\"%s\",\"metric\":\"%s\",\"value\":%.17g}\n",
                bench, config.c_str(), metric, value);
   std::fclose(f);
+}
+
+// Config provenance: one JSON line with every PAM_* knob's effective
+// setting, so a BENCH trajectory row can always be traced back to the
+// config that produced it. Appended (once per process, by print_header) to
+// the same PAM_BENCH_JSON stream the metric rows go to.
+inline void emit_env_provenance() {
+  const char* path = std::getenv("PAM_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"bench\":\"%s\",\"env\":{", current_bench().c_str());
+  bool first = true;
+  for (const env_knob& k : env_knobs()) {
+    std::fprintf(f, "%s\"%s\":\"%s\"", first ? "" : ",", k.name,
+                 env_knob_value(k).c_str());
+    first = false;
+  }
+  std::fprintf(f, "}}\n");
+  std::fclose(f);
+}
+
+// Observability artifacts at bench exit: PAM_METRICS_DUMP=<path> writes the
+// Prometheus-text scrape, PAM_TRACE_JSON=<path> writes the Chrome-trace
+// dump (spans exist only if PAM_TRACE=1 enabled recording). Call at the end
+// of main, after the workload; silent no-ops when the variables are unset.
+inline void dump_observability() {
+  if (const char* p = std::getenv("PAM_METRICS_DUMP");
+      p != nullptr && *p != '\0') {
+    std::ofstream os(p);
+    if (os) obs::prometheus_text(obs::registry::get().scrape(), os);
+  }
+  if (const char* p = std::getenv("PAM_TRACE_JSON");
+      p != nullptr && *p != '\0') {
+    std::ofstream os(p);
+    if (os) obs::dump_chrome_json(os);
+  }
 }
 
 // Run f on 1 worker then on all workers; returns {t1, tp}. Restores the

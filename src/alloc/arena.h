@@ -55,10 +55,34 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "parallel/scheduler.h"
 #include "util/thread_annotations.h"
 
 namespace pam {
+
+namespace alloc_internal {
+
+// Reclamation + footprint instrumentation, shared by the process-wide epoch
+// and every block_pool. Global: the epoch is process-global anyway, and
+// pools are immortal-by-convention, so per-instance registration would only
+// multiply identical series.
+struct alloc_metrics_t {
+  obs::counter epoch_advances{"pam_epoch_advances_total"};
+  obs::counter epoch_retired{"pam_epoch_retired_total"};
+  obs::gauge limbo_depth{"pam_epoch_limbo_depth"};
+  obs::gauge reserved_bytes{"pam_arena_reserved_bytes"};
+  obs::counter trimmed_bytes{"pam_arena_trimmed_bytes_total"};
+};
+
+inline alloc_metrics_t& alloc_metrics() {
+  // pam-lint: allow(naked-new) — immortal process-wide metric block, same
+  // lifetime rule as the epoch/limbo singletons below.
+  static alloc_metrics_t* m = new alloc_metrics_t();
+  return *m;
+}
+
+}  // namespace alloc_internal
 
 // ------------------------------------------------------------------ epoch --
 
@@ -120,6 +144,8 @@ class epoch {
       L.pending.fetch_add(1, std::memory_order_relaxed);
       bucket_fill = bucket.size();
     }
+    alloc_internal::alloc_metrics().epoch_retired.inc();
+    alloc_internal::alloc_metrics().limbo_depth.add(1);
     // Amortized housekeeping: every kDrainThreshold-th retirement into a
     // bucket attempts to turn the epoch over so old limbo drains. The
     // modulus (not >=) matters when a long-lived guard pins the epoch: the
@@ -155,11 +181,14 @@ class epoch {
       global_epoch().store(e + 1, std::memory_order_seq_cst);
       to_free.swap(L.buckets[(e + 1) % 3]);
     }
+    alloc_internal::alloc_metrics().epoch_advances.inc();
     if (!to_free.empty()) {
       // Deleters run outside the mutex: a tree teardown may fork into the
       // scheduler, and other threads must be able to keep retiring.
       for (const retired& r : to_free) r.deleter(r.p);
       L.pending.fetch_sub(to_free.size(), std::memory_order_relaxed);
+      alloc_internal::alloc_metrics().limbo_depth.add(
+          -static_cast<int64_t>(to_free.size()));
     }
     return true;
   }
@@ -331,6 +360,8 @@ class block_pool {
   ~block_pool() {
     directory_unregister(id_);
     for (const chunk& c : chunks_) {
+      alloc_internal::alloc_metrics().reserved_bytes.add(
+          -static_cast<int64_t>(c.slots * slot_bytes_));
       ::operator delete(c.base, std::align_val_t{align_});
     }
   }
@@ -435,6 +466,9 @@ class block_pool {
       }
       free_slots_.swap(kept);
     }
+    alloc_internal::alloc_metrics().reserved_bytes.add(
+        -static_cast<int64_t>(released_bytes));
+    alloc_internal::alloc_metrics().trimmed_bytes.inc(released_bytes);
     // The OS handback happens after the mutex drops: concurrent refills and
     // overflows need not wait on the kernel.
     for (const auto& range : released) {
@@ -531,6 +565,8 @@ class block_pool {
     cache.reserve(batch_);
     for (size_t i = 0; i < batch_; i++) cache.push_back(base + i * slot_bytes_);
     reserved_.fetch_add(static_cast<int64_t>(batch_), std::memory_order_relaxed);
+    alloc_internal::alloc_metrics().reserved_bytes.add(
+        static_cast<int64_t>(batch_ * slot_bytes_));
   }
 
   void overflow(std::vector<void*>& cache) {

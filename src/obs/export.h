@@ -1,0 +1,97 @@
+// pam::obs exposition — render a registry scrape as Prometheus text format
+// or as a single JSON object. Both operate on a registry_snapshot, so they
+// work identically (producing empty documents) when PAM_METRICS=0.
+//
+//   obs::prometheus_text(obs::registry::get().scrape(), std::cout);
+//   obs::metrics_json(obs::registry::get().scrape(), std::cout);
+//
+// Prometheus text: counters and gauges render as `name{label} value`;
+// histograms render as the conventional `_count` / `_sum` series plus
+// quantile series (`name{quantile="0.5"} v`) in summary style — the
+// log-bucket layout is an implementation detail we do not expose.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace pam::obs {
+
+namespace export_internal {
+
+// `label` is stored as 'key="value"'; wrap for the exposition, merging with
+// an extra label when both are present.
+inline std::string braced(const std::string& label, const std::string& extra = "") {
+  if (label.empty() && extra.empty()) return "";
+  if (label.empty()) return "{" + extra + "}";
+  if (extra.empty()) return "{" + label + "}";
+  return "{" + label + "," + extra + "}";
+}
+
+inline void json_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace export_internal
+
+inline void prometheus_text(const registry_snapshot& snap, std::ostream& os) {
+  using export_internal::braced;
+  for (const auto& c : snap.counters) {
+    os << "# TYPE " << c.name << " counter\n";
+    os << c.name << braced(c.label) << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << braced(g.label) << " " << g.value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    os << "# TYPE " << h.name << " summary\n";
+    os << h.name << braced(h.label, "quantile=\"0.5\"") << " " << h.p50 << "\n";
+    os << h.name << braced(h.label, "quantile=\"0.99\"") << " " << h.p99
+       << "\n";
+    os << h.name << braced(h.label, "quantile=\"0.999\"") << " " << h.p999
+       << "\n";
+    os << h.name << "_count" << braced(h.label) << " " << h.count << "\n";
+    os << h.name << "_sum" << braced(h.label) << " " << h.sum << "\n";
+  }
+}
+
+inline void metrics_json(const registry_snapshot& snap, std::ostream& os) {
+  using export_internal::json_escaped;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escaped(os, c.label.empty() ? c.name : c.name + "{" + c.label + "}");
+    os << "\":" << c.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escaped(os, g.label.empty() ? g.name : g.name + "{" + g.label + "}");
+    os << "\":" << g.value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escaped(os, h.label.empty() ? h.name : h.name + "{" + h.label + "}");
+    os << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"p50\":" << h.p50 << ",\"p99\":" << h.p99 << ",\"p999\":" << h.p999
+       << "}";
+  }
+  os << "}}\n";
+}
+
+}  // namespace pam::obs

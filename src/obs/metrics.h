@@ -1,0 +1,482 @@
+// pam::obs — the metrics layer: named counters, gauges, and log-bucketed
+// latency histograms behind one process-wide registry.
+//
+// Design, in one breath: recording must cost (almost) nothing on the paths
+// the paper's asymptotic claims are about, so every counter and histogram
+// cell is striped across cache lines by a hashed thread id — the same idiom
+// block_pool uses for its live counters (alloc/arena.h) — and a recording
+// site is one relaxed fetch_add on the calling thread's stripe: wait-free,
+// no CAS loop, no shared hot line. All cross-stripe work (summing, bucket
+// merging, quantile estimation) happens on the scrape path, under the
+// registry mutex, where nobody is latency-sensitive.
+//
+//   obs::counter ops{"pam_combiner_ops_enqueued_total"};   // registers
+//   ops.inc();                                             // wait-free
+//   auto snap = obs::registry::get().scrape();             // merged view
+//
+// Instances vs. names: a metric object registers itself under its name (plus
+// an optional Prometheus-style label) on construction and unregisters on
+// destruction. Two live instances with the same (name, label) — e.g. the
+// combiners of two kv_stores — are summed at scrape time, so the exposition
+// aggregates across instances exactly like Prometheus aggregates across
+// processes, while each owner can still read its own instance exactly
+// (write_combiner::stats is such a per-instance view).
+//
+// Histograms are log-bucketed nanosecond recorders: values below 8 get exact
+// buckets, larger values get 8 sub-buckets per power of two (<= 12.5%
+// relative quantile error), capped at 2^40 ns (~18 minutes) with one
+// overflow bucket. p50/p99/p999 are estimated by linear interpolation inside
+// the winning bucket of the merged distribution.
+//
+// Compile-time switch: building with -DPAM_METRICS=0 replaces every type in
+// this header (and obs/trace.h) with an empty no-op — recording sites
+// compile to nothing, verified by static_asserts in tests/test_obs_off.cpp.
+// The on/off variants live in distinct inline namespaces so a mixed build
+// (one TU off, the rest on) cannot silently violate the ODR. With metrics
+// off, stats surfaces that are views over registry counters (e.g.
+// write_combiner::stats) read as zero — the trade documented in DESIGN.md.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+#ifndef PAM_METRICS
+#define PAM_METRICS 1
+#endif
+
+namespace pam::obs {
+
+inline constexpr bool kEnabled = (PAM_METRICS != 0);
+
+// ------------------------------------------------------- scrape value types --
+// Shared by both modes: export.h formats these, and an off-mode scrape is
+// simply empty.
+
+struct counter_value {
+  std::string name;
+  std::string label;  // 'key="value"' or empty
+  uint64_t value = 0;
+};
+
+struct gauge_value {
+  std::string name;
+  std::string label;
+  int64_t value = 0;
+};
+
+struct histogram_value {
+  std::string name;
+  std::string label;
+  uint64_t count = 0;
+  uint64_t sum = 0;  // of recorded values (ns, bytes, ...)
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+struct registry_snapshot {
+  std::vector<counter_value> counters;
+  std::vector<gauge_value> gauges;
+  std::vector<histogram_value> histograms;
+};
+
+#if PAM_METRICS
+
+inline namespace metrics_on {
+
+// Nanoseconds on the monotonic clock — the time base every histogram and
+// trace span records in.
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The hashed-stripe id, block_pool::stripe_of's idiom without the scheduler
+// dependency (this header must stay includable from parallel/scheduler.h):
+// every thread — worker or foreign — draws a sequential id on first use and
+// a Fibonacci hash spreads the ids over the stripes. The 64-bit cast keeps
+// the multiply wrap-free under -fsanitize=integer.
+inline size_t stripe_id() {
+  static std::atomic<uint32_t> next{0};
+  static thread_local uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<size_t>(id) * 2654435761u >> 16;
+}
+
+enum class metric_kind : uint8_t { counter, gauge, histogram };
+
+class registry;
+
+// Intrusive registration node. Registration happens at the END of the
+// derived constructor (never here), so a concurrent scrape can only observe
+// fully-constructed cells; deregistration happens at the START of the
+// derived destructor under the same registry mutex scrape holds.
+class metric {
+ public:
+  metric(const metric&) = delete;
+  metric& operator=(const metric&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& label() const { return label_; }
+  metric_kind kind() const { return kind_; }
+
+ protected:
+  metric(const char* name, std::string label, metric_kind kind)
+      : name_(name), label_(std::move(label)), kind_(kind) {}
+  ~metric() = default;
+
+ private:
+  std::string name_;
+  std::string label_;
+  metric_kind kind_;
+};
+
+class counter;
+class gauge;
+class histogram;
+
+// The process-wide metric directory. add/remove are cold (object
+// construction); scrape walks every registered metric under the mutex and
+// merges instances that share (kind, name, label). Recording never touches
+// the registry at all — the mutex fences membership, not the cells.
+class registry {
+ public:
+  // Immortal, like every process-wide singleton in this tree (scheduler,
+  // epoch state): metrics owned by static-storage objects may unregister
+  // during static destruction, so the registry must outlive them all.
+  static registry& get() {
+    // pam-lint: allow(naked-new) — immortal process-wide singleton, never
+    // reclaimed by design (see scheduler::get).
+    static registry* r = new registry();
+    return *r;
+  }
+
+  void add(const metric* m) PAM_EXCLUDES(mu_) {
+    mutex_guard lock(mu_);
+    metrics_.push_back(m);
+  }
+
+  void remove(const metric* m) PAM_EXCLUDES(mu_) {
+    mutex_guard lock(mu_);
+    metrics_.erase(std::remove(metrics_.begin(), metrics_.end(), m),
+                   metrics_.end());
+  }
+
+  // Merged view of every live metric, sorted by (name, label). Defined
+  // after counter/gauge/histogram below.
+  registry_snapshot scrape() const PAM_EXCLUDES(mu_);
+
+ private:
+  registry() = default;
+
+  mutable mutex mu_;
+  std::vector<const metric*> metrics_ PAM_GUARDED_BY(mu_);
+};
+
+// ---------------------------------------------------------------- counter --
+
+// Monotone event count. inc() is wait-free: one relaxed fetch_add on the
+// calling thread's stripe. value() sums the stripes (exact once writers
+// quiesce; monotone under load since every stripe is monotone).
+class counter : public metric {
+ public:
+  explicit counter(const char* name, std::string label = "")
+      : metric(name, std::move(label), metric_kind::counter) {
+    registry::get().add(this);
+  }
+  ~counter() { registry::get().remove(this); }
+
+  void inc(uint64_t n = 1) {
+    cells_[stripe_id() % kStripes].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kStripes = 64;
+  struct alignas(64) cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<cell, kStripes> cells_{};
+};
+
+// ------------------------------------------------------------------ gauge --
+
+// A settable level (queue depth, limbo depth, reserved bytes). One atomic:
+// gauges sit on maintenance/flush paths, not per-op hot paths — anything
+// per-op should be two counters whose difference is the level.
+class gauge : public metric {
+ public:
+  explicit gauge(const char* name, std::string label = "")
+      : metric(name, std::move(label), metric_kind::gauge) {
+    registry::get().add(this);
+  }
+  ~gauge() { registry::get().remove(this); }
+
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// -------------------------------------------------------------- histogram --
+
+// Log-bucketed distribution recorder. record() is wait-free: two relaxed
+// fetch_adds (bucket count + running sum) on the calling thread's stripe.
+class histogram : public metric {
+ public:
+  // 8 exact buckets for values < 8, then 8 sub-buckets per power of two up
+  // to 2^40 (~18 min in ns), one overflow bucket at the top. Relative
+  // quantile error is bounded by the sub-bucket width: 1/8 = 12.5%.
+  static constexpr int kSubBits = 3;
+  static constexpr uint64_t kSub = uint64_t{1} << kSubBits;
+  static constexpr int kMaxOctave = 40;
+  static constexpr size_t kBuckets =
+      static_cast<size_t>(kSub) +
+      static_cast<size_t>(kMaxOctave - kSubBits) * static_cast<size_t>(kSub);
+
+  explicit histogram(const char* name, std::string label = "")
+      : metric(name, std::move(label), metric_kind::histogram) {
+    registry::get().add(this);
+  }
+  ~histogram() { registry::get().remove(this); }
+
+  void record(uint64_t v) {
+    stripe& s = stripes_[stripe_id() % kStripes];
+    s.counts[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const stripe& s : stripes_) {
+      for (const auto& c : s.counts) {
+        total += c.load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+
+  uint64_t sum() const {
+    uint64_t total = 0;
+    for (const stripe& s : stripes_) {
+      total += s.sum.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Merge the stripes into one bucket array (the scrape-side representation
+  // every estimate is computed from).
+  std::array<uint64_t, kBuckets> merged() const {
+    std::array<uint64_t, kBuckets> out{};
+    for (const stripe& s : stripes_) {
+      for (size_t b = 0; b < kBuckets; b++) {
+        out[b] += s.counts[b].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+  double quantile(double q) const { return quantile_from(merged(), q); }
+
+  // q in [0, 1] over a merged bucket array: find the bucket holding the
+  // rank-q sample and interpolate linearly inside its [lo, hi) value range.
+  static double quantile_from(const std::array<uint64_t, kBuckets>& buckets,
+                              double q) {
+    uint64_t total = 0;
+    for (uint64_t c : buckets) total += c;
+    if (total == 0) return 0.0;
+    double rank = q * static_cast<double>(total);
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; b++) {
+      if (buckets[b] == 0) continue;
+      uint64_t next = seen + buckets[b];
+      if (static_cast<double>(next) >= rank) {
+        auto [lo, hi] = bucket_bounds(b);
+        double within =
+            (rank - static_cast<double>(seen)) / static_cast<double>(buckets[b]);
+        return static_cast<double>(lo) +
+               within * static_cast<double>(hi - lo);
+      }
+      seen = next;
+    }
+    auto [lo, hi] = bucket_bounds(kBuckets - 1);
+    (void)lo;
+    return static_cast<double>(hi);
+  }
+
+  // [lo, hi) of values landing in bucket idx.
+  static std::pair<uint64_t, uint64_t> bucket_bounds(size_t idx) {
+    if (idx < kSub) return {idx, idx + 1};
+    size_t g = idx - static_cast<size_t>(kSub);
+    int o = kSubBits + static_cast<int>(g / kSub);
+    uint64_t sub = g % kSub;
+    uint64_t lo = (uint64_t{1} << o) + (sub << (o - kSubBits));
+    uint64_t hi = lo + (uint64_t{1} << (o - kSubBits));
+    return {lo, hi};
+  }
+
+  static size_t bucket_of(uint64_t v) {
+    if (v < kSub) return static_cast<size_t>(v);
+    int o = 63 - std::countl_zero(v);
+    if (o >= kMaxOctave) return kBuckets - 1;
+    uint64_t sub = (v >> (o - kSubBits)) & (kSub - 1);
+    return static_cast<size_t>(kSub) +
+           static_cast<size_t>(o - kSubBits) * static_cast<size_t>(kSub) +
+           static_cast<size_t>(sub);
+  }
+
+ private:
+  // Fewer stripes than counters: a histogram stripe is ~2.4KB of buckets,
+  // and histograms sit on flush/fsync paths, not per-op read paths.
+  static constexpr size_t kStripes = 8;
+  struct stripe {
+    std::array<std::atomic<uint64_t>, kBuckets> counts{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<stripe, kStripes> stripes_{};
+};
+
+// ------------------------------------------------------------ scoped_timer --
+
+// RAII nanosecond timer: records the scope's duration into a histogram on
+// destruction.
+class scoped_timer {
+ public:
+  explicit scoped_timer(histogram& h) : h_(h), t0_(now_ns()) {}
+  ~scoped_timer() { h_.record(now_ns() - t0_); }
+  scoped_timer(const scoped_timer&) = delete;
+  scoped_timer& operator=(const scoped_timer&) = delete;
+
+ private:
+  histogram& h_;
+  uint64_t t0_;
+};
+
+// ----------------------------------------------------------------- scrape --
+
+inline registry_snapshot registry::scrape() const {
+  mutex_guard lock(mu_);
+  registry_snapshot out;
+  using key_t = std::pair<std::string, std::string>;
+  std::map<key_t, uint64_t> counters;
+  std::map<key_t, int64_t> gauges;
+  std::map<key_t, std::pair<std::array<uint64_t, histogram::kBuckets>,
+                            uint64_t>>
+      histograms;  // merged buckets + sum
+  for (const metric* m : metrics_) {
+    key_t key{m->name(), m->label()};
+    switch (m->kind()) {
+      case metric_kind::counter:
+        counters[key] += static_cast<const counter*>(m)->value();
+        break;
+      case metric_kind::gauge:
+        gauges[key] += static_cast<const gauge*>(m)->value();
+        break;
+      case metric_kind::histogram: {
+        const auto* h = static_cast<const histogram*>(m);
+        auto& slot = histograms[key];
+        auto merged = h->merged();
+        for (size_t b = 0; b < histogram::kBuckets; b++) {
+          slot.first[b] += merged[b];
+        }
+        slot.second += h->sum();
+        break;
+      }
+    }
+  }
+  for (const auto& [key, v] : counters) {
+    out.counters.push_back({key.first, key.second, v});
+  }
+  for (const auto& [key, v] : gauges) {
+    out.gauges.push_back({key.first, key.second, v});
+  }
+  for (const auto& [key, bs] : histograms) {
+    histogram_value hv;
+    hv.name = key.first;
+    hv.label = key.second;
+    for (uint64_t c : bs.first) hv.count += c;
+    hv.sum = bs.second;
+    hv.p50 = histogram::quantile_from(bs.first, 0.5);
+    hv.p99 = histogram::quantile_from(bs.first, 0.99);
+    hv.p999 = histogram::quantile_from(bs.first, 0.999);
+    out.histograms.push_back(std::move(hv));
+  }
+  return out;
+}
+
+}  // namespace metrics_on
+
+#else  // PAM_METRICS == 0
+
+// Every recording type becomes an empty no-op: a member of one of these
+// types contributes no storage ([[no_unique_address]] at use sites is not
+// even needed — tests static_assert std::is_empty), and calls inline away.
+inline namespace metrics_off {
+
+inline uint64_t now_ns() { return 0; }
+inline size_t stripe_id() { return 0; }
+
+class counter {
+ public:
+  explicit counter(const char*, std::string = {}) {}
+  void inc(uint64_t = 1) const {}
+  uint64_t value() const { return 0; }
+};
+
+class gauge {
+ public:
+  explicit gauge(const char*, std::string = {}) {}
+  void set(int64_t) const {}
+  void add(int64_t) const {}
+  int64_t value() const { return 0; }
+};
+
+class histogram {
+ public:
+  explicit histogram(const char*, std::string = {}) {}
+  void record(uint64_t) const {}
+  uint64_t count() const { return 0; }
+  uint64_t sum() const { return 0; }
+  double quantile(double) const { return 0.0; }
+};
+
+class scoped_timer {
+ public:
+  explicit scoped_timer(histogram&) {}
+};
+
+class registry {
+ public:
+  static registry& get() {
+    static registry r;
+    return r;
+  }
+  registry_snapshot scrape() const { return {}; }
+};
+
+}  // namespace metrics_off
+
+#endif  // PAM_METRICS
+
+}  // namespace pam::obs

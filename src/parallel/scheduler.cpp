@@ -75,7 +75,9 @@ work_item* scheduler::try_steal(int self, uint64_t& rng_state) {
   rng_state = hash64(rng_state);
   int victim = static_cast<int>(rng_state % static_cast<uint64_t>(p));
   if (victim == self) victim = (victim + 1) % p;
-  return deques_[victim]->steal();
+  work_item* w = deques_[victim]->steal();
+  if (w != nullptr) sched_metrics().steals.inc();
+  return w;
 }
 
 void scheduler::wait_until_done(std::atomic<bool>& flag, int self) {

@@ -45,8 +45,25 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace pam {
 namespace internal {
+
+// Fork/steal instrumentation (PR 9). Global and immortal like the scheduler
+// itself; obs/metrics.h deliberately has no scheduler dependency, so this
+// include direction is acyclic.
+struct sched_metrics_t {
+  obs::counter forks{"pam_sched_forks_total"};
+  obs::counter steals{"pam_sched_steals_total"};
+};
+
+inline sched_metrics_t& sched_metrics() {
+  // pam-lint: allow(naked-new) — immortal process-wide metric block, same
+  // lifetime rule as scheduler::get.
+  static sched_metrics_t* m = new sched_metrics_t();
+  return *m;
+}
 
 // A type-erased task. The concrete fork_item lives on the forking thread's
 // stack; it stays alive until par_do returns, so raw pointers are safe.
@@ -176,6 +193,7 @@ class scheduler {
       right();
       return;
     }
+    sched_metrics().forks.inc();
     left();
     work_item* popped = deques_[id]->pop_bottom();
     if (popped != nullptr) {

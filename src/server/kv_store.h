@@ -27,11 +27,15 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "alloc/arena.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "server/change_feed.h"
 #include "server/sharded_map.h"
 #include "server/version_store.h"
@@ -248,6 +252,30 @@ class kv_store {
     return combiner_.stats();
   }
 
+  // The full observability scrape (PR 9): every registered metric in the
+  // process — this store's combiner/WAL/checkpoint series, the global
+  // cut/epoch/arena/scheduler series — merged by (name, label), plus this
+  // store's per-shard entry counts refreshed as pam_shard_entries{shard="s"}
+  // gauges. With PAM_METRICS=0 the snapshot is empty.
+  obs::registry_snapshot metrics() const {
+    refresh_shard_gauges();
+    return obs::registry::get().scrape();
+  }
+
+  // Prometheus text exposition of metrics().
+  std::string metrics_text() const {
+    std::ostringstream os;
+    obs::prometheus_text(metrics(), os);
+    return os.str();
+  }
+
+  // One-object JSON exposition of metrics().
+  std::string metrics_json() const {
+    std::ostringstream os;
+    obs::metrics_json(metrics(), os);
+    return os.str();
+  }
+
   // ------------------------------------------------- memory maintenance --
   // Process-wide (the pools are shared by every map in the process, so the
   // numbers cover all stores, not just this one).
@@ -325,6 +353,26 @@ class kv_store {
     }
   }
 
+  // Create (once) and refresh the pam_shard_entries{shard="s"} gauges from
+  // the shards' commit-time size counters — wait-free reads, no cut. Lazy:
+  // the gauges exist only once someone scrapes, so a store that never
+  // exposes metrics registers nothing.
+  void refresh_shard_gauges() const {
+    if constexpr (obs::kEnabled) {
+      mutex_guard lock(gauges_mu_);
+      if (shard_gauges_.empty()) {
+        shard_gauges_.reserve(shards_.num_shards());
+        for (size_t s = 0; s < shards_.num_shards(); s++) {
+          shard_gauges_.push_back(std::make_unique<obs::gauge>(
+              "pam_shard_entries", "shard=\"" + std::to_string(s) + "\""));
+        }
+      }
+      for (size_t s = 0; s < shards_.num_shards(); s++) {
+        shard_gauges_[s]->set(static_cast<int64_t>(shards_.shard_size(s)));
+      }
+    }
+  }
+
   void require_durable() const {
     if (!durable_) {
       throw std::logic_error(
@@ -366,6 +414,12 @@ class kv_store {
   std::unique_ptr<store::durability<Map>> durable_;
   write_combiner<Map> combiner_;
   std::optional<version_store<Map>> history_;
+
+  // Per-shard size gauges, created lazily by the first metrics() call
+  // (mutable: scraping a const store is still a read).
+  mutable mutex gauges_mu_;
+  mutable std::vector<std::unique_ptr<obs::gauge>> shard_gauges_
+      PAM_GUARDED_BY(gauges_mu_);
 };
 
 }  // namespace pam

@@ -47,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pam/snapshot.h"
 #include "parallel/parallel.h"
 #include "util/thread_annotations.h"
@@ -54,6 +55,26 @@
 namespace pam {
 
 namespace server_internal {
+
+// Cut/read instrumentation, shared by every sharded_map instance. Global
+// rather than per-instance because sharded_map is built through value paths
+// (kv_store::recover's RVO chain) that per-instance registered members would
+// pin; what the exposition wants here is the process-wide retry/fallback
+// picture anyway.
+struct cut_metrics_t {
+  obs::counter attempts{"pam_cut_attempts_total"};
+  obs::counter retries{"pam_cut_retries_total"};
+  obs::counter fallbacks{"pam_cut_writer_fallbacks_total"};
+  obs::counter finds{"pam_read_finds_total"};
+};
+
+inline cut_metrics_t& cut_metrics() {
+  // pam-lint: allow(naked-new) — immortal process-wide metric block, same
+  // lifetime rule as the registry it registers into.
+  static cut_metrics_t* m = new cut_metrics_t();
+  return *m;
+}
+
 // Index of the shard owning key k under a sorted splitter directory: the
 // number of splitters <= k (a splitter key belongs to the shard on its
 // right). O(log S), lock-free — the directory is immutable.
@@ -356,6 +377,9 @@ class sharded_map {
   // current version in place — no lock, no snapshot copy, no refcount
   // traffic (snapshot_box::with_current).
   std::optional<V> find(const K& k) const {
+    // One striped relaxed fetch_add: the counted read path stays wait-free
+    // (the ISSUE 9 contract; the YCSB read-scaling gate enforces the cost).
+    server_internal::cut_metrics().finds.inc();
     return boxes_[shard_of(k)]->with_current(
         [&](const Map& m) { return m.find(k); });
   }
@@ -384,6 +408,11 @@ class sharded_map {
     return total;
   }
 
+  // Entry count of one shard, from its commit-time size counter: wait-free,
+  // no cut, no validation (the value is exact for whichever version the
+  // shard held at the read). Feeds kv_store's per-shard size gauges.
+  size_t shard_size(size_t s) const { return boxes_[s]->version_size().second; }
+
  private:
   using box_t = snapshot_box<Map>;
 
@@ -411,6 +440,7 @@ class sharded_map {
   auto validated_cut(const Optimistic& optimistic, const Pinned& pinned) const
       PAM_NO_THREAD_SAFETY_ANALYSIS {
     using T = decltype(optimistic(*boxes_[0]).first);
+    server_internal::cut_metrics().attempts.inc();
     std::vector<T> values;
     std::vector<uint64_t> versions;
     for (int attempt = 0; attempt < kCutRetries; attempt++) {
@@ -425,7 +455,9 @@ class sharded_map {
       }
       if (revalidate(versions))
         return std::pair(std::move(values), std::move(versions));
+      server_internal::cut_metrics().retries.inc();
     }
+    server_internal::cut_metrics().fallbacks.inc();
     std::vector<std::unique_lock<mutex>> locks;
     locks.reserve(boxes_.size());
     for (const auto& b : boxes_) locks.push_back(b->writer_lock());

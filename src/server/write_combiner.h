@@ -56,6 +56,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/sharded_map.h"
 #include "util/thread_annotations.h"
 
@@ -156,11 +158,13 @@ class write_combiner {
     quiesce_from(0, fn);
   }
 
+  // A point-in-time view over this instance's registry counters: the
+  // registry is the single source of truth (PR 9), this struct is the
+  // compatibility surface older callers keep using. With PAM_METRICS=0 the
+  // counters are no-ops and every field reads zero.
   stats_snapshot stats() const {
-    return {ops_enqueued_.load(std::memory_order_relaxed),
-            ops_committed_.load(std::memory_order_relaxed),
-            batches_flushed_.load(std::memory_order_relaxed),
-            sink_failures_.load(std::memory_order_relaxed)};
+    return {ops_enqueued_.value(), ops_committed_.value(),
+            batches_flushed_.value(), sink_failures_.value()};
   }
 
  private:
@@ -170,6 +174,10 @@ class write_combiner {
   struct shard_queue {
     mutex buffer_mu;            // held only for a push/swap
     std::vector<op_t> pending PAM_GUARDED_BY(buffer_mu);
+    // Enqueue time of the oldest op in `pending` (0 = empty): the flush
+    // that drains the buffer records now - oldest_ns as the worst-case
+    // enqueue→flush latency of the batch.
+    uint64_t oldest_ns PAM_GUARDED_BY(buffer_mu) = 0;
     mutex flush_mu;             // orders [swap → commit] sections per shard
   };
 
@@ -185,41 +193,56 @@ class write_combiner {
       // same lock and drains it) or sees closed and takes the direct path
       // below — no op can be stranded in a dead buffer.
       if (!closed_.load(std::memory_order_acquire)) {
+        if (q.pending.empty()) q.oldest_ns = obs::now_ns();
         q.pending.emplace_back(k, std::move(v));
         overflow = q.pending.size() >= cfg_.batch_size;
         buffered = true;
       }
     }
-    ops_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    ops_enqueued_.inc();
+    if (buffered) queue_depth_.add(1);
     if (!buffered) {
       // Post-shutdown: drain whatever is still pending for this shard and
       // commit this op behind it, all under the flush lock — an older
       // buffered write can never overtake it.
       mutex_guard serialize(q.flush_mu);
-      std::vector<op_t> batch = swap_out(q);
+      auto [batch, oldest] = swap_out(q);
       batch.emplace_back(k, std::move(v));
-      commit_batch(q, s, std::move(batch));
+      commit_batch(q, s, std::move(batch), oldest);
       return;
     }
     if (overflow) flush_shard(s);
   }
 
-  std::vector<op_t> swap_out(shard_queue& q) {
+  // Drain the shard's buffer; returns (batch, enqueue time of its oldest
+  // op — 0 when the batch is empty).
+  std::pair<std::vector<op_t>, uint64_t> swap_out(shard_queue& q) {
     std::vector<op_t> batch;
     batch.reserve(cfg_.batch_size);
-    mutex_guard lock(q.buffer_mu);
-    batch.swap(q.pending);
-    return batch;
+    uint64_t oldest = 0;
+    {
+      mutex_guard lock(q.buffer_mu);
+      batch.swap(q.pending);
+      oldest = q.oldest_ns;
+      q.oldest_ns = 0;
+    }
+    queue_depth_.add(-static_cast<int64_t>(batch.size()));
+    return {std::move(batch), oldest};
   }
 
   // Coalesce and apply one batch to shard s. The caller-holds-q.flush_mu
   // contract is an annotation, not just this comment: calling it unlocked
   // (which would let a later batch overtake this one) fails to compile
   // under clang -Wthread-safety.
-  void commit_batch(shard_queue& q, size_t s, std::vector<op_t> batch)
-      PAM_REQUIRES(q.flush_mu) {
+  void commit_batch(shard_queue& q, size_t s, std::vector<op_t> batch,
+                    uint64_t oldest_ns = 0) PAM_REQUIRES(q.flush_mu) {
     (void)q;
     if (batch.empty()) return;
+    obs::span flush_span("combiner.flush");
+    batch_ops_.record(batch.size());
+    if (oldest_ns != 0) {
+      enqueue_to_flush_ns_.record(obs::now_ns() - oldest_ns);
+    }
     auto [upserts, deletes] = coalesce(std::move(batch));
     if (cfg_.batch_sink) {
       // Still under q.flush_mu: the log sees this shard's batches in the
@@ -228,13 +251,12 @@ class write_combiner {
       try {
         cfg_.batch_sink(s, upserts, deletes);
       } catch (...) {
-        sink_failures_.fetch_add(1, std::memory_order_relaxed);
+        sink_failures_.inc();
         throw;
       }
     }
-    ops_committed_.fetch_add(upserts.size() + deletes.size(),
-                             std::memory_order_relaxed);
-    batches_flushed_.fetch_add(1, std::memory_order_relaxed);
+    ops_committed_.inc(upserts.size() + deletes.size());
+    batches_flushed_.inc();
     target_.update_shard(s, [&](Map m) {
       if (!upserts.empty()) m = Map::multi_insert(std::move(m), std::move(upserts));
       if (!deletes.empty()) m = Map::multi_delete(std::move(m), std::move(deletes));
@@ -254,7 +276,8 @@ class write_combiner {
     }
     shard_queue& q = *queues_[s];
     mutex_guard serialize(q.flush_mu);
-    commit_batch(q, s, swap_out(q));
+    auto [batch, oldest] = swap_out(q);
+    commit_batch(q, s, std::move(batch), oldest);
     quiesce_from(s + 1, fn);
   }
 
@@ -264,7 +287,8 @@ class write_combiner {
     // enqueue order, which is what makes last-writer-wins hold across
     // batch boundaries (no later batch overtakes an earlier one).
     mutex_guard serialize(q.flush_mu);
-    commit_batch(q, s, swap_out(q));
+    auto [batch, oldest] = swap_out(q);
+    commit_batch(q, s, std::move(batch), oldest);
   }
 
   // Keep only the latest op per key (stable sort by key preserves enqueue
@@ -312,10 +336,16 @@ class write_combiner {
   const config cfg_;
   std::vector<std::unique_ptr<shard_queue>> queues_;
 
-  std::atomic<uint64_t> ops_enqueued_{0};
-  std::atomic<uint64_t> ops_committed_{0};
-  std::atomic<uint64_t> batches_flushed_{0};
-  std::atomic<uint64_t> sink_failures_{0};
+  // Registry-backed instrumentation (PR 9). These are per-instance members
+  // — two combiners register under the same names and the scrape sums them
+  // Prometheus-style — and the source of truth behind stats().
+  obs::counter ops_enqueued_{"pam_combiner_ops_enqueued_total"};
+  obs::counter ops_committed_{"pam_combiner_ops_committed_total"};
+  obs::counter batches_flushed_{"pam_combiner_batches_flushed_total"};
+  obs::counter sink_failures_{"pam_combiner_sink_failures_total"};
+  obs::gauge queue_depth_{"pam_combiner_queue_depth"};
+  obs::histogram batch_ops_{"pam_combiner_batch_ops"};
+  obs::histogram enqueue_to_flush_ns_{"pam_combiner_enqueue_to_flush_ns"};
 
   std::thread flusher_;
   mutex flusher_mu_;

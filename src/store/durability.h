@@ -34,12 +34,34 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/checkpoint.h"
 #include "store/file.h"
 #include "store/wal.h"
 #include "util/thread_annotations.h"
 
 namespace pam::store {
+
+namespace store_internal {
+
+// Recovery instrumentation. Global, not per-manager: recover() is a static
+// path that runs before any durability instance exists, and the exposition
+// wants process-lifetime "what did startup replay" numbers.
+struct recovery_metrics_t {
+  obs::counter runs{"pam_recovery_runs_total"};
+  obs::counter replayed_records{"pam_recovery_replayed_records_total"};
+  obs::gauge replay_ns{"pam_recovery_replay_ns"};
+};
+
+inline recovery_metrics_t& recovery_metrics() {
+  // pam-lint: allow(naked-new) — immortal process-wide metric block, same
+  // lifetime rule as the obs registry it registers into.
+  static recovery_metrics_t* m = new recovery_metrics_t();
+  return *m;
+}
+
+}  // namespace store_internal
 
 struct durability_options {
   std::string dir;
@@ -155,12 +177,21 @@ class durability {
     out.splitters = std::move(loaded->manifest.splitters);
     out.covered_seq = loaded->manifest.covered_wal_seq;
     out.checkpoint_files = loaded->files_applied;
-    wal_replay_stats st = wal_replay(
-        fs, opts.dir, out.covered_seq,
-        [&](uint64_t, const char* payload, size_t n) {
-          apply_record(out.contents, payload, n);
-        },
-        /*repair=*/true);
+    store_internal::recovery_metrics().runs.inc();
+    uint64_t t0 = obs::now_ns();
+    wal_replay_stats st;
+    {
+      obs::span replay_span("recover.replay");
+      st = wal_replay(
+          fs, opts.dir, out.covered_seq,
+          [&](uint64_t, const char* payload, size_t n) {
+            apply_record(out.contents, payload, n);
+          },
+          /*repair=*/true);
+    }
+    store_internal::recovery_metrics().replayed_records.inc(st.records);
+    store_internal::recovery_metrics().replay_ns.set(
+        static_cast<int64_t>(obs::now_ns() - t0));
     out.next_seq = st.next_seq;
     out.wal_records = st.records;
     out.wal_tail_truncated = st.tail_truncated;
@@ -201,6 +232,7 @@ class durability {
       throw std::logic_error(
           "durability: checkpoint coverage must be monotone");
     }
+    obs::span commit_span("ckpt.commit");
     ckpt_result res;
     res.id = next_id_++;
     res.full = force_full || !prev_cut_.has_value() ||
@@ -211,6 +243,8 @@ class durability {
       if (static_cast<double>(delta.size()) >
           opts_.ckpt.incr_max_ratio * static_cast<double>(last_full_bytes_)) {
         res.full = true;
+        // A delta that outgrew its budget forced a full checkpoint.
+        ckpt_escalations_.inc();
       }
     }
     manifest_t m;
@@ -239,6 +273,13 @@ class durability {
     opts_.io->sync_dir(opts_.dir);
     cio::commit_current(*opts_.io, opts_.dir, manifest_file_name(res.id));
     // -- commit point passed: only now may manager state change. --
+    ckpt_total_.inc();
+    if (res.full) {
+      ckpt_full_.inc();
+    } else {
+      ckpt_delta_.inc();
+    }
+    ckpt_bytes_.inc(res.bytes);
     cur_manifest_ = std::move(m);
     prev_cut_ = cut;
     if (res.full) {
@@ -280,6 +321,14 @@ class durability {
   uint64_t next_id_ PAM_GUARDED_BY(mu_) = 1;
   uint64_t last_full_bytes_ PAM_GUARDED_BY(mu_) = 0;
   long chain_len_ PAM_GUARDED_BY(mu_) = 0;
+
+  // Registry-backed checkpoint instrumentation (PR 9); per-instance,
+  // summed at scrape across managers.
+  obs::counter ckpt_total_{"pam_ckpt_total"};
+  obs::counter ckpt_full_{"pam_ckpt_full_total"};
+  obs::counter ckpt_delta_{"pam_ckpt_delta_total"};
+  obs::counter ckpt_bytes_{"pam_ckpt_bytes_total"};
+  obs::counter ckpt_escalations_{"pam_ckpt_escalations_total"};
 };
 
 }  // namespace pam::store

@@ -40,6 +40,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pam/pam.h"
 #include "store/crc32c.h"
 #include "store/file.h"
@@ -171,6 +173,8 @@ class wal_writer {
   // unlocked append could write into a closed segment file. Clang's
   // thread-safety analysis rejects any call made without the lock.
   uint64_t append_locked(const void* payload, size_t n) PAM_REQUIRES(mu_) {
+    obs::span append_span("wal.append");
+    obs::scoped_timer append_timer(append_ns_);
     try {
       if (seg_written_ >= cfg_.segment_bytes) rotate_locked();
       std::vector<char> rec;
@@ -189,6 +193,8 @@ class wal_writer {
       seg_written_ += rec.size();
       next_seq_ = seq + 1;
       last_seq_.store(seq, std::memory_order_release);
+      records_total_.inc();
+      bytes_total_.inc(rec.size());
       if (++appends_since_sync_ >= cfg_.sync_every) sync_locked();
       return seq;
     } catch (...) {
@@ -204,6 +210,12 @@ class wal_writer {
               last_seq_.load(std::memory_order_relaxed)) {
         return;
       }
+      obs::span sync_span("wal.sync");
+      obs::scoped_timer fsync_timer(fsync_ns_);
+      // Group-commit fan-in: how many appends this one fsync makes durable.
+      group_commit_ops_.record(
+          static_cast<uint64_t>(appends_since_sync_ > 0 ? appends_since_sync_
+                                                        : 0));
       seg_->sync();
       appends_since_sync_ = 0;
       durable_seq_.store(last_seq_.load(std::memory_order_relaxed),
@@ -256,6 +268,7 @@ class wal_writer {
     seg_.reset();
     open_fresh_segment_locked();
     appends_since_sync_ = 0;
+    rotations_total_.inc();
   }
 
   std::shared_ptr<file_system> fs_;
@@ -272,6 +285,16 @@ class wal_writer {
 
   std::atomic<uint64_t> last_seq_{0};
   std::atomic<uint64_t> durable_seq_{0};
+
+  // Registry-backed instrumentation (PR 9); per-instance members, summed at
+  // scrape across writers. Recording happens under mu_, so the histograms'
+  // striping is idle here — what matters is that scrapes never take mu_.
+  obs::histogram append_ns_{"pam_wal_append_ns"};
+  obs::histogram fsync_ns_{"pam_wal_fsync_ns"};
+  obs::histogram group_commit_ops_{"pam_wal_group_commit_ops"};
+  obs::counter records_total_{"pam_wal_records_total"};
+  obs::counter bytes_total_{"pam_wal_bytes_total"};
+  obs::counter rotations_total_{"pam_wal_rotations_total"};
 };
 
 // ------------------------------------------------------------ wal replay --

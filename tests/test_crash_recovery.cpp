@@ -364,4 +364,62 @@ TEST(CrashRecovery, CheckpointsRacingWritersNeverLoseAckedBatches) {
   expect_equals(recovered, oracle, "post-recovery: no acked batch lost");
 }
 
+// Recovery leaves an audit trail in the metrics registry: runs, replayed
+// records, and the WAL/checkpoint counters the recovered store touched. The
+// fault-injected matrix above exercises recovery dozens of times before this
+// test runs; here we take a scrape delta around one more recovery and assert
+// the counters moved (ISSUE 9 acceptance: a crash-recovery run shows
+// recovery counters in the exposition).
+TEST(CrashRecovery, RecoveryCountersAppearInScrape) {
+  if (!pam::obs::kEnabled) GTEST_SKIP() << "built with PAM_METRICS=0";
+  temp_dir td("obs_counters");
+  constexpr uint64_t kOps = 300;
+  {
+    store_t::options opt;
+    opt.splitters = {100, 200};
+    pam::store::durability_options dopts;
+    dopts.dir = td.path;
+    opt.durability = dopts;
+    store_t store(map_t{}, opt);
+    // WAL-only tail: no checkpoint after these, so recovery must replay.
+    for (uint64_t i = 0; i < kOps; i++) store.put(i, i * 3);
+    store.flush();
+    ASSERT_FALSE(store.failed());
+  }
+
+  auto counter_of = [](const pam::obs::registry_snapshot& s,
+                       const std::string& name) -> uint64_t {
+    for (const auto& c : s.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+  auto before = pam::obs::registry::get().scrape();
+
+  pam::store::durability_options dopts;
+  dopts.dir = td.path;
+  store_t recovered = store_t::recover(dopts);
+  ASSERT_EQ(recovered.size(), kOps);
+  // One durable write post-recovery: feeds the recovered store's own WAL
+  // series (the crashed store's instance counters left the registry with it).
+  recovered.put(999999, 1);
+  recovered.flush();
+
+  auto after = recovered.metrics();
+  EXPECT_EQ(counter_of(after, "pam_recovery_runs_total") -
+                counter_of(before, "pam_recovery_runs_total"),
+            1u);
+  // Every op above was WAL-tail-only, so replay saw at least that many
+  // records (batching may pack several ops per record, hence >= batches).
+  EXPECT_GT(counter_of(after, "pam_recovery_replayed_records_total"),
+            counter_of(before, "pam_recovery_replayed_records_total"));
+  // The writing store fed the WAL series too.
+  EXPECT_GT(counter_of(after, "pam_wal_records_total"), 0u);
+  EXPECT_GT(counter_of(after, "pam_ckpt_total"), 0u);
+  // And the text exposition carries them for operators.
+  std::string text = recovered.metrics_text();
+  EXPECT_NE(text.find("pam_recovery_runs_total"), std::string::npos);
+  EXPECT_NE(text.find("pam_recovery_replay_ns"), std::string::npos);
+}
+
 }  // namespace

@@ -1,0 +1,83 @@
+// Compiled with PAM_METRICS=0 (see CMakeLists: this one source file gets the
+// definition) and linked into the same test_obs binary whose other TUs are
+// metrics-on. That linkage IS the test of the inline-namespace ODR design:
+// metrics_off::counter and metrics_on::counter mangle differently, so a
+// mixed-mode link is legal by construction. Only the obs facade headers may
+// be included here — any instrumented type (write_combiner, wal_writer, ...)
+// would genuinely change layout between modes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if PAM_METRICS
+#error "test_obs_off.cpp must be compiled with PAM_METRICS=0"
+#endif
+
+namespace {
+
+using namespace pam;
+
+// The acceptance criterion in executable form: with the switch off, every
+// recording type is an empty class — a member costs zero bytes under
+// [[no_unique_address]] and every call site inlines to nothing.
+static_assert(std::is_empty_v<obs::counter>);
+static_assert(std::is_empty_v<obs::gauge>);
+static_assert(std::is_empty_v<obs::histogram>);
+static_assert(std::is_empty_v<obs::scoped_timer>);
+static_assert(std::is_empty_v<obs::span>);
+static_assert(!obs::kEnabled);
+
+TEST(ObsOff, RecordersAreInertAndFree) {
+  obs::counter c("pam_off_total");
+  c.inc();
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+
+  obs::gauge g("pam_off_depth");
+  g.set(7);
+  g.add(3);
+  EXPECT_EQ(g.value(), 0);
+
+  obs::histogram h("pam_off_ns");
+  h.record(123456);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+
+  { obs::scoped_timer t(h); }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsOff, RegistryScrapesEmpty) {
+  // This TU's registry is metrics_off::registry — constructing metrics above
+  // registered nothing, and a scrape is always empty.
+  auto snap = obs::registry::get().scrape();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+
+  std::ostringstream prom, json;
+  obs::prometheus_text(snap, prom);
+  obs::metrics_json(snap, json);
+  EXPECT_TRUE(prom.str().empty());
+  EXPECT_EQ(json.str(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n");
+}
+
+TEST(ObsOff, TraceIsInert) {
+  obs::set_trace_enabled(true);  // no-op by contract
+  EXPECT_FALSE(obs::trace_enabled());
+  {
+    obs::span s("off.span");
+  }
+  EXPECT_EQ(obs::trace_span_count(), 0u);
+  std::ostringstream os;
+  obs::dump_chrome_json(os);
+  EXPECT_EQ(os.str(), "{\"traceEvents\":[]}\n");
+}
+
+}  // namespace

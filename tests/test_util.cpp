@@ -149,6 +149,40 @@ TEST(Env, RejectsGarbageAndOutOfRange) {
   ::unsetenv("PAM_TEST_ENV_BAD");
 }
 
+// The knob catalogue (env.h env_knobs) is the provenance record benches dump
+// next to their JSON rows; its invariants are what make it greppable and
+// mergeable. Completeness against the tree is enforced by pam_lint's
+// env-catalogue rule, which scans every source for PAM_* reads.
+TEST(Env, KnobCatalogueInvariants) {
+  const auto& knobs = pam::env_knobs();
+  ASSERT_FALSE(knobs.empty());
+  for (size_t i = 0; i < knobs.size(); i++) {
+    const auto& k = knobs[i];
+    EXPECT_EQ(std::string(k.name).rfind("PAM_", 0), 0u)
+        << k.name << ": catalogue is for PAM_* knobs only";
+    EXPECT_NE(std::string(k.layer), "") << k.name;
+    EXPECT_NE(std::string(k.fallback), "") << k.name;
+    EXPECT_NE(std::string(k.what), "") << k.name;
+    if (i > 0) {
+      EXPECT_LT(std::string(knobs[i - 1].name), std::string(k.name))
+          << "catalogue must stay sorted and duplicate-free at " << k.name;
+    }
+  }
+}
+
+TEST(Env, KnobValueReportsEnvironmentOrFallback) {
+  pam::env_knob k{"PAM_TEST_ENV_KNOB", "test", "fallback-text", "a test knob"};
+  ::unsetenv("PAM_TEST_ENV_KNOB");
+  EXPECT_EQ(pam::env_knob_value(k), "fallback-text");
+  ::setenv("PAM_TEST_ENV_KNOB", "live-value", 1);
+  EXPECT_EQ(pam::env_knob_value(k), "live-value");
+  // The catalogue reports what the environment literally says, even when the
+  // point-of-use parser would reject it and fall back.
+  ::setenv("PAM_TEST_ENV_KNOB", "12abc", 1);
+  EXPECT_EQ(pam::env_knob_value(k), "12abc");
+  ::unsetenv("PAM_TEST_ENV_KNOB");
+}
+
 // Durability knobs ride the same validated parsers: garbage and
 // out-of-range values fall back to the default, then clamp to sane bounds.
 TEST(Env, WalConfigKnobs) {

@@ -1,0 +1,11 @@
+// pam-lint-fixture-path: src/server/example.h
+// pam-lint-fixture-expect: env-catalogue
+// The self-test catalogue contains only PAM_LISTED; reading any other knob
+// must be flagged until a row is added to env_knobs() in util/env.h.
+#pragma once
+
+#include "util/env.h"
+
+namespace pam {
+inline long example_knob() { return env_long("PAM_UNLISTED", 0); }
+}  // namespace pam

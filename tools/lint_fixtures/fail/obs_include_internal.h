@@ -1,0 +1,9 @@
+// pam-lint-fixture-path: src/obs/example.h
+// pam-lint-fixture-expect: include-discipline
+// The observability layer observes subsystems through their public headers;
+// reaching into the tree kernel would invert the dependency direction.
+#include "pam/node.h"  // tree-kernel internal: flagged inside src/obs/ too
+
+namespace pam::obs {
+inline int example() { return 0; }
+}  // namespace pam::obs

@@ -1,0 +1,11 @@
+// pam-lint-fixture-path: src/server/example.h
+#pragma once
+
+#include "util/env.h"
+
+namespace pam {
+// Catalogued knobs and PAM_TEST_* fixtures read freely; a commented-out
+// read is not a read: env_long("PAM_COMMENTED", 1).
+inline long example_knob() { return env_long("PAM_LISTED", 0); }
+inline long test_knob() { return env_long("PAM_TEST_ENV_X", 0); }
+}  // namespace pam

@@ -1,0 +1,8 @@
+// pam-lint-fixture-path: src/obs/example.h
+// The facade and subsystem-public headers are fine from src/obs/.
+#include "pam/pam.h"
+#include "util/thread_annotations.h"
+
+namespace pam::obs {
+inline int example() { return 0; }
+}  // namespace pam::obs

@@ -32,7 +32,22 @@ on the comment line(s) immediately above it: `pam-lint: allow(<rule>)`):
                       rule even though it lives in src/: checkpoints
                       serialize through the facade's serialize/deserialize
                       surface, never by reaching into node internals, so a
-                      format change is always a facade change.
+                      format change is always a facade change. The
+                      observability layer (src/obs/**) likewise: it observes
+                      every subsystem, so letting it reach into the tree
+                      kernel would make it a dependency cycle magnet.
+  metric-name         every obs::counter / obs::gauge / obs::histogram
+                      constructed with a literal name must follow the naming
+                      contract: the `pam_` prefix plus a unit suffix by kind
+                      (counter: `_total`; gauge: `_bytes`, `_depth`,
+                      `_entries`, `_ns`, `_ratio`; histogram: `_ns`,
+                      `_bytes`, `_ops`). Dashboards and the exposition sort
+                      by name; an unsuffixed metric is ambiguous forever.
+  env-catalogue       every `PAM_*` environment knob read anywhere in the
+                      tree (env_long / env_double / getenv) must have a row
+                      in util/env.h's env_knobs() catalogue — the config
+                      provenance benches dump. `PAM_TEST_*` names are test
+                      fixtures and exempt.
 
 Usage:
   pam_lint.py --root <repo-root>    lint the repository (exit 1 on findings)
@@ -50,6 +65,8 @@ RULES = (
     "unguarded-mutex",
     "bench-json",
     "include-discipline",
+    "metric-name",
+    "env-catalogue",
 )
 
 WAIVER_RE = re.compile(r"pam-lint:\s*allow\(([a-z-]+)\)")
@@ -91,7 +108,12 @@ def strip_code(text):
                     j += 1
                     break
                 j += 1
-            out.append(quote + " " * (j - i - 2) + (quote if j <= n else ""))
+            # Preserve newlines inside the blanked span: a lone quote (e.g.
+            # a digit separator misread as a char literal reaching the line
+            # end) must not merge two lines and desync line numbering.
+            out.append(quote + "".join(
+                ch if ch == "\n" or ch == quote else " "
+                for ch in text[i + 1:j]))
             i = j
         else:
             out.append(c)
@@ -150,17 +172,46 @@ BENCH_EMIT_RE = re.compile(r"\b(?:bench_json|row|row_seq)\s*\(")
 # would erase the include path).
 PAM_INTERNAL_INCLUDE_RE = re.compile(
     r'^\s*#\s*include\s+"(pam/(?!pam\.h)[^"]+)"')
+# Metric constructions are located in STRIPPED code (so commented examples
+# in doc headers don't fire), then the name literal is recovered from the
+# original line. A type mention with no literal on the line (references,
+# parameters, obs::histogram::bucket_of(...)) is not a construction.
+OBS_METRIC_TYPE_RE = re.compile(r"\bobs::(counter|gauge|histogram)\b")
+# Anchored at the type mention: an optional `>` (make_unique<obs::gauge>),
+# an optional variable name, then the ctor's ( or { and the name literal.
+# Anything else after the type (`::`, `&`, a bare parameter) is a reference,
+# not a construction.
+OBS_METRIC_CTOR_RE = re.compile(
+    r'\Aobs::(?:counter|gauge|histogram)\s*(?:>\s*)?(?:[A-Za-z_]\w*\s*)?'
+    r'[({]\s*"([^"]*)"')
+METRIC_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("_bytes", "_depth", "_entries", "_ns", "_ratio"),
+    "histogram": ("_ns", "_bytes", "_ops"),
+}
+# Env-knob reads, matched against ORIGINAL lines for the same reason as
+# includes. setenv/unsetenv calls are writes, not reads, and don't count.
+ENV_READ_RE = re.compile(
+    r'\b(?:env_long|env_double|getenv)\s*\(\s*"(PAM_\w+)"')
+# Rows of the env_knobs() table in util/env.h.
+ENV_CATALOGUE_ROW_RE = re.compile(r'\{"(PAM_\w+)"')
 
 
 def lineno_of(text, pos):
     return text.count("\n", 0, pos) + 1
 
 
-def lint_file(relpath, text):
-    """Lint one file; `relpath` decides which rules apply."""
+def lint_file(relpath, text, env_catalogue=None):
+    """Lint one file; `relpath` decides which rules apply.
+
+    `env_catalogue` is the set of PAM_* names listed in util/env.h's
+    env_knobs() table (None skips the env-catalogue rule — e.g. when the
+    table could not be parsed).
+    """
     findings = []
     lines = text.split("\n")
     code = strip_code(text)
+    code_lines = code.split("\n")
     unix = relpath.replace(os.sep, "/")
 
     in_src = unix.startswith("src/")
@@ -213,10 +264,58 @@ def lint_file(relpath, text):
                 "bench binary never reports through bench_json/row/row_seq; "
                 "PAM_BENCH_JSON sweeps would silently miss it"))
 
+    # Metric naming. Constructions are found in stripped code; the name comes
+    # from the original line (the literal is blanked in `code`). src/obs/ is
+    # the definition site, not a consumer, and is exempt.
+    if not unix.startswith("src/obs/"):
+        for m in OBS_METRIC_TYPE_RE.finditer(code):
+            kind = m.group(1)
+            ln = lineno_of(code, m.start())
+            col = m.start() - (code.rfind("\n", 0, m.start()) + 1)
+            # The name literal sits on the construction line or, for wrapped
+            # member initializers, the next one.
+            tail = lines[ln - 1][col:]
+            if ln < len(lines):
+                tail += "\n" + lines[ln]
+            nm = OBS_METRIC_CTOR_RE.match(tail)
+            if nm is None:
+                continue  # a reference or parameter, not a construction
+            name = nm.group(1)
+            suffixes = METRIC_SUFFIXES[kind]
+            ok = name.startswith("pam_") and name.endswith(suffixes)
+            if not ok and not waived(lines, ln, "metric-name"):
+                findings.append(Finding(
+                    relpath, ln, "metric-name",
+                    f"{kind} '{name}' must start with 'pam_' and end with "
+                    f"one of {'/'.join(suffixes)}"))
+
+    # Every env knob read must be in the util/env.h catalogue, or config
+    # provenance silently under-reports. PAM_TEST_* are test fixtures. Calls
+    # are detected in stripped code (a commented-out read is not a read);
+    # the knob name comes from the original line.
+    if env_catalogue is not None and unix != "src/util/env.h":
+        for i, line in enumerate(lines):
+            if not re.search(r"\b(?:env_long|env_double|getenv)\s*\(",
+                             code_lines[i]):
+                continue
+            for m in ENV_READ_RE.finditer(line):
+                name = m.group(1)
+                if name.startswith("PAM_TEST_") or name in env_catalogue:
+                    continue
+                ln = i + 1
+                if not waived(lines, ln, "env-catalogue"):
+                    findings.append(Finding(
+                        relpath, ln, "env-catalogue",
+                        f"knob '{name}' is read here but missing from "
+                        "env_knobs() in src/util/env.h"))
+
     # src/store/ is inside src/ but is a CONSUMER of the tree kernel, not
     # part of it: the checkpoint format depends only on the facade's
     # serialize/deserialize surface, and the lint keeps it that way.
-    if not in_src or unix.startswith("src/store/"):
+    # src/obs/ likewise: the observability layer may see subsystem headers'
+    # metrics but never the tree kernel's internals.
+    if (not in_src or unix.startswith("src/store/")
+            or unix.startswith("src/obs/")):
         for i, line in enumerate(lines):
             m = PAM_INTERNAL_INCLUDE_RE.match(line)
             if m is None:
@@ -235,8 +334,19 @@ LINT_DIRS = ("src", "tests", "bench", "examples")
 LINT_EXTS = (".h", ".hpp", ".cpp", ".cc")
 
 
+def read_env_catalogue(root):
+    """The set of PAM_* knobs listed in util/env.h, or None if unparsable."""
+    path = os.path.join(root, "src", "util", "env.h")
+    if not os.path.isfile(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        names = set(ENV_CATALOGUE_ROW_RE.findall(f.read()))
+    return names or None
+
+
 def lint_tree(root):
     findings = []
+    catalogue = read_env_catalogue(root)
     for d in LINT_DIRS:
         base = os.path.join(root, d)
         if not os.path.isdir(base):
@@ -248,7 +358,7 @@ def lint_tree(root):
                 path = os.path.join(dirpath, fn)
                 rel = os.path.relpath(path, root)
                 with open(path, encoding="utf-8") as f:
-                    findings.extend(lint_file(rel, f.read()))
+                    findings.extend(lint_file(rel, f.read(), catalogue))
     return findings
 
 
@@ -278,7 +388,10 @@ def self_test(fixtures_dir):
                 failures.append(f"{fn}: missing pam-lint-fixture-path header")
                 continue
             ran += 1
-            findings = lint_file(pm.group(1), text)
+            # Fixtures exercising env-catalogue declare knobs against this
+            # synthetic two-row table.
+            findings = lint_file(pm.group(1), text,
+                                 env_catalogue={"PAM_LISTED"})
             if kind == "pass":
                 if findings:
                     failures.append(
