@@ -69,7 +69,7 @@ int main() {
 
   std::vector<K> splitters = {universe / 4, universe / 2, 3 * universe / 4};
   sharded_map<map_t> shards(splitters);
-  durability_t d(opts, shards.snapshot_all(), splitters);
+  durability_t d(opts, shards.snapshot_all());
 
   // ------------------------------------------------------ full checkpoint --
   shards.multi_insert(kv_entries(n, 1, universe));

@@ -12,6 +12,19 @@
 //      PAM_NATIVE) vs the classic binary search, on B=32 blocks of u64
 //      keys: the hot loop of every blocked-leaf descent. Gate: >= 1.3x
 //      find throughput at B=32 (PAM_PERF_GATE=1).
+//
+//  (c) delta space — integer keys stored delta-coded (zigzag-varint
+//      successor differences + varint value stream, pam/delta_block.h) vs
+//      the same entries in flat u64 pair slots, at 1M mixed keys (dense
+//      runs interleaved with sparse gaps — the id-space shape real key
+//      allocators produce). Gate: flat/delta leaf-bytes ratio >= 1.5x
+//      (PAM_PERF_GATE=1).
+//
+//  (d) SIMD fold — the reassociating fast fold (grouped + AVX2 value-lane
+//      kernel, PAM_SIMD_FOLD, pam/block_fold.h) vs the strict per-entry
+//      policy-order fold, on B=32 blocks of (u64, u64) sum entries: the
+//      hot loop of every block seal and boundary aug query. Gate: >= 1.3x
+//      fold throughput (PAM_PERF_GATE=1).
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -33,6 +46,30 @@ std::vector<std::pair<std::string, uint64_t>> str_entries(size_t n) {
     char buf[24];
     std::snprintf(buf, sizeof(buf), "k/%08zu", i);
     es[i] = {buf, i};
+  }
+  return es;
+}
+
+// n sorted unique u64 keys in the mixed shape real id allocators produce:
+// dense runs (sequential allocation) interleaved with sparse jumps
+// (partition/time prefixes). Values are small counters — the varint value
+// stream's best case, which is the honest pairing for a layout whose point
+// is exploiting exactly this structure.
+std::vector<std::pair<uint64_t, uint64_t>> mixed_int_entries(size_t n) {
+  std::vector<std::pair<uint64_t, uint64_t>> es;
+  es.reserve(n);
+  uint64_t k = 1'000'000;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  while (es.size() < n) {
+    // One dense run of 32..287 consecutive keys...
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    size_t run = 32 + (x & 0xff);
+    for (size_t i = 0; i < run && es.size() < n; i++) {
+      es.emplace_back(k++, es.size() & 0x3ff);
+    }
+    // ...then one sparse jump of up to ~1M.
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    k += 1 + (x & 0xfffff);
   }
   return es;
 }
@@ -125,6 +162,125 @@ int main() {
                find_ratio);
   }
 
+  // --------------------------- (c) delta-coded vs flat integer entries --
+  std::printf("\n--- integer keys: flat pair slots vs delta-coded blocks ---\n");
+  double delta_ratio;
+  {
+    using flat_map = aug_map<sum_entry<uint64_t, uint64_t>>;
+    using delta_map = aug_map<delta_sum_entry<uint64_t, uint64_t>>;
+    size_t n = scaled_size(1000000);
+    auto es = mixed_int_entries(n);
+
+    int64_t flat0 = flat_map::used_leaf_bytes();
+    flat_map fm = flat_map::from_sorted(es);
+    int64_t flat_bytes = flat_map::used_leaf_bytes() - flat0;
+
+    int64_t delta0 = delta_map::used_leaf_bytes();
+    delta_map dm = delta_map::from_sorted(es);
+    int64_t delta_bytes = delta_map::used_leaf_bytes() - delta0;
+
+    // Honesty spot checks: both layouts serve the same entries and agree
+    // on the whole-map aug sum.
+    if (fm.size() != n || dm.size() != n ||
+        *fm.find(es[n / 2].first) != es[n / 2].second ||
+        *dm.find(es[n / 2].first) != es[n / 2].second ||
+        fm.aug_val() != dm.aug_val()) {
+      std::printf("FAIL: layout disagreement on lookups/aug\n");
+      return 1;
+    }
+
+    double flat_bpe = static_cast<double>(flat_bytes) / static_cast<double>(n);
+    double delta_bpe =
+        static_cast<double>(delta_bytes) / static_cast<double>(n);
+    delta_ratio = flat_bpe / delta_bpe;
+    std::printf("layout        bytes/entry\n");
+    std::printf("flat pairs    %10.2f\n", flat_bpe);
+    std::printf("delta-coded   %10.2f\n", delta_bpe);
+    std::printf("space ratio (flat / delta): %.2fx  (gate: >= 1.5x)\n",
+                delta_ratio);
+    bench_json("bench_leaf_encodings", "flat_u64", "bytes_per_entry", flat_bpe);
+    bench_json("bench_leaf_encodings", "delta_u64", "bytes_per_entry",
+               delta_bpe);
+    bench_json("bench_leaf_encodings", "delta_space", "flat_over_delta",
+               delta_ratio);
+  }
+
+  // ----------------------------- (d) SIMD fold vs strict scalar fold --
+  // Baseline is the strict per-entry fold in policy order — what a generic
+  // aug fold does without reassociation. The shipped fast path (grouped
+  // fold + AVX2 value-lane kernel, pam/block_fold.h) is allowed to
+  // reassociate; that licence is the optimization, so the A/B must not
+  // hand it to the baseline too. The grouped scalar fold is also reported:
+  // the compiler auto-vectorizes it under -march=native, so on AVX2
+  // machines it lands at parity with the intrinsics kernel (which then
+  // mainly serves non-auto-vectorizing builds and the runtime kill switch).
+  std::printf("\n--- block aug fold at B=32, (u64,u64) sum entries ---\n");
+  double fold_ratio;
+  {
+    using E = sum_entry<uint64_t, uint64_t>;
+    using traits = entry_traits<E>;
+    constexpr size_t kB = 32;
+    // Many distinct blocks so whole-block folds cannot be hoisted or
+    // value-numbered away; every fold covers the full B=32 window.
+    constexpr size_t kBlocks = 1024;
+    std::vector<std::pair<uint64_t, uint64_t>> blocks(kBlocks * kB);
+    for (size_t i = 0; i < blocks.size(); i++)
+      blocks[i] = {i * 977, i * 31 + 1};
+
+    size_t folds = scaled_size(4000000);
+    uint64_t sink = 0;
+    auto strict_sweep = [&] {
+      uint64_t acc = 0;
+      for (size_t i = 0; i < folds; i++) {
+        const auto* blk = blocks.data() + (i % kBlocks) * kB;
+        uint64_t f = traits::identity();
+        for (size_t j = 0; j < kB; j++) {
+          f = traits::combine(f, traits::base(blk[j].first, blk[j].second));
+          // Pin the loop-carried accumulator so the compiler cannot
+          // reassociate the strict fold into the very vector kernel it
+          // is the baseline for.
+          asm volatile("" : "+r"(f));
+        }
+        acc += f;
+      }
+      sink += acc;
+    };
+    auto fast_sweep = [&] {
+      uint64_t acc = 0;
+      for (size_t i = 0; i < folds; i++) {
+        const auto* blk = blocks.data() + (i % kBlocks) * kB;
+        acc += fold_entries_fast<traits, E>(blk, 0, kB);
+      }
+      sink += acc;
+    };
+
+    double t_strict = timed_median(1, 5, strict_sweep);
+    set_simd_fold_enabled(false);
+    double t_grouped = timed_median(1, 5, fast_sweep);
+    set_simd_fold_enabled(true);
+    double t_vec = timed_median(1, 5, fast_sweep);
+    if (sink == 0) std::printf("(unreachable sink)\n");
+
+    double mf_strict = static_cast<double>(folds) / t_strict / 1e6;
+    double mf_grouped = static_cast<double>(folds) / t_grouped / 1e6;
+    double mf_vec = static_cast<double>(folds) / t_vec / 1e6;
+    fold_ratio = t_strict / t_vec;
+    std::printf("fold                Mops/s\n");
+    std::printf("strict scalar     %8.1f\n", mf_strict);
+    std::printf("grouped scalar    %8.1f\n", mf_grouped);
+    std::printf("vectorized        %8.1f\n", mf_vec);
+    std::printf(
+        "fold speedup (strict scalar / vectorized): %.2fx  (gate: >= 1.3x)\n",
+        fold_ratio);
+    bench_json("bench_leaf_encodings", "block_fold_B=32", "strict_mops",
+               mf_strict);
+    bench_json("bench_leaf_encodings", "block_fold_B=32", "grouped_mops",
+               mf_grouped);
+    bench_json("bench_leaf_encodings", "block_fold_B=32", "simd_mops", mf_vec);
+    bench_json("bench_leaf_encodings", "block_fold_B=32", "speedup",
+               fold_ratio);
+  }
+
   set_leaf_block_size(saved_b);
 
   if (env_long("PAM_PERF_GATE", 0) != 0) {
@@ -137,6 +293,16 @@ int main() {
     if (find_ratio < 1.3) {
       std::printf("\nFAIL: in-block find speedup %.2fx below the 1.3x gate\n",
                   find_ratio);
+      fail = true;
+    }
+    if (delta_ratio < 1.5) {
+      std::printf("\nFAIL: delta space ratio %.2fx below the 1.5x gate\n",
+                  delta_ratio);
+      fail = true;
+    }
+    if (fold_ratio < 1.3) {
+      std::printf("\nFAIL: SIMD fold speedup %.2fx below the 1.3x gate\n",
+                  fold_ratio);
       fail = true;
     }
     if (fail) return 1;

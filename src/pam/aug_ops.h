@@ -42,13 +42,11 @@ struct aug_ops : map_ops<Entry, Balance> {
   // is cached at the root.
   static A aug_val(const node* t) { return aug_of(t); }
 
-  // Fold g over es[a, b) (the partial-block boundary case).
+  // Fold g over es[a, b) (the partial-block boundary case): vectorized over
+  // the value lanes for hinted integer monoids (pam/block_fold.h), a plain
+  // base/combine loop otherwise.
   static A fold_entries(const entry_t* es, size_t a, size_t b) {
-    A acc = traits::identity();
-    for (size_t i = a; i < b; i++) {
-      acc = traits::combine(acc, traits::base(es[i].first, es[i].second));
-    }
-    return acc;
+    return fold_entries_fast<traits, Entry>(es, a, b);
   }
 
   // AUGLEFT(t, k): augmented value of all entries with key <= k

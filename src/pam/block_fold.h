@@ -1,0 +1,158 @@
+// Vectorized aug folds over the entries of sealed leaf blocks.
+//
+// Sealing a block, checking its cached augmented value, and the partial-
+// block boundary cases of aug_left/aug_right/aug_range all reduce a run of
+// entries with the Entry's monoid. The grouped fold_entries_assoc
+// (entry_traits.h) already breaks the serial dependency chain, but it still
+// calls base/combine per entry through the policy. For the ubiquitous
+// integer monoids — sum/max/min over 64-bit values, declared via the
+// aug_fold_kind hint — the whole reduction is a data-parallel loop over the
+// value lanes of the entry array, which AVX2 turns into 4-wide combines
+// (sum: add; max/min: compare+blend, sign-biased for unsigned order like the
+// in-block search).
+//
+// Eligibility is deliberately narrow and checked at compile time:
+//   * the Entry declares a fold hint (the semantic claim that combine IS the
+//     named monoid, base(k, v) == v, and identity() is its neutral element);
+//   * val_t and aug_t are the same 64-bit integral type;
+//   * the entry array is 16-byte {key, value} slots (flat leaf blocks and
+//     materialized block views both qualify).
+// Integer sum/max/min are exactly associative AND commutative, so any
+// regrouping or lane permutation gives the bit-identical answer — which is
+// why seal() and check_aug can disagree on *how* they fold and still agree
+// on the value. Float monoids never declare a hint and always take the
+// grouped fold, preserving the stores' grouping agreement.
+//
+// Runtime toggle: PAM_SIMD_FOLD (default on), the ablation knob the
+// bench_leaf_encodings fold experiment flips to measure the scalar baseline.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "pam/entry_traits.h"
+#include "util/env.h"
+
+namespace pam {
+
+// Runtime toggle for the vectorized block fold. Toggle only while quiescent
+// (a process-wide knob read per fold, like simd_search_flag).
+inline std::atomic<bool>& simd_fold_flag() {
+  static std::atomic<bool> f{env_long("PAM_SIMD_FOLD", 1) != 0};
+  return f;
+}
+inline bool simd_fold_enabled() {
+  return simd_fold_flag().load(std::memory_order_relaxed);
+}
+inline void set_simd_fold_enabled(bool on) { simd_fold_flag().store(on); }
+
+namespace detail {
+
+// May Entry's fold over ET runs take the data-parallel path?
+template <typename Entry, typename ET>
+inline constexpr bool simd_foldable_v =
+    entry_fold_hint_v<Entry> != aug_fold_kind::none &&
+    entry_traits<Entry>::has_aug &&
+    std::is_integral_v<typename Entry::val_t> &&
+    sizeof(typename Entry::val_t) == 8 &&
+    std::is_same_v<typename entry_traits<Entry>::aug_t,
+                   typename Entry::val_t> &&
+    std::is_trivially_copyable_v<ET> && sizeof(ET) == 16;
+
+// The named monoid applied to two values, in the value's native domain.
+// u64 arithmetic for sum keeps signed overflow defined (two's-complement
+// wrap, the same bits AVX2's add_epi64 produces).
+template <typename V, aug_fold_kind KIND>
+inline V scalar_op(V a, V b) {
+  if constexpr (KIND == aug_fold_kind::sum) {
+    return static_cast<V>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+  } else if constexpr (KIND == aug_fold_kind::max) {
+    return a > b ? a : b;
+  } else {
+    return a < b ? a : b;
+  }
+}
+
+// Monoid fold over the value lanes of es[a, b): 16-byte {key, value} slots,
+// values at qword offset 1. Exact for the hinted integer monoids under any
+// grouping, so the vector and scalar variants are interchangeable.
+template <typename Entry, typename ET>
+typename Entry::val_t fold_vals(const ET* es, size_t a, size_t b) {
+  using V = typename Entry::val_t;
+  constexpr aug_fold_kind kind = entry_fold_hint_v<Entry>;
+  const size_t n = b - a;
+  const char* base = reinterpret_cast<const char*>(es + a);
+  V acc = entry_traits<Entry>::identity();
+  size_t i = 0;
+
+#if defined(__AVX2__)
+  if (n >= 8) {
+    // Unsigned max/min order via the signed compare: bias both sides by
+    // 2^63 (sign flip), exactly like avx2_count_less_u64.
+    constexpr bool bias_lanes =
+        kind != aug_fold_kind::sum && std::is_unsigned_v<V>;
+    const __m256i bias = _mm256_set1_epi64x(static_cast<long long>(1ull << 63));
+    auto op4 = [](__m256i x, __m256i y) {
+      if constexpr (kind == aug_fold_kind::sum) {
+        return _mm256_add_epi64(x, y);
+      } else if constexpr (kind == aug_fold_kind::max) {
+        return _mm256_blendv_epi8(x, y, _mm256_cmpgt_epi64(y, x));
+      } else {
+        return _mm256_blendv_epi8(x, y, _mm256_cmpgt_epi64(x, y));
+      }
+    };
+    uint64_t init_bits = static_cast<uint64_t>(acc);
+    if constexpr (bias_lanes) init_bits ^= 1ull << 63;
+    __m256i vacc = _mm256_set1_epi64x(static_cast<long long>(init_bits));
+    for (; i + 4 <= n; i += 4) {
+      // Two entry loads merge their value qwords: [v_i v_{i+2} v_{i+1}
+      // v_{i+3}] — permuted, which a commutative monoid allows.
+      __m256i x = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + i * sizeof(ET)));
+      __m256i y = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + (i + 2) * sizeof(ET)));
+      __m256i vals = _mm256_unpackhi_epi64(x, y);
+      if constexpr (bias_lanes) vals = _mm256_xor_si256(vals, bias);
+      vacc = op4(vacc, vals);
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vacc);
+    for (uint64_t lane : lanes) {
+      if constexpr (bias_lanes) lane ^= 1ull << 63;
+      acc = scalar_op<V, kind>(acc, static_cast<V>(lane));
+    }
+  }
+#endif
+  for (; i < n; i++) {
+    V v;
+    std::memcpy(&v, base + i * sizeof(ET) + sizeof(uint64_t), sizeof(v));
+    acc = scalar_op<V, kind>(acc, v);
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+// The fold every block-sealing and block-boundary site calls: data-parallel
+// over value lanes when the Entry's hint and types allow it and the runtime
+// knob is on, the grouped associativity-only fold otherwise. For hinted
+// integer monoids both paths are bit-identical, so the knob may flip
+// between a block's seal and its later audits.
+template <typename Traits, typename Entry, typename ET>
+typename Traits::aug_t fold_entries_fast(const ET* es, size_t a, size_t b) {
+  if constexpr (detail::simd_foldable_v<Entry, ET>) {
+    if (b > a && simd_fold_enabled()) {
+      return detail::fold_vals<Entry>(es, a, b);
+    }
+  }
+  return fold_entries_assoc<Traits>(es, a, b);
+}
+
+}  // namespace pam

@@ -16,7 +16,7 @@
 //
 // Blocks are refcounted and immutable once sealed — exactly the sharing
 // contract of the flat leaf_block — and are allocated from the byte-granular
-// power-of-two capacity classes of alloc/leaf_pool.h (64 B .. 1 MiB), with
+// quarter-stepped capacity classes of alloc/leaf_pool.h (64 B .. 1 MiB), with
 // larger blocks overflowing to individually counted aligned heap
 // allocations. This file is part of the sanctioned allocation surface
 // (tools/pam_lint.py): the pool-table singletons and the overflow path are
@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "alloc/leaf_pool.h"
+#include "pam/block_fold.h"
 #include "pam/entry_traits.h"
 #include "util/thread_annotations.h"
 
@@ -174,7 +175,7 @@ struct coded_store {
     for (uint32_t i = 0; i < n; i++) vs[i] = es[i].second;
 
     if constexpr (traits::has_aug) {
-      new (&b->aug) A(fold_entries_assoc<traits>(es, 0, n));
+      new (&b->aug) A(fold_entries_fast<traits, Entry>(es, 0, n));
     } else {
       new (&b->aug) A();
     }
@@ -246,7 +247,7 @@ struct coded_store {
       std::vector<entry_t> es;
       es.reserve(count);
       decode_all(b, es);
-      new (&b->aug) A(fold_entries_assoc<traits>(es.data(), 0, count));
+      new (&b->aug) A(fold_entries_fast<traits, Entry>(es.data(), 0, count));
     } else {
       new (&b->aug) A();
     }
@@ -280,6 +281,11 @@ struct coded_store {
   }
 
   static const V* vals(const block* b) { return b->vals(); }
+
+  // Positional value accessors shared with delta_store (which has no value
+  // array to point at), so tree_ops reads values through one name.
+  static V first_val(const block* b) { return b->vals()[0]; }
+  static V value_at(const block* b, uint32_t i) { return b->vals()[i]; }
 
   // Append all n entries, keys materialized, onto out.
   static void decode_all(const block* b, std::vector<entry_t>& out) {

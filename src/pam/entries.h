@@ -58,6 +58,11 @@ struct sum_entry {
   using val_t = V;
   using aug_t = V;
   static constexpr bool default_compare = std::is_same_v<Less, std::less<K>>;
+  // combine is integer/float addition: the hint licenses the vectorized
+  // block fold (pam/block_fold.h), which additionally requires a 64-bit
+  // *integral* aug_t before taking the data-parallel path — float sums keep
+  // the grouped scalar fold, so regrouping never changes a float result.
+  static constexpr aug_fold_kind fold_hint = aug_fold_kind::sum;
   static bool comp(const K& a, const K& b) { return Less()(a, b); }
   static aug_t identity() { return V{}; }
   static aug_t base(const K&, const V& v) { return v; }
@@ -73,6 +78,7 @@ struct max_entry {
   using val_t = V;
   using aug_t = V;
   static constexpr bool default_compare = std::is_same_v<Less, std::less<K>>;
+  static constexpr aug_fold_kind fold_hint = aug_fold_kind::max;
   static bool comp(const K& a, const K& b) { return Less()(a, b); }
   static aug_t identity() { return extreme_values<V>::lowest(); }
   static aug_t base(const K&, const V& v) { return v; }
@@ -88,6 +94,7 @@ struct min_entry {
   using val_t = V;
   using aug_t = V;
   static constexpr bool default_compare = std::is_same_v<Less, std::less<K>>;
+  static constexpr aug_fold_kind fold_hint = aug_fold_kind::min;
   static bool comp(const K& a, const K& b) { return Less()(a, b); }
   static aug_t identity() { return extreme_values<V>::highest(); }
   static aug_t base(const K&, const V& v) { return v; }
@@ -129,10 +136,38 @@ struct str_max_entry {
   using val_t = V;
   using aug_t = V;
   static constexpr key_layout layout = key_layout::front_coded;
+  static constexpr aug_fold_kind fold_hint = aug_fold_kind::max;
   static bool comp(std::string_view a, std::string_view b) { return a < b; }
   static aug_t identity() { return extreme_values<V>::lowest(); }
   static aug_t base(const key_t&, const V& v) { return v; }
   static aug_t combine(const aug_t& a, const aug_t& b) { return a > b ? a : b; }
+};
+
+// ------------------------------------------------- delta-coded policies --
+// The same policies with integral keys stored delta-coded (base key +
+// zigzag-varint differences, integral values varint-packed) inside sealed
+// leaf blocks (key_layout::delta; see pam/delta_block.h). Inherit the flat
+// policy and override only the layout: the entry_layout trait detects the
+// member through the base-class lookup.
+
+template <typename K, typename V, typename Less = std::less<K>>
+struct delta_map_entry : map_entry<K, V, Less> {
+  static constexpr key_layout layout = key_layout::delta;
+};
+
+template <typename K, typename V, typename Less = std::less<K>>
+struct delta_sum_entry : sum_entry<K, V, Less> {
+  static constexpr key_layout layout = key_layout::delta;
+};
+
+template <typename K, typename V, typename Less = std::less<K>>
+struct delta_max_entry : max_entry<K, V, Less> {
+  static constexpr key_layout layout = key_layout::delta;
+};
+
+template <typename K, typename V, typename Less = std::less<K>>
+struct delta_min_entry : min_entry<K, V, Less> {
+  static constexpr key_layout layout = key_layout::delta;
 };
 
 }  // namespace pam

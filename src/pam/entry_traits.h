@@ -54,8 +54,12 @@ struct entry_traits<Entry, std::void_t<typename Entry::aug_t>> {
 //                reads, SIMD/branch-free in-block search;
 //   front_coded  variable-length string keys, each stored as a shared-prefix
 //                length plus suffix bytes behind a small offset directory
-//                (PaC-tree-style difference encoding).
-enum class key_layout { flat, front_coded };
+//                (PaC-tree-style difference encoding);
+//   delta        integral keys stored as a full base key plus zigzag-varint
+//                successor differences, with integral values varint-packed in
+//                a trailing stream (PaC-tree difference encoding for the
+//                fixed-width case; see pam/delta_block.h).
+enum class key_layout { flat, front_coded, delta };
 
 // Entry policies opt in by declaring `static constexpr key_layout layout`;
 // everything written before this trait existed defaults to flat and compiles
@@ -72,6 +76,31 @@ struct entry_layout<Entry, std::void_t<decltype(Entry::layout)>> {
 
 template <typename Entry>
 inline constexpr key_layout entry_layout_v = entry_layout<Entry>::value;
+
+// ------------------------------------------------------------- fold hints --
+
+// Optional self-description of an Entry's combine: policies whose `combine`
+// is exactly the named integer monoid may declare
+//   static constexpr aug_fold_kind fold_hint = aug_fold_kind::sum;
+// which licenses the vectorized block fold (pam/block_fold.h) to replace the
+// grouped fold_entries_assoc with a data-parallel reduction. Only *exactly
+// associative* monoids qualify — float sums change value under regrouping,
+// so they must never declare a hint. Everything without the declaration
+// keeps the scalar grouped fold.
+enum class aug_fold_kind { none, sum, max, min };
+
+template <typename Entry, typename = void>
+struct entry_fold_hint {
+  static constexpr aug_fold_kind value = aug_fold_kind::none;
+};
+
+template <typename Entry>
+struct entry_fold_hint<Entry, std::void_t<decltype(Entry::fold_hint)>> {
+  static constexpr aug_fold_kind value = Entry::fold_hint;
+};
+
+template <typename Entry>
+inline constexpr aug_fold_kind entry_fold_hint_v = entry_fold_hint<Entry>::value;
 
 // ------------------------------------------------------------ block fold --
 

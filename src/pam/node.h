@@ -41,7 +41,9 @@
 
 #include "alloc/leaf_pool.h"
 #include "alloc/type_allocator.h"
+#include "pam/block_fold.h"
 #include "pam/coded_block.h"
+#include "pam/delta_block.h"
 #include "pam/entry_traits.h"
 #include "parallel/parallel.h"
 #include "util/env.h"
@@ -68,13 +70,13 @@ inline void set_reuse_enabled(bool on) { reuse_flag().store(on); }
 //
 // Interplay with the key_layout trait (entry_traits.h): the knob selects
 // *whether* runs are blocked; the Entry's layout selects *how* a block is
-// encoded (flat fixed-width array vs front-coded strings). B = 0 is valid
-// for every layout, including front-coded string entries — the tree
-// degrades to classic nodes holding one inline std::string key each, blocks
-// are simply never built, and used_leaf_blocks() stays 0. Invalid
-// layout/type combinations (front_coded with a non-string key, or with a
+// encoded (flat fixed-width array, front-coded strings, or delta-coded
+// integers). B = 0 is valid for every layout — the tree degrades to classic
+// nodes holding one inline key each, blocks are simply never built, and
+// used_leaf_blocks() stays 0. Invalid layout/type combinations (front_coded
+// with a non-string key, delta with a non-integral key, or either with a
 // non-trivially-copyable value) are rejected at compile time by the
-// contracted static_asserts in node_manager / coded_store.
+// contracted static_asserts in node_manager / coded_store / delta_store.
 inline constexpr size_t kMaxLeafBlock = 2048;
 
 inline std::atomic<uint32_t>& leaf_block_knob() {
@@ -164,12 +166,13 @@ struct leaf_store {
     return b;
   }
 
-  // Compute and cache the block's augmented value from its entries. The
-  // fold is the grouped associativity-only reduction (entry_traits.h), so
-  // numeric monoids vectorize instead of serializing on one accumulator.
+  // Compute and cache the block's augmented value from its entries: the
+  // vectorized value-lane reduction for hinted integer monoids, the grouped
+  // associativity-only fold (entry_traits.h) for everything else.
   static void seal(block* b) {
     if constexpr (traits::has_aug) {
-      new (&b->aug) A(fold_entries_assoc<traits>(b->entries(), 0, b->count));
+      new (&b->aug)
+          A(fold_entries_fast<traits, Entry>(b->entries(), 0, b->count));
     } else {
       new (&b->aug) A();
     }
@@ -289,9 +292,10 @@ struct leaf_store {
 // node for the block pointer; the blocked layout wins it back ~20x over.
 // Which block type an Entry's chunks carry follows its key_layout trait.
 template <typename Entry>
-using leaf_block_of =
-    std::conditional_t<entry_layout_v<Entry> == key_layout::flat,
-                       leaf_block<Entry>, coded_block<Entry>>;
+using leaf_block_of = std::conditional_t<
+    entry_layout_v<Entry> == key_layout::flat, leaf_block<Entry>,
+    std::conditional_t<entry_layout_v<Entry> == key_layout::front_coded,
+                       coded_block<Entry>, delta_block<Entry>>>;
 
 template <typename Entry, typename BalData>
 struct tree_node {
@@ -347,18 +351,25 @@ struct node_manager {
   static constexpr key_layout layout = entry_layout_v<Entry>;
   static constexpr bool flat_layout = layout == key_layout::flat;
   using lblock = leaf_block_of<Entry>;
-  using lstore =
-      std::conditional_t<flat_layout, leaf_store<Entry>, coded_store<Entry>>;
+  using lstore = std::conditional_t<
+      flat_layout, leaf_store<Entry>,
+      std::conditional_t<layout == key_layout::front_coded, coded_store<Entry>,
+                         delta_store<Entry>>>;
   using block_view =
       std::conditional_t<flat_layout, flat_block_view<Entry>, coded_block_view<Entry>>;
 
   // The layout/type contract, stated where every map instantiation passes.
-  static_assert(flat_layout || std::is_same_v<K, std::string>,
+  static_assert(layout != key_layout::front_coded ||
+                    std::is_same_v<K, std::string>,
                 "PAM leaf-layout contract: key_layout::front_coded requires "
                 "key_t = std::string; fixed-width keys must use "
-                "key_layout::flat");
+                "key_layout::flat or key_layout::delta");
+  static_assert(layout != key_layout::delta || std::is_integral_v<K>,
+                "PAM leaf-layout contract: key_layout::delta requires an "
+                "integral key_t; string keys must use "
+                "key_layout::front_coded");
   static_assert(flat_layout || std::is_trivially_copyable_v<V>,
-                "PAM leaf-layout contract: key_layout::front_coded requires a "
+                "PAM leaf-layout contract: coded leaf layouts require a "
                 "trivially copyable val_t (values are stored raw inside "
                 "sealed blocks)");
 
@@ -479,7 +490,7 @@ struct node_manager {
       new (&t->value) V(e[0].second);
     } else {
       new (&t->key) K(lstore::first_key(b));
-      new (&t->value) V(lstore::vals(b)[0]);
+      new (&t->value) V(lstore::first_val(b));
     }
     new (&t->aug) A(b->aug);
     new (&t->bal) typename Balance::data();

@@ -15,8 +15,11 @@
 //   kFlatRaw   a sealed flat leaf block as one memcpy of its entry array
 //              (the near-memcpy checkpoint path; trivially copyable
 //              entries only);
-//   kCodedRaw  a sealed front-coded block as its raw encoded region
-//              ({u32 bytes, u32 val_off} + directory/records/values).
+//   kCodedRaw  a sealed front-coded or delta-coded block as its raw encoded
+//              region ({u32 bytes, u32 val_off} + the layout's byte
+//              streams); the u8 layout stamp in the header (the numeric
+//              key_layout value) keeps the two coded layouts from misreading
+//              each other's streams.
 //
 // Deserialization rebuilds each record into a map piece (blocks through the
 // stores' from_payload hooks, runs through from_sorted_unique) and folds
@@ -199,7 +202,7 @@ struct map_codec {
 
   static void serialize(const Map& m, std::vector<char>& out) {
     wire::put_u32(out, kMagic);
-    wire::put_u8(out, flat ? 0 : 1);
+    wire::put_u8(out, static_cast<uint8_t>(ops::layout));
     wire::put_u8(out, wire::kHostByteOrder);
     wire::put_u16(out, entry_abi);
     wire::put_u64(out, static_cast<uint64_t>(m.size()));
@@ -220,7 +223,7 @@ struct map_codec {
     wire::reader r(data, n);
     if (r.u32() != kMagic) throw wire::error("map_codec: bad magic");
     uint8_t layout = r.u8();
-    if (layout != (flat ? 0 : 1)) {
+    if (layout != static_cast<uint8_t>(ops::layout)) {
       throw wire::error("map_codec: layout mismatch");
     }
     if (r.u8() != wire::kHostByteOrder) {

@@ -152,6 +152,26 @@ class snapshot_box {
     retire(displaced);
   }
 
+  // update(), but gated: f runs and publishes only if cond() holds, checked
+  // AFTER the writer lock is won. Returns whether f was applied. This is
+  // the primitive behind sharded_map's rebalance protocol — cond re-checks
+  // the shard's retirement flag under the lock, so a writer that lost the
+  // race to a rebalance (which marks shards retired while holding every
+  // writer lock) aborts here and re-routes through the successor directory
+  // instead of committing into a box the rebalance already drained.
+  template <typename Cond, typename F>
+  bool update_if(const Cond& cond, const F& f) {
+    payload* displaced;
+    {
+      mutex_guard serialize(writer_mu_);
+      if (!cond()) return false;
+      Map working = payload_locked()->map;
+      displaced = publish(f(std::move(working)));
+    }
+    retire(displaced);
+    return true;
+  }
+
   // --------------------------------------------- multi-box consistent cut --
   // Readers no longer hold any lock, so a cut across several boxes is built
   // optimistically (snapshot every box, re-validate every version — see

@@ -70,8 +70,9 @@ struct tree_ops : node_manager<Entry, Balance> {
 
   // ------------------------------------------- layout-dispatched block ops --
   // The only functions below tree_ops that look inside a sealed block. Flat
-  // blocks answer zero-copy; front-coded blocks search by incremental decode
-  // (coded_store) without materializing more than a scratch key.
+  // blocks answer zero-copy; front-coded and delta blocks search by
+  // incremental decode (coded_store / delta_store) without materializing
+  // more than a scratch key.
 
   // First slot with key >= k; *eq (optional) reports an exact hit.
   template <typename Key>
@@ -82,8 +83,10 @@ struct tree_ops : node_manager<Entry, Balance> {
         *eq = pos < b->count && !less(k, b->entries()[pos].first);
       }
       return pos;
-    } else {
+    } else if constexpr (NM::layout == key_layout::front_coded) {
       return lstore::lower_idx(b, std::string_view(k), eq);
+    } else {
+      return lstore::lower_idx(b, k, eq);
     }
   }
 
@@ -92,8 +95,10 @@ struct tree_ops : node_manager<Entry, Balance> {
   static size_t blk_upper(const lblock* b, const Key& k) {
     if constexpr (NM::flat_layout) {
       return block_upper_idx<Entry>(b->entries(), b->count, k);
-    } else {
+    } else if constexpr (NM::layout == key_layout::front_coded) {
       return lstore::upper_idx(b, std::string_view(k));
+    } else {
+      return lstore::upper_idx(b, k);
     }
   }
 
@@ -101,7 +106,7 @@ struct tree_ops : node_manager<Entry, Balance> {
     if constexpr (NM::flat_layout) {
       return b->entries()[i].second;
     } else {
-      return lstore::vals(b)[i];
+      return lstore::value_at(b, static_cast<uint32_t>(i));
     }
   }
 
@@ -775,10 +780,13 @@ struct tree_ops : node_manager<Entry, Balance> {
         if (b->count == 0 || b->count > b->capacity) return false;
         // The node's inline key/value mirror the first block entry.
         if (!NM::keys_equal(t->key, b->entries()[0].first)) return false;
-      } else {
+      } else if constexpr (NM::layout == key_layout::front_coded) {
         if (b->count == 0) return false;
         if (!NM::keys_equal(std::string_view(t->key), lstore::first_key(b)))
           return false;
+      } else {
+        if (b->count == 0) return false;
+        if (!NM::keys_equal(t->key, lstore::first_key(b))) return false;
       }
     }
     return check_chunks(t->left) && check_chunks(t->right);
@@ -813,9 +821,10 @@ struct tree_ops : node_manager<Entry, Balance> {
     if (t == nullptr) return true;
     if (is_chunk(t)) {
       auto bv = NM::read_block(t->blk);
-      // Must fold with the same grouping the stores use (seal/build), so
-      // non-exactly-associative combines (floats) compare equal.
-      A block_expect = fold_entries_assoc<traits>(bv.data(), 0, bv.size());
+      // Must agree with the stores' fold (seal/build): hinted integer
+      // monoids are exact under any grouping, and everything else takes the
+      // same grouped fold, so floats compare equal too.
+      A block_expect = fold_entries_fast<traits, Entry>(bv.data(), 0, bv.size());
       if (!(t->blk->aug == block_expect)) return false;
     }
     A expect = traits::combine(aug_of(t->left),

@@ -23,6 +23,8 @@
 // safe to call from any thread.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -30,6 +32,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -41,6 +44,7 @@
 #include "server/version_store.h"
 #include "server/write_combiner.h"
 #include "store/durability.h"
+#include "util/env.h"
 #include "util/thread_annotations.h"
 
 namespace pam {
@@ -54,11 +58,40 @@ class kv_store {
   using entry_t = typename Map::entry_t;
   using snapshot_type = sharded_snapshot<Map>;
 
+  // Skew-adaptive resharding policy (sharded_map::maybe_rebalance), driven
+  // by a background thread. Disabled unless the interval is positive; the
+  // env-gated defaults mean an operator can turn it on per process with
+  // PAM_REBALANCE_INTERVAL_MS alone, no code change.
+  struct rebalance_options {
+    // Policy tick period; zero (the default) disables the thread entirely.
+    std::chrono::milliseconds interval{0};
+    // A policy window must observe at least this many routed write ops
+    // before it judges skew (quiet windows are ignored, not accumulated).
+    uint64_t min_ops = 4096;
+    // Trigger when the hottest shard carries more than this multiple of
+    // the mean per-shard load.
+    double hot_ratio = 2.0;
+
+    bool enabled() const { return interval.count() > 0; }
+
+    static rebalance_options from_env() {
+      rebalance_options o;
+      o.interval = std::chrono::milliseconds(
+          env_long("PAM_REBALANCE_INTERVAL_MS", 0));
+      o.min_ops =
+          static_cast<uint64_t>(env_long("PAM_REBALANCE_MIN_OPS", 4096));
+      o.hot_ratio = env_double("PAM_REBALANCE_RATIO", 2.0);
+      return o;
+    }
+  };
+
   struct options {
     // Shard count for quantile partitioning of `initial`. Quantiles can
     // only be inferred from existing keys: an empty initial map collapses
-    // to ONE shard (no write parallelism) — a fresh store should set
-    // `splitters` instead.
+    // to ONE shard (no write parallelism until a rebalance observes enough
+    // keys to split; see `rebalance`) — a fresh store should set
+    // `splitters` instead, or enable rebalancing. Either way num_shards is
+    // recorded as the target the rebalancer re-splits toward.
     size_t num_shards = 16;
     // Explicit shard splitters; when non-empty they take precedence over
     // num_shards (S-1 splitters make S shards).
@@ -77,6 +110,9 @@ class kv_store {
     // immediately commits a full checkpoint of the initial contents (the
     // splitters are durable from the first instant).
     std::optional<store::durability_options> durability{};
+    // Background skew-adaptive resharding. The default reads the
+    // PAM_REBALANCE_* knobs (off unless PAM_REBALANCE_INTERVAL_MS > 0).
+    rebalance_options rebalance = rebalance_options::from_env();
   };
 
   explicit kv_store(Map initial = Map{}, options opt = {})
@@ -86,12 +122,17 @@ class kv_store {
                                        std::move(opt.splitters))),
         durable_(opt.durability.has_value()
                      ? std::make_unique<store::durability<Map>>(
-                           std::move(*opt.durability), shards_.snapshot_all(),
-                           shards_.splitters())
+                           std::move(*opt.durability), shards_.snapshot_all())
                      : nullptr),
         combiner_(shards_, wire_sink(std::move(opt.combiner))) {
     init_history(opt);
+    init_rebalancer(opt.rebalance);
   }
+
+  // Stops the rebalancer before any member tears down (the thread holds a
+  // reference to shards_); the members then destroy in declaration-reverse
+  // order per the teardown contract below.
+  ~kv_store() { stop_rebalancer(); }
 
   // ------------------------------------------------------------- writes --
 
@@ -308,10 +349,38 @@ class kv_store {
            store::durability_options dopts, options opt)
       : shards_(std::move(rec.contents), std::move(rec.splitters)),
         durable_(std::make_unique<store::durability<Map>>(
-            std::move(dopts), shards_.snapshot_all(), shards_.splitters(),
-            rec.next_seq - 1, rec.next_seq)),
+            std::move(dopts), shards_.snapshot_all(), rec.next_seq - 1,
+            rec.next_seq)),
         combiner_(shards_, wire_sink(std::move(opt.combiner))) {
     init_history(opt);
+    init_rebalancer(opt.rebalance);
+  }
+
+  void init_rebalancer(const rebalance_options& ro) {
+    if (!ro.enabled()) return;
+    reb_opts_ = ro;
+    rebalancer_ = std::thread([this] { rebalancer_loop(); });
+  }
+
+  void stop_rebalancer() {
+    if (!rebalancer_.joinable()) return;
+    {
+      mutex_guard lock(reb_mu_);
+      reb_stop_ = true;
+    }
+    reb_cv_.notify_all();
+    rebalancer_.join();
+  }
+
+  void rebalancer_loop() {
+    unique_guard lock(reb_mu_);
+    while (!reb_stop_) {
+      reb_cv_.wait_for(lock, reb_opts_.interval);
+      if (reb_stop_) break;
+      lock.unlock();
+      shards_.maybe_rebalance(reb_opts_.hot_ratio, reb_opts_.min_ops);
+      lock.lock();
+    }
   }
 
   void init_history(const options& opt) {
@@ -353,21 +422,24 @@ class kv_store {
     }
   }
 
-  // Create (once) and refresh the pam_shard_entries{shard="s"} gauges from
-  // the shards' commit-time size counters — wait-free reads, no cut. Lazy:
-  // the gauges exist only once someone scrapes, so a store that never
-  // exposes metrics registers nothing.
+  // Create (lazily, growing on demand) and refresh the
+  // pam_shard_entries{shard="s"} gauges from the shards' commit-time size
+  // counters — wait-free reads, no cut. The shard count is dynamic under
+  // rebalancing: the gauge vector grows to the widest directory ever
+  // scraped, and indices beyond the current directory read zero
+  // (shard_size is bounds-safe), so a shrunk directory zeroes its stale
+  // tail instead of exporting ghost counts.
   void refresh_shard_gauges() const {
     if constexpr (obs::kEnabled) {
       mutex_guard lock(gauges_mu_);
-      if (shard_gauges_.empty()) {
-        shard_gauges_.reserve(shards_.num_shards());
-        for (size_t s = 0; s < shards_.num_shards(); s++) {
-          shard_gauges_.push_back(std::make_unique<obs::gauge>(
-              "pam_shard_entries", "shard=\"" + std::to_string(s) + "\""));
-        }
+      size_t S = shards_.num_shards();
+      shard_gauges_.reserve(S);
+      while (shard_gauges_.size() < S) {
+        shard_gauges_.push_back(std::make_unique<obs::gauge>(
+            "pam_shard_entries",
+            "shard=\"" + std::to_string(shard_gauges_.size()) + "\""));
       }
-      for (size_t s = 0; s < shards_.num_shards(); s++) {
+      for (size_t s = 0; s < shard_gauges_.size(); s++) {
         shard_gauges_[s]->set(static_cast<int64_t>(shards_.shard_size(s)));
       }
     }
@@ -420,6 +492,14 @@ class kv_store {
   mutable mutex gauges_mu_;
   mutable std::vector<std::unique_ptr<obs::gauge>> shard_gauges_
       PAM_GUARDED_BY(gauges_mu_);
+
+  // Background rebalance policy thread, declared last: the dtor body joins
+  // it before any member above begins teardown.
+  rebalance_options reb_opts_{};
+  mutex reb_mu_;
+  std::condition_variable_any reb_cv_;
+  bool reb_stop_ PAM_GUARDED_BY(reb_mu_) = false;
+  std::thread rebalancer_;
 };
 
 }  // namespace pam

@@ -29,25 +29,53 @@
 // ranges tile the key space, so concatenating per-shard in-order walks is a
 // global in-order walk.
 //
+// Skew-adaptive resharding (ISSUE 10): the splitter directory is no longer
+// frozen at construction. The whole directory — splitters plus shard
+// handles — lives in one immutable heap object published through an atomic
+// pointer and reclaimed through the epoch (exactly snapshot_box's payload
+// discipline, one level up). rebalance() repartitions the key space along
+// the observed per-shard write load — hot shards shrink in key range,
+// cold neighbours absorb the slack — and installs a successor directory:
+//
+//   1. take every shard's writer lock, in index order (the same global
+//      order as the cut fallback, so the two can never deadlock);
+//   2. mark every shard `retired` — a writer that wins a shard lock after
+//      this point observes the flag (snapshot_box::update_if) and re-routes
+//      through the successor directory instead of committing into a box no
+//      future reader will consult;
+//   3. peek the frozen shards, concatenate them (O(S log n) joins on shared
+//      subtrees — no entry is copied), cut equal-load splitters, and
+//      distribute into fresh shards;
+//   4. publish the successor directory, drop the locks, epoch-retire the
+//      predecessor (a concurrent reader may still be routing through it).
+//
+// Content is never lost or duplicated: writers either committed before the
+// rebalance took their shard's lock (their write is inside the peeked map)
+// or abort on the retired flag and retry against the successor. Validated
+// cuts additionally re-check the directory generation after their version
+// pass: a cut that straddles an install restarts against the successor, so
+// snapshots always carry the directory they were actually taken under.
+//
 // Thread safety: every public member is safe to call from any thread, with
 // one re-entrancy rule: an update functor passed to update_shard / insert /
 // erase / multi_* runs while holding that shard's writer lock, and the cut
-// fallback acquires *every* shard's writer lock — so cut-based reads of the
-// same sharded_map (snapshot_all*, versions, size, multi_find) must not be
-// called from inside an update functor. Per-shard reads (find,
-// snapshot_shard) are lock-free and remain safe anywhere. The splitter
-// directory is immutable after construction (resharding = build a new
-// sharded_map), which is what lets shard_of run lock-free.
+// fallback (and rebalance()) acquires *every* shard's writer lock — so
+// cut-based reads of the same sharded_map (snapshot_all*, versions, size,
+// multi_find) must not be called from inside an update functor. Per-shard
+// reads (find, snapshot_shard) are lock-free and remain safe anywhere.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pam/snapshot.h"
 #include "parallel/parallel.h"
 #include "util/thread_annotations.h"
@@ -75,9 +103,23 @@ inline cut_metrics_t& cut_metrics() {
   return *m;
 }
 
+// Rebalance instrumentation, global for the same reason.
+struct rebalance_metrics_t {
+  obs::counter attempts{"pam_rebalance_attempts_total"};
+  obs::counter installs{"pam_rebalance_installs_total"};
+  obs::counter writer_reroutes{"pam_rebalance_writer_reroutes_total"};
+  obs::counter cut_restarts{"pam_rebalance_cut_restarts_total"};
+};
+
+inline rebalance_metrics_t& rebalance_metrics() {
+  // pam-lint: allow(naked-new) — immortal process-wide metric block.
+  static rebalance_metrics_t* m = new rebalance_metrics_t();
+  return *m;
+}
+
 // Index of the shard owning key k under a sorted splitter directory: the
 // number of splitters <= k (a splitter key belongs to the shard on its
-// right). O(log S), lock-free — the directory is immutable.
+// right). O(log S), lock-free — a directory is immutable once published.
 template <typename K, typename Comp>
 size_t shard_index(const std::vector<K>& splitters, const K& k, const Comp& comp) {
   size_t lo = 0, hi = splitters.size();
@@ -111,6 +153,22 @@ class sharded_snapshot {
 
   size_t num_shards() const { return shards_.size(); }
   const Map& shard(size_t s) const { return shards_[s]; }
+
+  // The splitter directory this cut was taken under, shared with the
+  // directory object that produced it. Two cuts of one sharded_map compare
+  // equal here iff no rebalance installed a new directory between them —
+  // the identity check the incremental checkpoint / diff paths use to
+  // decide whether per-shard pairing is meaningful.
+  std::shared_ptr<const std::vector<K>> splitters_handle() const {
+    return splitters_;
+  }
+
+  // The cut's splitter keys (S-1 keys for S shards; empty for a default
+  // cut). Persisted in checkpoint manifests so recovery rebuilds the exact
+  // partitioning the cut was taken under.
+  std::vector<K> splitter_keys() const {
+    return splitters_ == nullptr ? std::vector<K>{} : *splitters_;
+  }
 
   // Index of the shard owning key k: the first splitter greater than k.
   size_t shard_of(const K& k) const {
@@ -200,6 +258,16 @@ class sharded_snapshot {
     return acc;
   }
 
+  // All shards concatenated back into one map: O(S log n) joins on shared
+  // subtrees — no entry is copied, the result shares every node with the
+  // cut. The directory-agnostic view the diff / checkpoint paths fall back
+  // to when two cuts were taken under different splitter directories.
+  Map merged() const {
+    Map whole;
+    for (const Map& m : shards_) whole = Map::concat(std::move(whole), m);
+    return whole;
+  }
+
   // Every entry in key order, materialized.
   std::vector<entry_t> entries() const {
     std::vector<entry_t> out;
@@ -229,108 +297,233 @@ class sharded_map {
   // keys: S-1 splitters make S shards, shard s owning
   // [splitter[s-1], splitter[s]). All shards start empty.
   explicit sharded_map(std::vector<K> splitters)
-      : splitters_(std::make_shared<const std::vector<K>>(std::move(splitters))),
-        boxes_(make_boxes(splitters_->size() + 1)) {}
+      : target_shards_(splitters.size() + 1) {
+    install_initial(std::move(splitters), Map{});
+  }
 
   // Partition an initial map into `num_shards` shards of near-equal size:
   // splitters are taken at the size quantiles of the initial key
   // distribution. The directory can only be inferred from existing keys —
   // duplicate quantile keys collapse, so very small or very skewed maps
   // yield fewer shards than requested, and an *empty* initial map yields a
-  // single shard (no write parallelism). For a fresh or tiny store, supply
-  // explicit splitters instead.
+  // single shard (no write parallelism until a rebalance observes keys).
+  // For a fresh or tiny store, supply explicit splitters instead.
   sharded_map(Map initial, size_t num_shards)
-      : splitters_(std::make_shared<const std::vector<K>>(
-            quantile_splitters(initial, num_shards))),
-        boxes_(make_boxes(splitters_->size() + 1)) {
-    distribute(std::move(initial));
+      : target_shards_(num_shards == 0 ? 1 : num_shards) {
+    // Splitters must be cut before install_initial's by-value Map parameter
+    // is move-constructed (argument evaluation order is indeterminate).
+    std::vector<K> sp = quantile_splitters(initial, target_shards_);
+    install_initial(std::move(sp), std::move(initial));
   }
 
   // Explicit splitters plus initial contents, distributed along them.
   sharded_map(Map initial, std::vector<K> splitters)
-      : splitters_(std::make_shared<const std::vector<K>>(std::move(splitters))),
-        boxes_(make_boxes(splitters_->size() + 1)) {
-    distribute(std::move(initial));
+      : target_shards_(splitters.size() + 1) {
+    install_initial(std::move(splitters), std::move(initial));
   }
 
-  size_t num_shards() const { return boxes_.size(); }
+  // No readers or writers may be in flight at destruction (standard object
+  // lifetime); directories already retired are self-contained and drain
+  // later. pam-lint: allow(naked-delete) — the final directory, after all
+  // sharing.
+  ~sharded_map() { delete dir_.load(std::memory_order_relaxed); }
 
-  // The (immutable) shard boundaries, S-1 keys for S shards. The durability
-  // layer persists these in every checkpoint manifest so recovery rebuilds
-  // the exact same partitioning.
-  const std::vector<K>& splitters() const { return *splitters_; }
+  sharded_map(const sharded_map&) = delete;
+  sharded_map& operator=(const sharded_map&) = delete;
 
-  // Index of the shard owning key k.
+  size_t num_shards() const {
+    epoch::guard g;
+    return dir_ref()->shards.size();
+  }
+
+  // The current shard boundaries, S-1 keys for S shards, copied out of the
+  // published directory (which a concurrent rebalance may replace — callers
+  // needing identity across calls use splitters_handle()).
+  std::vector<K> splitters() const {
+    epoch::guard g;
+    return *dir_ref()->splitters;
+  }
+
+  // The current directory's splitter vector, shared: survives the directory
+  // itself being retired. write_combiner pins one of these at construction
+  // as its stable queue-routing table.
+  std::shared_ptr<const std::vector<K>> splitters_handle() const {
+    epoch::guard g;
+    return dir_ref()->splitters;
+  }
+
+  // Monotone directory generation: bumped by every rebalance install.
+  uint64_t directory_gen() const {
+    epoch::guard g;
+    return dir_ref()->gen;
+  }
+
+  // Index of the shard owning key k under the current directory. The index
+  // is only meaningful against the same directory generation — a concurrent
+  // rebalance may re-home k. The write paths below re-route internally;
+  // index-addressed callers (tests, gauges) get best-effort routing.
   size_t shard_of(const K& k) const {
-    return server_internal::shard_index(*splitters_, k, entry_policy::comp);
+    epoch::guard g;
+    const directory* d = dir_ref();
+    return server_internal::shard_index(*d->splitters, k, entry_policy::comp);
   }
 
   // ------------------------------------------------------------- writes --
 
-  // Atomically apply f : Map -> Map to one shard. Writers of distinct
-  // shards run concurrently; writers of one shard serialize on its box.
+  // Atomically apply f : Map -> Map to shard s of the current directory.
+  // Writers of distinct shards run concurrently; writers of one shard
+  // serialize on its box. If a rebalance retires the directory mid-flight
+  // the update retries against the successor's shard s (indices are
+  // directory-relative; key-routed callers use insert/erase/multi_*).
   template <typename F>
   void update_shard(size_t s, const F& f) {
-    boxes_[s]->update(f);
+    for (;;) {
+      std::shared_ptr<shard_t> sh;
+      {
+        epoch::guard g;
+        const directory* d = dir_ref();
+        sh = d->shards[s < d->shards.size() ? s : d->shards.size() - 1];
+      }
+      sh->write_ops.fetch_add(1, std::memory_order_relaxed);
+      if (sh->box.update_if([&] { return !sh->retired(); }, f)) return;
+      server_internal::rebalance_metrics().writer_reroutes.inc();
+    }
   }
 
   // Per-op point upsert/erase: one O(log n) committed write to the owning
   // shard. This is the slow path that write_combiner batches around.
   void insert(const K& k, const V& v) {
-    boxes_[shard_of(k)]->update([&](Map m) {
-      return Map::insert(std::move(m), k, v);
-    });
+    route_write(k, [&](Map m) { return Map::insert(std::move(m), k, v); });
   }
   void erase(const K& k) {
-    boxes_[shard_of(k)]->update([&](Map m) {
-      return Map::remove(std::move(m), k);
-    });
+    route_write(k, [&](Map m) { return Map::remove(std::move(m), k); });
   }
 
   // Bulk upsert: partition the batch by shard in O(m), then merge each
   // shard's slice on the O(m_s log(n_s/m_s + 1)) bulk path, all shards in
-  // parallel. Duplicate keys in `updates`: the last one wins.
+  // parallel. Duplicate keys in `updates`: the last one wins. Buckets that
+  // lose a race to a rebalance are re-partitioned against the successor
+  // directory (each key is applied exactly once — a rejected bucket was
+  // never applied).
   void multi_insert(std::vector<entry_t> updates) {
-    auto buckets = partition_entries(std::move(updates));
-    parallel_for(
-        0, boxes_.size(),
-        [&](size_t s) {
-          if (buckets[s].empty()) return;
-          boxes_[s]->update([&](Map m) {
-            return Map::multi_insert(std::move(m), std::move(buckets[s]));
-          });
-        },
-        1);
+    bulk_write(
+        std::move(updates),
+        [](const entry_t& e) -> const K& { return e.first; },
+        [](Map m, std::vector<entry_t> b) {
+          return Map::multi_insert(std::move(m), std::move(b));
+        });
   }
 
   void multi_delete(std::vector<K> keys) {
-    std::vector<std::vector<K>> buckets(boxes_.size());
-    for (K& k : keys) buckets[shard_of(k)].push_back(std::move(k));
-    parallel_for(
-        0, boxes_.size(),
-        [&](size_t s) {
-          if (buckets[s].empty()) return;
-          boxes_[s]->update([&](Map m) {
-            return Map::multi_delete(std::move(m), std::move(buckets[s]));
-          });
-        },
-        1);
+    bulk_write(
+        std::move(keys), [](const K& k) -> const K& { return k; },
+        [](Map m, std::vector<K> b) {
+          return Map::multi_delete(std::move(m), std::move(b));
+        });
+  }
+
+  // ---------------------------------------------------------- rebalance --
+
+  // Per-shard load picture of the current directory: write ops routed to
+  // each shard since its directory was installed, and the commit-time entry
+  // counts. Wait-free reads; feeds the rebalance policy, kv_store's gauges,
+  // and the bench imbalance reports.
+  struct load_stats {
+    std::vector<uint64_t> write_ops;
+    std::vector<size_t> entries;
+    uint64_t total_ops = 0;
+    uint64_t directory_gen = 0;
+  };
+
+  load_stats shard_loads() const {
+    dir_view d = view_dir();
+    load_stats out;
+    out.directory_gen = d.gen;
+    out.write_ops.reserve(d.shards.size());
+    out.entries.reserve(d.shards.size());
+    for (const auto& sh : d.shards) {
+      uint64_t o = sh->write_ops.load(std::memory_order_relaxed);
+      out.write_ops.push_back(o);
+      out.total_ops += o;
+      out.entries.push_back(sh->box.version_size().second);
+    }
+    return out;
+  }
+
+  // The policy entry point the background rebalancer drives: install a new
+  // equal-load directory iff the observed write skew warrants it. Returns
+  // whether a new directory was installed.
+  //
+  //   * at least `min_ops` write ops must have been routed since the last
+  //     policy window (the window's counters are consumed either way);
+  //   * trigger when the hottest shard carries more than `hot_ratio` times
+  //     the mean per-shard load — or when the directory is under-provisioned
+  //     (fewer shards than the construction target, e.g. a store that
+  //     started empty) and enough keys now exist to split.
+  bool maybe_rebalance(double hot_ratio, uint64_t min_ops) {
+    mutex_guard serialize(rebalance_mu_);
+    dir_view d = view_dir();
+    const size_t S = d.shards.size();
+    uint64_t total = 0, hottest = 0;
+    size_t entries = 0;
+    for (const auto& sh : d.shards) {
+      uint64_t o = sh->write_ops.load(std::memory_order_relaxed);
+      total += o;
+      if (o > hottest) hottest = o;
+      entries += sh->box.version_size().second;
+    }
+    if (total < min_ops) return false;
+    if (hot_ratio < 1.0) hot_ratio = 1.0;
+    bool under_provisioned =
+        S < target_shards_ && entries >= target_shards_ * 8;
+    bool skewed =
+        S > 1 && static_cast<double>(hottest) >
+                     hot_ratio * (static_cast<double>(total) /
+                                  static_cast<double>(S));
+    bool installed = false;
+    if (under_provisioned || skewed) installed = install_balanced_locked();
+    if (!installed) {
+      // Consume the window so the next policy check starts a fresh
+      // measurement instead of re-judging process-lifetime totals. An
+      // install consumed it implicitly (fresh shards start at zero); the
+      // counters must stay live until then — install_balanced_locked reads
+      // them as the load weights for the new splitters.
+      for (const auto& sh : d.shards) {
+        sh->write_ops.store(0, std::memory_order_relaxed);
+      }
+    }
+    return installed;
+  }
+
+  // Unconditional repartition along the observed load (entry counts when no
+  // ops were recorded). Exposed for tests and manual operation; returns
+  // whether a new directory was installed (false = the balanced splitters
+  // equal the current ones).
+  bool rebalance_now() {
+    mutex_guard serialize(rebalance_mu_);
+    return install_balanced_locked();
   }
 
   // -------------------------------------------------------------- reads --
 
-  // O(1) wait-free snapshot of one shard.
-  Map snapshot_shard(size_t s) const { return boxes_[s]->snapshot(); }
+  // O(1) wait-free snapshot of one shard of the current directory.
+  Map snapshot_shard(size_t s) const {
+    epoch::guard g;
+    const directory* d = dir_ref();
+    if (s >= d->shards.size()) return Map{};
+    return d->shards[s]->box.snapshot();
+  }
 
   // A consistent cut together with the per-shard commit counters it
   // corresponds to — the capture primitive of the version store. Any two
-  // validated cuts correspond to two instants in time, so their version
-  // vectors are componentwise comparable, and an unchanged counter means
-  // the shard's root is the identical tree (so retaining it costs nothing
-  // beyond a bump).
+  // validated cuts of one directory generation correspond to two instants
+  // in time, so their version vectors are componentwise comparable; across
+  // generations the vectors are incomparable (fresh shards restart their
+  // counters), which is what `dir_gen` disambiguates.
   struct versioned_snapshot {
     snapshot_type snapshot;
     std::vector<uint64_t> versions;
+    uint64_t dir_gen = 0;
   };
 
   // Optimistic versioned re-validation. Pass 1 snapshots every shard's
@@ -344,14 +537,17 @@ class sharded_map {
   // refcount decs; displaced trees are shared, so no teardown) and the cut
   // retries; after kCutRetries failures it takes every shard's *writer*
   // lock in index order and peeks, bounding latency under extreme churn.
+  // Pass 3 re-checks the directory generation: a cut that straddled a
+  // rebalance install restarts against the successor directory.
   versioned_snapshot snapshot_all_versioned() const {
     // The pinned lambdas run only on the fallback path, under every shard's
     // writer lock held through std::unique_lock handles the analysis cannot
     // follow (see validated_cut) — hence the opt-out on the lambda alone.
-    auto [shards, versions] = validated_cut(
+    auto [d, shards, versions] = stable_cut(
         [](const box_t& b) { return b.snapshot_versioned(); },
         [](const box_t& b) PAM_NO_THREAD_SAFETY_ANALYSIS { return b.peek(); });
-    return {snapshot_type(std::move(shards), splitters_), std::move(versions)};
+    return {snapshot_type(std::move(shards), std::move(d.splitters)),
+            std::move(versions), d.gen};
   }
 
   // A consistent cut across all shards (see snapshot_all_versioned).
@@ -362,25 +558,32 @@ class sharded_map {
   // Per-shard commit counters, validated the same way: re-read until a full
   // pass observes no movement, so the vector corresponds to one instant.
   std::vector<uint64_t> versions() const {
-    return validated_cut(
-               [](const box_t& b) {
-                 uint64_t v = b.version();
-                 return std::pair<uint64_t, uint64_t>(v, v);
-               },
-               [](const box_t& b) PAM_NO_THREAD_SAFETY_ANALYSIS {
-                 return b.peek_version();  // fallback path: writer locks held
-               })
-        .second;
+    auto [d, vals, vers] = stable_cut(
+        [](const box_t& b) {
+          uint64_t v = b.version();
+          return std::pair<uint64_t, uint64_t>(v, v);
+        },
+        [](const box_t& b) PAM_NO_THREAD_SAFETY_ANALYSIS {
+          return b.peek_version();  // fallback path: writer locks held
+        });
+    (void)d;
+    (void)vals;
+    return vers;
   }
 
   // Single-key committed read: run the lookup against the owning shard's
   // current version in place — no lock, no snapshot copy, no refcount
-  // traffic (snapshot_box::with_current).
+  // traffic (snapshot_box::with_current). The epoch guard spans the
+  // directory load and the lookup, so a concurrent rebalance cannot
+  // reclaim either from under the read.
   std::optional<V> find(const K& k) const {
     // One striped relaxed fetch_add: the counted read path stays wait-free
     // (the ISSUE 9 contract; the YCSB read-scaling gate enforces the cost).
     server_internal::cut_metrics().finds.inc();
-    return boxes_[shard_of(k)]->with_current(
+    epoch::guard g;
+    const directory* d = dir_ref();
+    size_t s = server_internal::shard_index(*d->splitters, k, entry_policy::comp);
+    return d->shards[s]->box.with_current(
         [&](const Map& m) { return m.find(k); });
   }
 
@@ -394,15 +597,16 @@ class sharded_map {
   // are read per shard and the version vector re-validated — no root
   // copies, no refcount traffic, no tree teardown, no locks.
   size_t size() const {
-    auto sizes = validated_cut(
-                     [](const box_t& b) {
-                       auto vs = b.version_size();
-                       return std::pair<size_t, uint64_t>(vs.second, vs.first);
-                     },
-                     [](const box_t& b) PAM_NO_THREAD_SAFETY_ANALYSIS {
-                       return b.peek_size();  // fallback: writer locks held
-                     })
-                     .first;
+    auto [d, sizes, vers] = stable_cut(
+        [](const box_t& b) {
+          auto vs = b.version_size();
+          return std::pair<size_t, uint64_t>(vs.second, vs.first);
+        },
+        [](const box_t& b) PAM_NO_THREAD_SAFETY_ANALYSIS {
+          return b.peek_size();  // fallback: writer locks held
+        });
+    (void)d;
+    (void)vers;
     size_t total = 0;
     for (size_t s : sizes) total += s;
     return total;
@@ -410,25 +614,148 @@ class sharded_map {
 
   // Entry count of one shard, from its commit-time size counter: wait-free,
   // no cut, no validation (the value is exact for whichever version the
-  // shard held at the read). Feeds kv_store's per-shard size gauges.
-  size_t shard_size(size_t s) const { return boxes_[s]->version_size().second; }
+  // shard held at the read). Feeds kv_store's per-shard size gauges. Zero
+  // for an index beyond the current directory (it may have shrunk).
+  size_t shard_size(size_t s) const {
+    epoch::guard g;
+    const directory* d = dir_ref();
+    if (s >= d->shards.size()) return 0;
+    return d->shards[s]->box.version_size().second;
+  }
 
  private:
   using box_t = snapshot_box<Map>;
+
+  // One shard of one directory: the box plus the rebalance-protocol state.
+  // Shards are owned by their directory via shared_ptr so a writer can pin
+  // one past the epoch guard it resolved the directory under (the box's
+  // writer mutex may have to be waited on, and reclamation must not be
+  // pinned process-wide for that wait).
+  struct shard_t {
+    // Seeded through the box constructor, not store(): a shard's contents
+    // at directory install are its version-0 state — commit counters count
+    // writes *under this directory*, starting at zero.
+    explicit shard_t(Map initial) : box(std::move(initial)) {}
+
+    box_t box;
+    // Set under the box's writer lock by a rebalance that drained this
+    // shard into a successor directory; checked under the same lock by
+    // update_if's condition, so the flag and the peeked content can never
+    // disagree.
+    std::atomic<bool> retired_{false};
+    // Write ops routed here since this directory was installed — the
+    // rebalance policy's skew signal (consumed per policy window).
+    std::atomic<uint64_t> write_ops{0};
+
+    bool retired() const { return retired_.load(std::memory_order_acquire); }
+  };
+
+  // One published partitioning of the key space. Immutable after publish;
+  // replaced wholesale by rebalance and reclaimed through the epoch, so a
+  // reader mid-route can never observe a half-installed directory.
+  struct directory {
+    std::shared_ptr<const std::vector<K>> splitters;
+    std::vector<std::shared_ptr<shard_t>> shards;
+    uint64_t gen = 0;
+  };
+
+  // A pinned copy of the published directory, safe to use after the epoch
+  // guard it was taken under has dropped (shared_ptrs keep the splitters
+  // and shards alive even once the directory object itself is reclaimed).
+  struct dir_view {
+    std::shared_ptr<const std::vector<K>> splitters;
+    std::vector<std::shared_ptr<shard_t>> shards;
+    uint64_t gen = 0;
+  };
 
   // Optimistic cut attempts before falling back to blocking writers. Each
   // failed attempt costs O(S) pointer reads and refcount churn, so a small
   // budget keeps worst-case cut latency bounded without giving up the
   // lock-free common case.
   static constexpr int kCutRetries = 8;
+  // Directory-generation restarts before a cut pins the directory by
+  // holding rebalance_mu_ (installs are rare; two mid-cut installs in a row
+  // already means the policy thread is misconfigured).
+  static constexpr int kDirRetries = 4;
 
-  // The one validated-cut engine behind snapshot_all_versioned / versions /
-  // size. `optimistic(box)` reads a (value, version) pair from one
-  // published payload; a pass over all shards re-validates every version
-  // and retries on movement; after kCutRetries failures `pinned(box)` reads
-  // the value under all writer locks (taken in index order — the one global
-  // order, so concurrent fallback cuts cannot deadlock), which pins every
-  // published payload for the duration of the peeks.
+  // The two checked dereference paths to the published directory, mirroring
+  // snapshot_box's payload discipline: readers hold the epoch (the guard
+  // pins reclamation across the dereference), the rebalancer holds
+  // rebalance_mu_ (only rebalance ever replaces or retires a directory, so
+  // holding its lock pins the pointer).
+  const directory* dir_ref() const PAM_REQUIRES_SHARED(epoch_domain) {
+    return dir_.load(std::memory_order_acquire);
+  }
+  directory* dir_locked() const PAM_REQUIRES(rebalance_mu_) {
+    return dir_.load(std::memory_order_acquire);
+  }
+
+  dir_view view_dir() const {
+    epoch::guard g;
+    const directory* d = dir_ref();
+    return {d->splitters, d->shards, d->gen};
+  }
+
+  // Key-routed conditional write: resolve the owning shard under the epoch,
+  // pin it, commit under its writer lock unless a rebalance retired it —
+  // then re-resolve against the successor directory.
+  template <typename F>
+  void route_write(const K& k, const F& f) {
+    for (;;) {
+      std::shared_ptr<shard_t> sh;
+      {
+        epoch::guard g;
+        const directory* d = dir_ref();
+        sh = d->shards[server_internal::shard_index(*d->splitters, k,
+                                                    entry_policy::comp)];
+      }
+      sh->write_ops.fetch_add(1, std::memory_order_relaxed);
+      if (sh->box.update_if([&] { return !sh->retired(); }, f)) return;
+      server_internal::rebalance_metrics().writer_reroutes.inc();
+    }
+  }
+
+  // Bulk engine behind multi_insert / multi_delete: partition against the
+  // current directory, apply per-shard buckets in parallel, re-partition
+  // any bucket whose shard a concurrent rebalance retired. A rejected
+  // bucket was never applied (update_if's condition runs before its
+  // functor), so each item commits exactly once.
+  template <typename Item, typename KeyOf, typename Apply>
+  void bulk_write(std::vector<Item> items, const KeyOf& key_of,
+                  const Apply& apply) {
+    while (!items.empty()) {
+      dir_view d = view_dir();
+      std::vector<std::vector<Item>> buckets(d.shards.size());
+      for (Item& it : items) {
+        size_t s = server_internal::shard_index(*d.splitters, key_of(it),
+                                                entry_policy::comp);
+        buckets[s].push_back(std::move(it));
+      }
+      std::vector<uint8_t> rejected(d.shards.size(), 0);
+      parallel_for(
+          0, d.shards.size(),
+          [&](size_t s) {
+            if (buckets[s].empty()) return;
+            shard_t& sh = *d.shards[s];
+            sh.write_ops.fetch_add(buckets[s].size(),
+                                   std::memory_order_relaxed);
+            bool applied = sh.box.update_if(
+                [&] { return !sh.retired(); },
+                [&](Map m) { return apply(std::move(m), std::move(buckets[s])); });
+            if (!applied) rejected[s] = 1;
+          },
+          1);
+      items.clear();
+      for (size_t s = 0; s < buckets.size(); s++) {
+        if (rejected[s] == 0) continue;
+        server_internal::rebalance_metrics().writer_reroutes.inc();
+        for (Item& it : buckets[s]) items.push_back(std::move(it));
+      }
+    }
+  }
+
+  // The validated-cut engine over one pinned directory's shards (see
+  // snapshot_all_versioned for the protocol).
   //
   // NO_THREAD_SAFETY_ANALYSIS: the fallback holds a *dynamic* lock set — a
   // vector of S writer locks through std::unique_lock handles — which the
@@ -437,52 +764,90 @@ class sharded_map {
   // writer_lock) is itself annotated, so the opt-out is confined to this
   // one engine.
   template <typename Optimistic, typename Pinned>
-  auto validated_cut(const Optimistic& optimistic, const Pinned& pinned) const
+  auto validated_cut(const std::vector<std::shared_ptr<shard_t>>& shards,
+                     const Optimistic& optimistic, const Pinned& pinned) const
       PAM_NO_THREAD_SAFETY_ANALYSIS {
-    using T = decltype(optimistic(*boxes_[0]).first);
+    using T = decltype(optimistic(shards[0]->box).first);
     server_internal::cut_metrics().attempts.inc();
     std::vector<T> values;
     std::vector<uint64_t> versions;
     for (int attempt = 0; attempt < kCutRetries; attempt++) {
       values.clear();
       versions.clear();
-      values.reserve(boxes_.size());
-      versions.reserve(boxes_.size());
-      for (const auto& b : boxes_) {
-        auto vv = optimistic(*b);
+      values.reserve(shards.size());
+      versions.reserve(shards.size());
+      for (const auto& sh : shards) {
+        auto vv = optimistic(sh->box);
         values.push_back(std::move(vv.first));
         versions.push_back(vv.second);
       }
-      if (revalidate(versions))
+      if (revalidate(shards, versions))
         return std::pair(std::move(values), std::move(versions));
       server_internal::cut_metrics().retries.inc();
     }
     server_internal::cut_metrics().fallbacks.inc();
     std::vector<std::unique_lock<mutex>> locks;
-    locks.reserve(boxes_.size());
-    for (const auto& b : boxes_) locks.push_back(b->writer_lock());
+    locks.reserve(shards.size());
+    for (const auto& sh : shards) locks.push_back(sh->box.writer_lock());
     values.clear();
     versions.clear();
-    for (const auto& b : boxes_) {
-      values.push_back(pinned(*b));
-      versions.push_back(b->peek_version());
+    for (const auto& sh : shards) {
+      values.push_back(pinned(sh->box));
+      versions.push_back(sh->box.peek_version());
     }
     return std::pair(std::move(values), std::move(versions));
   }
 
+  // validated_cut plus directory stability: re-run a cut that straddled a
+  // rebalance install against the successor directory; after kDirRetries
+  // such restarts, pin the directory by excluding installs outright
+  // (rebalance_mu_ before box locks — the same order install_balanced
+  // uses, so the fallbacks compose without deadlock).
+  template <typename Optimistic, typename Pinned>
+  auto stable_cut(const Optimistic& optimistic, const Pinned& pinned) const {
+    for (int attempt = 0; attempt < kDirRetries; attempt++) {
+      dir_view d = view_dir();
+      auto cut = validated_cut(d.shards, optimistic, pinned);
+      if (directory_gen() == d.gen) {
+        return std::tuple(std::move(d), std::move(cut.first),
+                          std::move(cut.second));
+      }
+      server_internal::rebalance_metrics().cut_restarts.inc();
+    }
+    mutex_guard pin_directory(rebalance_mu_);
+    dir_view d = view_dir();
+    auto cut = validated_cut(d.shards, optimistic, pinned);
+    return std::tuple(std::move(d), std::move(cut.first),
+                      std::move(cut.second));
+  }
+
   // Pass 2 of a validated cut: true iff no shard's commit counter moved
   // since `observed` was collected.
-  bool revalidate(const std::vector<uint64_t>& observed) const {
-    for (size_t s = 0; s < boxes_.size(); s++) {
-      if (boxes_[s]->version() != observed[s]) return false;
+  bool revalidate(const std::vector<std::shared_ptr<shard_t>>& shards,
+                  const std::vector<uint64_t>& observed) const {
+    for (size_t s = 0; s < shards.size(); s++) {
+      if (shards[s]->box.version() != observed[s]) return false;
     }
     return true;
   }
 
-  static std::vector<std::unique_ptr<snapshot_box<Map>>> make_boxes(size_t n) {
-    std::vector<std::unique_ptr<snapshot_box<Map>>> boxes(n);
-    for (auto& b : boxes) b = std::make_unique<snapshot_box<Map>>();
-    return boxes;
+  // Split `whole` along sorted splitters into S = |sp| + 1 fresh shards,
+  // each seeded at version 0 with its slice. A splitter key itself belongs
+  // to the shard on its right. O(S log n) splits on shared subtrees.
+  static std::vector<std::shared_ptr<shard_t>> shards_from(
+      const std::vector<K>& sp, Map whole) {
+    std::vector<std::shared_ptr<shard_t>> shards;
+    shards.reserve(sp.size() + 1);
+    Map rest = std::move(whole);
+    for (size_t s = 0; s < sp.size(); s++) {
+      auto parts = Map::split(std::move(rest), sp[s]);
+      shards.push_back(std::make_shared<shard_t>(std::move(parts.left)));
+      rest = std::move(parts.right);
+      if (parts.value.has_value())
+        rest = Map::insert(std::move(rest), sp[s], *parts.value);
+    }
+    shards.push_back(std::make_shared<shard_t>(std::move(rest)));
+    return shards;
   }
 
   static std::vector<K> quantile_splitters(const Map& m, size_t num_shards) {
@@ -498,29 +863,133 @@ class sharded_map {
     return sp;
   }
 
-  std::vector<std::vector<entry_t>> partition_entries(std::vector<entry_t> v) {
-    std::vector<std::vector<entry_t>> buckets(boxes_.size());
-    for (entry_t& e : v) buckets[shard_of(e.first)].push_back(std::move(e));
-    return buckets;
+  // Build and publish the first directory (construction only: no readers,
+  // no writers, no predecessor to retire).
+  void install_initial(std::vector<K> splitters, Map initial) {
+    // pam-lint: allow(naked-new) — the initial directory, before any
+    // sharing; reclaimed through the epoch once replaced.
+    directory* d = new directory{
+        std::make_shared<const std::vector<K>>(std::move(splitters)), {}, 1};
+    d->shards = shards_from(*d->splitters, std::move(initial));
+    dir_.store(d, std::memory_order_release);
   }
 
-  // Split the initial map along the splitters and store each piece. A
-  // splitter key itself belongs to the shard on its right.
-  void distribute(Map initial) {
-    const std::vector<K>& sp = *splitters_;
-    Map rest = std::move(initial);
-    for (size_t s = 0; s < sp.size(); s++) {
-      auto parts = Map::split(std::move(rest), sp[s]);
-      boxes_[s]->store(std::move(parts.left));
-      rest = std::move(parts.right);
-      if (parts.value.has_value())
-        rest = Map::insert(std::move(rest), sp[s], *parts.value);
+  // Equal-load splitters over the frozen shards: each shard's observed
+  // write ops (falling back to its entry count on a quiet window) spread
+  // uniformly over its entries, then the cumulative load is cut at the
+  // target quantiles and mapped back to entry ranks — a hot shard
+  // contributes many cuts (its range shrinks), a cold run of shards may
+  // contribute none (their ranges merge).
+  static std::vector<K> balanced_splitters(const Map& whole,
+                                           const std::vector<size_t>& counts,
+                                           std::vector<double> loads,
+                                           size_t target) {
+    std::vector<K> sp;
+    size_t n = whole.size();
+    if (target < 2 || n == 0) return sp;
+    double total = 0.0;
+    for (size_t s = 0; s < loads.size(); s++) {
+      if (counts[s] == 0) loads[s] = 0.0;  // nothing to cut inside
+      total += loads[s];
     }
-    boxes_[sp.size()]->store(std::move(rest));
+    if (total <= 0.0) return quantile_splitters_of(whole, target);
+    std::vector<size_t> rank_before(loads.size(), 0);
+    for (size_t s = 1; s < loads.size(); s++)
+      rank_before[s] = rank_before[s - 1] + counts[s - 1];
+    size_t s = 0;
+    double cum = 0.0;
+    for (size_t j = 1; j < target; j++) {
+      double t = total * static_cast<double>(j) / static_cast<double>(target);
+      while (s + 1 < loads.size() && cum + loads[s] <= t) cum += loads[s++];
+      double frac = loads[s] > 0.0 ? (t - cum) / loads[s] : 0.0;
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      size_t rank = rank_before[s] +
+                    static_cast<size_t>(frac * static_cast<double>(counts[s]));
+      if (rank >= n) rank = n - 1;
+      auto e = whole.select(rank);
+      if (!e.has_value()) break;
+      if (sp.empty() || entry_policy::comp(sp.back(), e->first))
+        sp.push_back(e->first);
+    }
+    return sp;
   }
 
-  std::shared_ptr<const std::vector<K>> splitters_;
-  std::vector<std::unique_ptr<snapshot_box<Map>>> boxes_;
+  static std::vector<K> quantile_splitters_of(const Map& m, size_t target) {
+    return quantile_splitters(m, target);
+  }
+
+  // The install engine behind maybe_rebalance / rebalance_now. Excludes
+  // every writer of the current directory (box locks in index order — the
+  // same global order as the cut fallback), retires the shards, cuts
+  // equal-load splitters over the frozen content, distributes into a fresh
+  // directory, publishes it, and epoch-retires the predecessor.
+  //
+  // NO_THREAD_SAFETY_ANALYSIS: holds the dynamic writer-lock set (vector of
+  // unique_locks) the lexical model cannot express — same opt-out and TSan
+  // coverage as validated_cut's fallback.
+  bool install_balanced_locked() PAM_REQUIRES(rebalance_mu_)
+      PAM_NO_THREAD_SAFETY_ANALYSIS {
+    server_internal::rebalance_metrics().attempts.inc();
+    obs::span span("sharded.rebalance");
+    directory* old = dir_locked();
+    std::vector<std::unique_lock<mutex>> locks;
+    locks.reserve(old->shards.size());
+    for (const auto& sh : old->shards) locks.push_back(sh->box.writer_lock());
+    // All writers excluded: the shards are frozen. Peek (no refcount bump
+    // needed for the reads below, but parts are retained across the joins).
+    std::vector<double> loads;
+    std::vector<size_t> counts;
+    Map whole;
+    loads.reserve(old->shards.size());
+    counts.reserve(old->shards.size());
+    for (const auto& sh : old->shards) {
+      Map part = sh->box.peek();
+      loads.push_back(static_cast<double>(
+          sh->write_ops.load(std::memory_order_relaxed)));
+      counts.push_back(part.size());
+      whole = Map::concat(std::move(whole), std::move(part));
+    }
+    std::vector<K> nsp =
+        balanced_splitters(whole, counts, std::move(loads), target_shards_);
+    if (same_splitters(nsp, *old->splitters)) return false;
+    // Commit point: retire the old shards (writers queued on the locks we
+    // hold will observe the flag and re-route), install the successor.
+    for (const auto& sh : old->shards) {
+      sh->retired_.store(true, std::memory_order_release);
+    }
+    // pam-lint: allow(naked-new) — directories are install-rate objects
+    // owned by the map, freed exclusively through the epoch limbo below.
+    directory* fresh = new directory{
+        std::make_shared<const std::vector<K>>(std::move(nsp)), {},
+        old->gen + 1};
+    fresh->shards = shards_from(*fresh->splitters, std::move(whole));
+    dir_.store(fresh, std::memory_order_release);
+    server_internal::rebalance_metrics().installs.inc();
+    locks.clear();  // release every writer before the (possibly slow) retire
+    // pam-lint: allow(naked-delete) — the limbo deleter is the single
+    // reclamation point for directories published by this map.
+    epoch::retire(old, [](void* p) { delete static_cast<directory*>(p); });
+    return true;
+  }
+
+  static bool same_splitters(const std::vector<K>& a, const std::vector<K>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); i++) {
+      if (entry_policy::comp(a[i], b[i]) || entry_policy::comp(b[i], a[i]))
+        return false;
+    }
+    return true;
+  }
+
+  // Shard count every rebalance aims for (the construction-time request);
+  // the live directory may hold fewer when quantiles or balanced cuts
+  // collapse duplicate keys.
+  size_t target_shards_ = 1;
+  // Serializes directory replacement; held (before any box lock) by
+  // rebalance and by the cut fallback that needs a pinned directory.
+  mutable mutex rebalance_mu_;
+  std::atomic<directory*> dir_{nullptr};
 };
 
 }  // namespace pam

@@ -95,15 +95,19 @@ class version_store {
     auto cut = target_.snapshot_all_versioned();
     std::vector<entry> dropped;  // destroyed outside the lock (GC can fork)
     mutex_guard lock(mu_);
-    if (!ring_.empty()) {
-      // Every validated cut corresponds to one instant at which all shards
-      // simultaneously held its version vector, so any two cuts are totally
-      // ordered and componentwise comparable. A cut that
-      // does not advance past the newest retained one is either identical
-      // (quiescent dedup) or lost a race to a concurrent capture that took
-      // a newer cut but reached this mutex first — in both cases the
-      // retained version already covers it, so return that id rather than
-      // pushing a version whose id order would invert its cut order.
+    if (!ring_.empty() && ring_.back().dir_gen == cut.dir_gen) {
+      // Within one directory generation every validated cut corresponds to
+      // one instant at which all shards simultaneously held its version
+      // vector, so any two cuts are totally ordered and componentwise
+      // comparable. A cut that does not advance past the newest retained
+      // one is either identical (quiescent dedup) or lost a race to a
+      // concurrent capture that took a newer cut but reached this mutex
+      // first — in both cases the retained version already covers it, so
+      // return that id rather than pushing a version whose id order would
+      // invert its cut order. Across generations the vectors are
+      // incomparable — a rebalance re-shards the space and fresh shards
+      // restart their counters — so a cut under a new directory is always
+      // retained (the gen check above).
       const std::vector<uint64_t>& back = ring_.back().shard_versions;
       bool advanced = false;
       for (size_t s = 0; s < cut.versions.size() && !advanced; s++)
@@ -112,7 +116,7 @@ class version_store {
     }
     uint64_t v = next_version_++;
     ring_.push_back({v, std::move(cut.snapshot), std::move(cut.versions),
-                     clock::now()});
+                     cut.dir_gen, clock::now()});
     trim_locked(clock::now(), dropped);
     return {v, ring_.back().cut};
   }
@@ -167,9 +171,22 @@ class version_store {
   }
 
   // The same stream computed from two already-obtained cuts (they need not
-  // be retained — any two cuts of the same sharded_map share a directory).
+  // be retained). Per-shard pairing is only meaningful when both cuts were
+  // taken under the same splitter directory — shard s then covers the same
+  // key range on both sides, and an unchanged shard is the same root
+  // pointer (O(1) prune). Cuts straddling a rebalance have incomparable
+  // shard boundaries: pairing by index would report a key that merely moved
+  // shards as a remove in one pair and an insert in another, which a
+  // downstream consumer applying inserts before deletes (checkpoint
+  // apply_delta) would net to *deleting* the key. Those diff the merged
+  // maps instead — correct by construction, at the cost of the structural
+  // sharing between shards of different directories (which is mostly gone
+  // anyway: a rebalance rebuilds shard roots via concat/split).
   static std::vector<change_t> diff_snapshots(const snapshot_type& from,
                                               const snapshot_type& to) {
+    if (from.splitters_handle() != to.splitters_handle()) {
+      return Map::diff(from.merged(), to.merged()).changes();
+    }
     size_t S = std::max(from.num_shards(), to.num_shards());
     std::vector<std::vector<change_t>> per_shard(S);
     parallel_for(
@@ -216,6 +233,7 @@ class version_store {
     uint64_t version;
     snapshot_type cut;
     std::vector<uint64_t> shard_versions;  // dedups quiescent captures
+    uint64_t dir_gen;  // generation the vector is comparable within
     clock::time_point at;
   };
 

@@ -20,10 +20,20 @@
 //     batches of one shard commit in enqueue order and a later batch can
 //     never overtake an earlier one.
 //   * Visibility: reads through the sharded_map see committed state only;
-//     a flushed batch becomes visible in one atomic epoch-protected root
-//     publication (snapshot_box::update), so readers never see a batch
-//     half-applied. flush_all() is the barrier — every op enqueued
-//     happens-before a flush_all() call is committed when it returns.
+//     each per-shard slice of a flushed batch becomes visible in one atomic
+//     epoch-protected root publication (snapshot_box::update_if), so
+//     readers never see a slice half-applied. flush_all() is the barrier —
+//     every op enqueued happens-before a flush_all() call is committed when
+//     it returns.
+//   * Rebalance-stable queues: ops are bucketed into queues by the splitter
+//     directory pinned at construction (a shared handle that outlives any
+//     number of rebalances), so a key's ops always ride the same queue and
+//     the per-queue flush lock keeps them in enqueue order even while the
+//     target's live directory changes underneath. At the flush boundary a
+//     batch is applied through the target's bulk write path, which
+//     partitions against the *live* directory and re-routes around any
+//     concurrent rebalance — queue index and live shard index are decoupled
+//     on purpose (the WAL replayer never trusted the queue index either).
 //   * Shutdown drains: shutdown() (also run by the destructor) stops the
 //     flusher thread and then flushes every remaining op, so the final
 //     drain is guaranteed to land in the target sharded_map before the
@@ -96,7 +106,8 @@ class write_combiner {
   };
 
   explicit write_combiner(sharded_map<Map>& target, config cfg = {})
-      : target_(target), cfg_(cfg), queues_(target.num_shards()) {
+      : target_(target), cfg_(cfg), routing_(target.splitters_handle()),
+        queues_(routing_->size() + 1) {
     for (auto& q : queues_) q = std::make_unique<shard_queue>();
     if (cfg_.flush_interval.count() > 0)
       flusher_ = std::thread([this] { flusher_loop(); });
@@ -182,7 +193,10 @@ class write_combiner {
   };
 
   void enqueue(const K& k, std::optional<V> v) {
-    size_t s = target_.shard_of(k);
+    // Routed by the pinned construction-time splitters, NOT the live
+    // directory: the queue index must be stable across rebalances so both
+    // ops of a same-key pair always serialize on one flush lock.
+    size_t s = server_internal::shard_index(*routing_, k, entry_policy::comp);
     shard_queue& q = *queues_[s];
     bool buffered = false;
     bool overflow = false;
@@ -257,11 +271,13 @@ class write_combiner {
     }
     ops_committed_.inc(upserts.size() + deletes.size());
     batches_flushed_.inc();
-    target_.update_shard(s, [&](Map m) {
-      if (!upserts.empty()) m = Map::multi_insert(std::move(m), std::move(upserts));
-      if (!deletes.empty()) m = Map::multi_delete(std::move(m), std::move(deletes));
-      return m;
-    });
+    // Apply through the live-directory bulk path: the target partitions
+    // each list against whatever directory is current and transparently
+    // re-routes around a concurrent rebalance. Coalescing put each key in
+    // exactly one of the two lists, so the apply order between them is
+    // immaterial.
+    if (!upserts.empty()) target_.multi_insert(std::move(upserts));
+    if (!deletes.empty()) target_.multi_delete(std::move(deletes));
   }
 
   // quiesced()'s lock-accumulating walk: flush shard s under its flush
@@ -334,6 +350,10 @@ class write_combiner {
 
   sharded_map<Map>& target_;
   const config cfg_;
+  // The construction-time splitter directory, pinned: the stable bucketing
+  // for queues_ (whose count never changes) while the target's live
+  // directory rebalances freely.
+  std::shared_ptr<const std::vector<K>> routing_;
   std::vector<std::unique_ptr<shard_queue>> queues_;
 
   // Registry-backed instrumentation (PR 9). These are per-instance members

@@ -13,10 +13,20 @@
 //
 // Incremental policy: a checkpoint is a delta (aug_map::diff against the
 // previous cut, so only changed blocks are serialized) unless (a) there is
-// no previous cut, (b) the chain already has max_chain deltas, or (c) the
+// no previous cut, (b) the chain already has max_chain deltas, (c) the
 // delta stream's bytes exceed incr_max_ratio of the last full checkpoint —
 // the decision is made on the actual encoded delta, so the byte-footprint
-// guarantee tests assert on is exact, not an estimate.
+// guarantee tests assert on is exact, not an estimate — or (d) the cut was
+// taken under a different splitter directory than the previous one (a
+// rebalance installed new shard boundaries between checkpoints).
+// Case (d) is a correctness rule, not a policy choice: build_delta_stream
+// diffs shard s against shard s, which is only meaningful when both cuts
+// partition the key space identically. Across a rebalance, a key that
+// moved shards would appear as a remove in one pair and an insert in
+// another, and load()'s apply order (inserts, then deletes) would net to
+// deleting it. Each manifest records the splitters of the cut it
+// serializes, so recovery always redistributes along the boundaries the
+// committed checkpoint was actually taken under.
 //
 // Crash safety: every mutation of manager state happens only after
 // commit_current() returns. An injected crash anywhere inside
@@ -84,12 +94,11 @@ class durability {
   // checkpoint of `cut` covering `covered_seq` — a fresh store passes the
   // (possibly empty) initial cut with covered_seq 0 / next_seq 1, recovery
   // passes the reconstructed cut with the seqs wal_replay reported. Either
-  // way the splitters are durable from the first commit onward, and any
-  // WAL prefix the checkpoint covers is truncated.
+  // way the cut's splitters are durable from the first commit onward, and
+  // any WAL prefix the checkpoint covers is truncated.
   durability(durability_options opts, const snapshot_t& cut,
-             std::vector<K> splitters, uint64_t covered_seq = 0,
-             uint64_t next_seq = 1)
-      : opts_(std::move(opts)), splitters_(std::move(splitters)) {
+             uint64_t covered_seq = 0, uint64_t next_seq = 1)
+      : opts_(std::move(opts)) {
     opts_.io->mkdirs(opts_.dir);
     wal_ = std::make_unique<wal_writer>(opts_.io, opts_.dir, opts_.wal,
                                         next_seq);
@@ -235,7 +244,13 @@ class durability {
     obs::span commit_span("ckpt.commit");
     ckpt_result res;
     res.id = next_id_++;
-    res.full = force_full || !prev_cut_.has_value() ||
+    // Splitter-handle identity: two cuts share a handle iff no rebalance
+    // installed a new directory between them — the exact condition under
+    // which per-shard delta pairing is meaningful (rule (d) above).
+    bool resharded =
+        prev_cut_.has_value() &&
+        prev_cut_->splitters_handle() != cut.splitters_handle();
+    res.full = force_full || resharded || !prev_cut_.has_value() ||
                chain_len_ >= opts_.ckpt.max_chain;
     std::vector<char> delta;
     if (!res.full) {
@@ -268,7 +283,7 @@ class durability {
     }
     m.id = res.id;
     m.covered_wal_seq = covered_seq;
-    m.splitters = splitters_;
+    m.splitters = cut.splitter_keys();
     cio::write_manifest(*opts_.io, opts_.dir, m);
     opts_.io->sync_dir(opts_.dir);
     cio::commit_current(*opts_.io, opts_.dir, manifest_file_name(res.id));
@@ -312,7 +327,6 @@ class durability {
   }
 
   durability_options opts_;
-  const std::vector<K> splitters_;
   std::unique_ptr<wal_writer> wal_;
 
   mutable mutex mu_;

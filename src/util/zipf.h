@@ -8,41 +8,92 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "util/random.h"
 
 namespace pam {
 
-// Samples ranks in [0, n) with P(rank = r) proportional to 1 / (r+1)^s.
-// Uses a precomputed cumulative table + binary search: O(n) setup,
-// O(log n) per sample, fully deterministic given the seed.
-class zipf_generator {
- public:
-  zipf_generator(size_t n, double s, uint64_t seed)
-      : cdf_(n), rng_(seed) {
+namespace zipf_internal {
+
+// The cumulative table depends only on (n, s), is immutable once built,
+// and costs O(n) doubles — so a YCSB bench spinning up one generator per
+// client thread at n = millions would otherwise pay setup time and memory
+// per instance. Shared via an interned pool keyed by (n, s); entries are
+// shared_ptr-owned so the pool can be consulted cheaply while generators
+// keep their table alive independently of pool lifetime.
+struct cdf_table {
+  std::vector<double> cdf;
+  double total;
+
+  cdf_table(size_t n, double s) : cdf(n) {
     double acc = 0.0;
     for (size_t r = 0; r < n; r++) {
       acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
-      cdf_[r] = acc;
+      cdf[r] = acc;
     }
-    total_ = acc;
+    total = acc;
   }
+};
+
+inline std::shared_ptr<const cdf_table> shared_cdf(size_t n, double s) {
+  static std::mutex mu;
+  static std::vector<std::pair<std::pair<size_t, double>,
+                               std::weak_ptr<const cdf_table>>> pool;
+  const std::pair<size_t, double> key{n, s};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto it = pool.begin(); it != pool.end();) {
+      if (auto sp = it->second.lock()) {
+        if (it->first == key) return sp;
+        ++it;
+      } else {
+        it = pool.erase(it);  // all generators for this (n, s) are gone
+      }
+    }
+  }
+  // Build outside the lock: O(n) and possibly concurrent with other keys.
+  auto built = std::make_shared<const cdf_table>(n, s);
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& [k, weak] : pool) {
+    if (k == key) {
+      if (auto sp = weak.lock()) return sp;  // lost the race; reuse theirs
+    }
+  }
+  pool.emplace_back(key, built);
+  return built;
+}
+
+}  // namespace zipf_internal
+
+// Samples ranks in [0, n) with P(rank = r) proportional to 1 / (r+1)^s.
+// Uses a precomputed cumulative table + binary search: O(log n) per
+// sample, fully deterministic given the seed. The table is immutable and
+// interned per (n, s), so N generators over the same distribution (one
+// per bench client) share one table instead of paying O(n) setup and
+// memory each.
+class zipf_generator {
+ public:
+  zipf_generator(size_t n, double s, uint64_t seed)
+      : table_(zipf_internal::shared_cdf(n, s)), rng_(seed) {}
 
   size_t operator()() {
-    double u = rng_.next_double() * total_;
-    // First index with cdf >= u; clamp so u == total_ (possible at the edge
+    double u = rng_.next_double() * table_->total;
+    // First index with cdf >= u; clamp so u == total (possible at the edge
     // of floating-point rounding) still yields a valid rank.
+    const auto& cdf = table_->cdf;
     size_t idx = static_cast<size_t>(
-        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
-    return idx < cdf_.size() ? idx : cdf_.size() - 1;
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    return idx < cdf.size() ? idx : cdf.size() - 1;
   }
 
-  size_t universe() const { return cdf_.size(); }
+  size_t universe() const { return table_->cdf.size(); }
 
  private:
-  std::vector<double> cdf_;
-  double total_;
+  std::shared_ptr<const zipf_internal::cdf_table> table_;
   random_gen rng_;
 };
 

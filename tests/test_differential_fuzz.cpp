@@ -20,9 +20,14 @@ namespace {
 using K = uint64_t;
 using V = uint64_t;
 
-template <typename Balance>
-void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
-  using map_t = pam::aug_map<pam::sum_entry<K, V>, Balance>;
+// The integer-key harness, parameterized over the entry policy (flat
+// sum_entry or the delta-coded mirror) and a strictly-monotone rank-to-key
+// mapping, so the delta sweep can shape the gap distribution the encoder
+// sees without touching the op mix or the oracle lockstep.
+template <typename Balance, typename Entry, typename KeyFn>
+void fuzz_run_impl(uint64_t seed, int phases, int ops_per_phase,
+                   const KeyFn& key_of) {
+  using map_t = pam::aug_map<Entry, Balance>;
   using entry_t = typename map_t::entry_t;
   constexpr uint64_t kKeyRange = 1 << 14;
 
@@ -40,14 +45,14 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
         switch (g.next() % 10) {
           case 0:
           case 1: {  // point insert
-            K k = g.next() % kKeyRange;
+            K k = key_of(g.next() % kKeyRange);
             V v = g.next() % 1000;
             m = map_t::insert(std::move(m), k, v);
             oracle[k] = v;
             break;
           }
           case 2: {  // point remove
-            K k = g.next() % kKeyRange;
+            K k = key_of(g.next() % kKeyRange);
             m = map_t::remove(std::move(m), k);
             oracle.erase(k);
             break;
@@ -55,7 +60,8 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
           case 3: {  // multi-insert a batch
             size_t bn = g.next() % 200;
             std::vector<entry_t> batch(bn);
-            for (auto& e : batch) e = {g.next() % kKeyRange, g.next() % 1000};
+            for (auto& e : batch)
+              e = {key_of(g.next() % kKeyRange), g.next() % 1000};
             for (auto& e : batch) oracle[e.first] = e.second;
             m = map_t::multi_insert(std::move(m), std::move(batch));
             break;
@@ -63,7 +69,7 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
           case 4: {  // multi-delete a batch
             size_t bn = g.next() % 100;
             std::vector<K> batch(bn);
-            for (auto& k : batch) k = g.next() % kKeyRange;
+            for (auto& k : batch) k = key_of(g.next() % kKeyRange);
             for (auto& k : batch) oracle.erase(k);
             m = map_t::multi_delete(std::move(m), std::move(batch));
             break;
@@ -71,7 +77,8 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
           case 5: {  // union with a random small map
             size_t bn = g.next() % 150;
             std::vector<entry_t> other(bn);
-            for (auto& e : other) e = {g.next() % kKeyRange, g.next() % 1000};
+            for (auto& e : other)
+              e = {key_of(g.next() % kKeyRange), g.next() % 1000};
             map_t om(other);
             for (auto& [k, v] : om.entries()) oracle[k] = v;
             m = map_t::map_union(std::move(m), std::move(om));
@@ -80,14 +87,14 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
           case 6: {  // difference with a random small map
             size_t bn = g.next() % 100;
             std::vector<entry_t> other(bn);
-            for (auto& e : other) e = {g.next() % kKeyRange, 0};
+            for (auto& e : other) e = {key_of(g.next() % kKeyRange), 0};
             map_t om(other);
             for (auto& [k, v] : om.entries()) oracle.erase(k);
             m = map_t::map_difference(std::move(m), std::move(om));
             break;
           }
           case 7: {  // aug_range spot check
-            K a = g.next() % kKeyRange, b = g.next() % kKeyRange;
+            K a = key_of(g.next() % kKeyRange), b = key_of(g.next() % kKeyRange);
             K lo = std::min(a, b), hi = std::max(a, b);
             uint64_t expect = 0;
             for (auto it = oracle.lower_bound(lo);
@@ -97,7 +104,7 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
             break;
           }
           case 8: {  // find spot check
-            K k = g.next() % kKeyRange;
+            K k = key_of(g.next() % kKeyRange);
             auto it = oracle.find(k);
             auto got = m.find(k);
             ASSERT_EQ(got.has_value(), it != oracle.end());
@@ -163,7 +170,7 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
       {
         // A random bounded view walked in lockstep with the oracle's
         // equivalent range, plus its O(log n) size/aug_val summaries.
-        K a = g.next() % kKeyRange, b = g.next() % kKeyRange;
+        K a = key_of(g.next() % kKeyRange), b = key_of(g.next() % kKeyRange);
         K lo = std::min(a, b), hi = std::max(a, b);
         auto view = m.view(lo, hi);
         auto oit = oracle.lower_bound(lo);
@@ -248,6 +255,13 @@ void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
   ASSERT_EQ(map_t::used_nodes(), node_base) << "leak with seed " << seed;
   ASSERT_EQ(map_t::used_leaf_blocks(), leaf_base)
       << "leaf-block leak with seed " << seed;
+}
+
+// The flat-layout run the scheme/seed matrix drives: identity key mapping.
+template <typename Balance>
+void fuzz_run(uint64_t seed, int phases, int ops_per_phase) {
+  fuzz_run_impl<Balance, pam::sum_entry<K, V>>(seed, phases, ops_per_phase,
+                                               [](K k) { return k; });
 }
 
 // ------------------------------------------------------------ string keys --
@@ -490,6 +504,40 @@ TEST_P(FuzzSeeds, BlockSizeSweepAllSchemes) {
     fuzz_run<pam::avl_tree>(GetParam() * 37 + b, 2, 150);
     fuzz_run<pam::red_black>(GetParam() * 41 + b, 2, 150);
     fuzz_run<pam::treap>(GetParam() * 43 + b, 2, 150);
+  }
+  pam::set_leaf_block_size(saved_b);
+}
+
+// The delta-layout sweep (ISSUE 10): the same randomized lockstep run over
+// delta-coded integer leaf blocks (zigzag-varint successor gaps), across
+// all four balance schemes, the block sizes that stress block-edge cases
+// (1, 2), the default (32), and large blocks (256) — B=0 is covered by the
+// flat sweep since both layouts fall back to classic nodes — under three
+// gap shapes: dense ranks (single-byte deltas), a large prime stride
+// (multi-byte varints), and alternating 1 / >2^33 gaps (varint length
+// boundaries on both sides of every pair). Phase boundaries run the full
+// battery: check_valid (which re-derives every block's decoded keys and
+// cached aug), serialize round-trips, diffs, and leak accounting.
+TEST_P(FuzzSeeds, DeltaKeysBlockSweepAllSchemes) {
+  using delta_entry = pam::delta_sum_entry<K, V>;
+  auto dense = [](K k) { return k; };
+  auto sparse = [](K k) { return k * 1000003; };
+  auto adversarial = [](K k) {
+    return (k / 2) * ((uint64_t{1} << 33) + 3) + (k % 2);
+  };
+  size_t saved_b = pam::leaf_block_size();
+  for (size_t b : {size_t{1}, size_t{2}, size_t{32}, size_t{256}}) {
+    pam::set_leaf_block_size(b);
+    fuzz_run_impl<pam::weight_balanced, delta_entry>(GetParam() * 73 + b, 2,
+                                                     120, dense);
+    fuzz_run_impl<pam::avl_tree, delta_entry>(GetParam() * 79 + b, 2, 120,
+                                              sparse);
+    fuzz_run_impl<pam::red_black, delta_entry>(GetParam() * 83 + b, 2, 120,
+                                               adversarial);
+    fuzz_run_impl<pam::treap, delta_entry>(GetParam() * 89 + b, 2, 120,
+                                           sparse);
+    fuzz_run_impl<pam::weight_balanced, delta_entry>(GetParam() * 97 + b, 2,
+                                                     120, adversarial);
   }
   pam::set_leaf_block_size(saved_b);
 }

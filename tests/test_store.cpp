@@ -555,7 +555,7 @@ TEST(Durability, IncrementalCheckpointPersistsOnlyChangedBlocks) {
   std::vector<uint64_t> splitters = {50000};
   pam::sharded_map<u64_map> shards(splitters);
   // The ctor commits a full checkpoint of the (empty) initial contents.
-  pam::store::durability<u64_map> d(opts, shards.snapshot_all(), splitters);
+  pam::store::durability<u64_map> d(opts, shards.snapshot_all());
 
   std::vector<u64_map::entry_t> bulk;
   for (uint64_t i = 0; i < 100000; i++) bulk.emplace_back(i, i);
@@ -594,13 +594,12 @@ TEST(Durability, FullCheckpointForcedPastMaxChainAndGcSweeps) {
   opts.ckpt.max_chain = 2;
   opts.ckpt.incr_max_ratio = 1.0;
 
-  std::vector<uint64_t> splitters;
   pam::sharded_map<u64_map> shards(u64_map{}, size_t{1});
   std::vector<u64_map::entry_t> bulk;
   for (uint64_t i = 0; i < 5000; i++) bulk.emplace_back(i, i);
   shards.multi_insert(std::move(bulk));
 
-  pam::store::durability<u64_map> d(opts, shards.snapshot_all(), splitters);
+  pam::store::durability<u64_map> d(opts, shards.snapshot_all());
   int fulls = 0, deltas = 0;
   for (int round = 0; round < 8; round++) {
     std::vector<u64_map::entry_t> churn = {{uint64_t(round), 99u}};
